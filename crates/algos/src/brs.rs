@@ -1,0 +1,298 @@
+//! Block Reverse Skyline — BRS (Algorithm 2), plus the two-phase scaffolding
+//! shared with SRS.
+//!
+//! **Phase one** loads the database in memory-sized batches; objects with a
+//! pruner *inside their own batch* are dropped, the rest are appended to a
+//! write area `R` on disk. `R` is a superset of the result (pruners may have
+//! lived in other batches).
+//!
+//! **Phase two** loads `R` in batches of `memory − 1 page` and, for each
+//! batch, scans the entire database page by page, dropping every batch
+//! member that finds a pruner. Survivors are exact results.
+//!
+//! Marked-pruned objects **remain valid pruners** for the rest of their
+//! batch (the paper only marks them; it does not remove them), and an object
+//! never prunes itself — engines compare record ids, so exact duplicates
+//! still prune each other.
+
+use rsky_core::error::Result;
+use rsky_core::query::Query;
+use rsky_core::record::{RecordId, RowBuf};
+use rsky_core::stats::RunStats;
+use rsky_storage::{RecordFile, RecordWriter};
+
+use crate::engine::{prunes_cached, run_with_scaffolding, EngineCtx, ReverseSkylineAlgo, RsRun};
+use crate::qcache::QueryDistCache;
+
+/// How phase one searches a batch for pruners of its members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase1Order {
+    /// Scan the batch front to back (BRS).
+    Linear,
+    /// Radiate outward from the candidate's own position — distance 1, 2, …
+    /// alternating sides (SRS; neighbors in the sorted order share values and
+    /// are the likeliest pruners, so they are probed first).
+    Radiating,
+}
+
+/// Algorithm 2. Runs on any layout; pair with [`crate::prep::Layout::Original`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Brs;
+
+impl ReverseSkylineAlgo for Brs {
+    fn name(&self) -> &str {
+        "BRS"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
+        crate::engine::validate_inputs(ctx, table, query)?;
+        run_with_scaffolding(ctx, query, |ctx, cache, stats| {
+            two_phase(ctx, table, query, cache, Phase1Order::Linear, stats)
+        })
+    }
+}
+
+/// Shared BRS/SRS body: batch-wise phase one into a write area, then the
+/// phase-two refinement scan. Returns unsorted result ids.
+pub(crate) fn two_phase(
+    ctx: &mut EngineCtx<'_>,
+    table: &RecordFile,
+    query: &Query,
+    cache: &QueryDistCache,
+    order: Phase1Order,
+    stats: &mut RunStats,
+) -> Result<Vec<RecordId>> {
+    let m = table.num_attrs();
+    let subset = &query.subset;
+    let rec_bytes = table.record_bytes();
+    let total_pages = table.num_pages(ctx.disk);
+
+    // --- Phase one --------------------------------------------------------
+    let t1 = std::time::Instant::now();
+    let r_file = {
+        let cap1 = ctx.budget.phase1_records(rec_bytes);
+        let mut writer = RecordWriter::new(RecordFile::create(ctx.disk, m)?);
+        let mut page = 0;
+        let mut batch = RowBuf::new(m);
+        while page < total_pages {
+            batch.clear();
+            let (pages, _) = table.read_batch(ctx.disk, page, cap1, &mut batch)?;
+            page += pages;
+            stats.phase1_batches += 1;
+            let n = batch.len();
+            for i in 0..n {
+                if !find_pruner_in_batch(ctx, &batch, i, query, cache, order, stats) {
+                    writer.push(ctx.disk, batch.flat_row(i))?;
+                }
+            }
+        }
+        writer.finish(ctx.disk)?
+    };
+    stats.phase1_time = t1.elapsed();
+    stats.phase1_survivors = r_file.len() as usize;
+    let _ = subset;
+
+    // --- Phase two --------------------------------------------------------
+    let t2 = std::time::Instant::now();
+    let result = {
+        let cap2 = ctx.budget.phase2_records(rec_bytes);
+        let r_pages = r_file.num_pages(ctx.disk);
+        let mut result = Vec::new();
+        let mut rpage = 0;
+        let mut rbatch = RowBuf::new(m);
+        let mut dpage = RowBuf::new(m);
+        while rpage < r_pages {
+            rbatch.clear();
+            let (pages, _) = r_file.read_batch(ctx.disk, rpage, cap2, &mut rbatch)?;
+            rpage += pages;
+            stats.phase2_batches += 1;
+            let mut alive = vec![true; rbatch.len()];
+            let mut alive_count = rbatch.len();
+            for p in 0..total_pages {
+                if alive_count == 0 {
+                    break;
+                }
+                dpage.clear();
+                table.read_page_rows(ctx.disk, p, &mut dpage)?;
+                for (xi, alive_flag) in alive.iter_mut().enumerate() {
+                    if !*alive_flag {
+                        continue;
+                    }
+                    let x = rbatch.values(xi);
+                    let x_id = rbatch.id(xi);
+                    for yi in 0..dpage.len() {
+                        if dpage.id(yi) == x_id {
+                            continue;
+                        }
+                        stats.obj_comparisons += 1;
+                        if prunes_cached(
+                            ctx.dissim,
+                            &query.subset,
+                            dpage.values(yi),
+                            x,
+                            cache,
+                            &mut stats.dist_checks,
+                        ) {
+                            *alive_flag = false;
+                            alive_count -= 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            for (xi, ok) in alive.iter().enumerate() {
+                if *ok {
+                    result.push(rbatch.id(xi));
+                }
+            }
+        }
+        result
+    };
+    stats.phase2_time = t2.elapsed();
+    Ok(result)
+}
+
+/// Whether batch member `i` has a pruner inside the batch, probing in the
+/// configured order.
+fn find_pruner_in_batch(
+    ctx: &EngineCtx<'_>,
+    batch: &RowBuf,
+    i: usize,
+    query: &Query,
+    cache: &QueryDistCache,
+    order: Phase1Order,
+    stats: &mut RunStats,
+) -> bool {
+    let x = batch.values(i);
+    let n = batch.len();
+    let check = |j: usize, stats: &mut RunStats| -> bool {
+        stats.obj_comparisons += 1;
+        prunes_cached(ctx.dissim, &query.subset, batch.values(j), x, cache, &mut stats.dist_checks)
+    };
+    match order {
+        Phase1Order::Linear => {
+            for j in 0..n {
+                if j != i && check(j, stats) {
+                    return true;
+                }
+            }
+            false
+        }
+        Phase1Order::Radiating => {
+            let mut d = 1;
+            loop {
+                let lo = i >= d;
+                let hi = i + d < n;
+                if !lo && !hi {
+                    return false;
+                }
+                if lo && check(i - d, stats) {
+                    return true;
+                }
+                if hi && check(i + d, stats) {
+                    return true;
+                }
+                d += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::load_dataset;
+    use rsky_storage::{Disk, MemoryBudget};
+
+    /// Runs BRS on the paper example with 1-object pages and 3-page memory —
+    /// the exact configuration of Section 4.1's walkthrough.
+    fn paper_run() -> (RsRun, Disk) {
+        let (ds, q) = rsky_data::paper_example();
+        // Record = 16 bytes; page of 16 bytes = 1 object per page.
+        let mut disk = Disk::new_mem(16);
+        let table = load_dataset(&mut disk, &ds).unwrap();
+        let budget = MemoryBudget::from_bytes(48, 16).unwrap(); // 3 pages
+        let mut ctx =
+            EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        let run = Brs.run(&mut ctx, &table, &q).unwrap();
+        (run, disk)
+    }
+
+    #[test]
+    fn paper_walkthrough_phase_structure() {
+        // Section 4.1: first-phase batches {O1,O2,O3} and {O4,O5,O6} prune
+        // O2 and O5; R = {O1, O3, O4, O6}; phase two runs in 2 batches
+        // ({O1,O3}, {O4,O6}) and outputs {O3, O6}.
+        let (run, _) = paper_run();
+        assert_eq!(run.ids, vec![3, 6]);
+        assert_eq!(run.stats.phase1_batches, 2);
+        assert_eq!(run.stats.phase1_survivors, 4);
+        assert_eq!(run.stats.phase2_batches, 2);
+    }
+
+    #[test]
+    fn whole_database_in_memory_single_batch() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut disk = Disk::new_mem(64);
+        let table = load_dataset(&mut disk, &ds).unwrap();
+        let budget = MemoryBudget::from_bytes(1 << 20, 64).unwrap();
+        let mut ctx =
+            EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        let run = Brs.run(&mut ctx, &table, &q).unwrap();
+        assert_eq!(run.ids, vec![3, 6]);
+        assert_eq!(run.stats.phase1_batches, 1);
+        // Intra-batch pruning is complete when the batch is the database.
+        assert_eq!(run.stats.phase1_survivors, 2);
+    }
+
+    #[test]
+    fn duplicates_across_batches_resolved_in_phase_two() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut rows = RowBuf::new(3);
+        rows.push(1, &[2, 0, 2]); // batch 1
+        rows.push(2, &[2, 0, 2]); // batch 2 — exact duplicate
+        let mut disk = Disk::new_mem(16);
+        let mut table = RecordFile::create(&mut disk, 3).unwrap();
+        table.write_all(&mut disk, &rows).unwrap();
+        let budget = MemoryBudget::from_bytes(16, 16).unwrap(); // 1-object batches
+        let mut ctx =
+            EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        let run = Brs.run(&mut ctx, &table, &q).unwrap();
+        // Both survive phase one (alone in their batches), both die in
+        // phase two against each other.
+        assert_eq!(run.stats.phase1_survivors, 2);
+        assert!(run.ids.is_empty());
+    }
+
+    #[test]
+    fn io_profile_has_two_sequential_scans_plus_switches() {
+        let (run, _) = paper_run();
+        let io = run.stats.io;
+        // Phase 1 reads D (6 pages) + writes R (4 pages); phase 2 reads R
+        // (4 pages) + scans D twice (12 pages).
+        assert_eq!(io.seq_reads + io.rand_reads, 6 + 4 + 12);
+        assert_eq!(io.seq_writes + io.rand_writes, 4);
+        // Interleaving D-reads and R-writes must cost random IOs.
+        assert!(io.rand_writes + io.rand_reads > 2);
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..10 {
+            let ds = rsky_data::synthetic::normal_dataset(3, 6, 60, &mut rng).unwrap();
+            let q = rsky_data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+            let expect =
+                rsky_core::skyline::reverse_skyline_by_definition(&ds.dissim, &ds.rows, &q);
+            let mut disk = Disk::new_mem(64);
+            let table = load_dataset(&mut disk, &ds).unwrap();
+            let budget = MemoryBudget::from_bytes(256, 64).unwrap();
+            let mut ctx =
+                EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            let run = Brs.run(&mut ctx, &table, &q).unwrap();
+            assert_eq!(run.ids, expect, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The engine interface shared by all reverse-skyline algorithms.
+
+use std::time::Instant;
+
+use rsky_core::dissim::DissimTable;
+use rsky_core::error::Result;
+use rsky_core::query::{AttrSubset, Query};
+use rsky_core::record::{RecordId, ValueId};
+use rsky_core::schema::Schema;
+use rsky_core::stats::RunStats;
+use rsky_storage::{Disk, MemoryBudget, RecordFile};
+
+use crate::qcache::QueryDistCache;
+
+/// Outcome of a reverse-skyline run: the result ids (ascending) plus the
+/// full cost profile.
+#[derive(Debug, Clone)]
+pub struct RsRun {
+    /// Record ids of `RS_D(Q)`, sorted ascending.
+    pub ids: Vec<RecordId>,
+    /// Cost counters for the run.
+    pub stats: RunStats,
+}
+
+/// Everything an engine needs besides the table and the query.
+pub struct EngineCtx<'a> {
+    /// The disk holding the table (and scratch files the engine creates).
+    pub disk: &'a mut Disk,
+    /// Schema of the table.
+    pub schema: &'a Schema,
+    /// Dissimilarity measures.
+    pub dissim: &'a DissimTable,
+    /// Working-memory budget (the paper's "% memory" knob).
+    pub budget: MemoryBudget,
+}
+
+/// A reverse-skyline algorithm over a record file.
+pub trait ReverseSkylineAlgo {
+    /// Short display name ("Naive", "BRS", "SRS", "TRS", …).
+    fn name(&self) -> &str;
+
+    /// Computes `RS_D(Q)` for the records in `table`.
+    ///
+    /// Engines assume `table` ids are unique; physical row order is whatever
+    /// the caller prepared (see [`crate::prep`]). The returned ids are sorted
+    /// ascending regardless of layout.
+    fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun>;
+}
+
+/// One pruning check using the query-distance cache: does `y` prune the
+/// center `x` (`y ≻_x q`)? Counts one data-data distance evaluation per
+/// attribute compared.
+#[inline]
+pub fn prunes_cached(
+    dt: &DissimTable,
+    subset: &AttrSubset,
+    y: &[ValueId],
+    x: &[ValueId],
+    cache: &QueryDistCache,
+    checks: &mut u64,
+) -> bool {
+    let mut strict = false;
+    for &i in subset.indices() {
+        *checks += 1;
+        let dyx = dt.d(i, y[i], x[i]);
+        let dqx = cache.d(i, x[i]);
+        if dyx > dqx {
+            return false;
+        }
+        if dyx < dqx {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Validates that table, schema and query agree before a run.
+pub(crate) fn validate_inputs(
+    ctx: &EngineCtx<'_>,
+    table: &RecordFile,
+    query: &Query,
+) -> Result<()> {
+    use rsky_core::error::Error;
+    let m = ctx.schema.num_attrs();
+    if table.num_attrs() != m {
+        return Err(Error::SchemaMismatch(format!(
+            "table rows have {} attributes, schema has {m}",
+            table.num_attrs()
+        )));
+    }
+    if query.subset.schema_attrs() != m {
+        return Err(Error::SchemaMismatch(format!(
+            "query subset is over {} attributes, schema has {m}",
+            query.subset.schema_attrs()
+        )));
+    }
+    ctx.schema.validate_values(&query.values)?;
+    if ctx.dissim.num_attrs() != m {
+        return Err(Error::SchemaMismatch(format!(
+            "{} dissimilarity measures for {m} attributes",
+            ctx.dissim.num_attrs()
+        )));
+    }
+    Ok(())
+}
+
+/// Shared run scaffolding: validates inputs, snapshots IO counters, builds
+/// the query cache, executes `body`, then fills the IO delta, totals and
+/// result size.
+pub(crate) fn run_with_scaffolding(
+    ctx: &mut EngineCtx<'_>,
+    query: &Query,
+    body: impl FnOnce(&mut EngineCtx<'_>, &QueryDistCache, &mut RunStats) -> Result<Vec<RecordId>>,
+) -> Result<RsRun> {
+    let io_before = ctx.disk.io_stats();
+    let t0 = Instant::now();
+    let cache = QueryDistCache::new(ctx.dissim, ctx.schema, query);
+    let mut stats = RunStats { query_dist_checks: cache.build_checks, ..Default::default() };
+    let mut ids = body(ctx, &cache, &mut stats)?;
+    ids.sort_unstable();
+    stats.total_time = t0.elapsed();
+    stats.io = ctx.disk.io_stats().delta_since(io_before);
+    stats.result_size = ids.len();
+    Ok(RsRun { ids, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsky_data::paper_example;
+
+    #[test]
+    fn engines_reject_mismatched_inputs() {
+        use crate::prep::load_dataset;
+        use crate::{Brs, Naive, ReverseSkylineAlgo, Srs, Trs};
+        let (ds, _) = paper_example();
+        let mut disk = Disk::new_mem(64);
+        let table = load_dataset(&mut disk, &ds).unwrap();
+        let budget = MemoryBudget::from_bytes(256, 64).unwrap();
+        // A query from a different (wider) schema.
+        let other = rsky_core::schema::Schema::with_cardinalities(&[3, 2, 3, 4]).unwrap();
+        let bad = Query::new(&other, vec![0, 0, 0, 0]).unwrap();
+        let trs = Trs::for_schema(&ds.schema);
+        let engines: [&dyn ReverseSkylineAlgo; 4] = [&Naive, &Brs, &Srs, &trs];
+        for e in engines {
+            let mut ctx =
+                EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            assert!(e.run(&mut ctx, &table, &bad).is_err(), "{} accepted a bad query", e.name());
+        }
+        // A table of the wrong width.
+        let narrow = RecordFile::create(&mut disk, 2).unwrap();
+        let (_, good) = paper_example();
+        let mut ctx =
+            EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        assert!(Brs.run(&mut ctx, &narrow, &good).is_err());
+    }
+
+    #[test]
+    fn prunes_cached_agrees_with_core_predicate() {
+        let (d, q) = paper_example();
+        let cache = QueryDistCache::new(&d.dissim, &d.schema, &q);
+        for xi in 0..d.rows.len() {
+            for yi in 0..d.rows.len() {
+                let (mut c1, mut c2) = (0u64, 0u64);
+                let direct = rsky_core::dominate::prunes(
+                    &d.dissim,
+                    &q.subset,
+                    d.rows.values(yi),
+                    d.rows.values(xi),
+                    &q.values,
+                    &mut c1,
+                );
+                let cached = prunes_cached(
+                    &d.dissim,
+                    &q.subset,
+                    d.rows.values(yi),
+                    d.rows.values(xi),
+                    &cache,
+                    &mut c2,
+                );
+                assert_eq!(direct, cached);
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Continuous reverse skyline over a sliding window.
+//!
+//! The paper points at streaming reverse skylines as an adjacent problem
+//! (its reference \[29\], Zhu et al.). This module provides a correct
+//! incremental baseline for the non-metric setting: a count-based sliding
+//! window where the reverse skyline of a **fixed query** is maintained under
+//! arrivals and expirations.
+//!
+//! The core bookkeeping is a per-object **pruner count**: `cnt[X] = |{Y in
+//! window, Y ≠ X, Y ≻_X Q}|`. An object is in the current reverse skyline
+//! iff its count is zero. Arrivals increment counts of the members they
+//! prune (and compute their own count with one window scan); expirations
+//! decrement the counts of the members they pruned — objects whose count
+//! drops to zero *re-enter* the reverse skyline, the effect that makes
+//! streaming RS non-trivial (deletions resurrect). Both operations are
+//! `O(W · m)` for window size `W`, with the same cached query-side distances
+//! as the batch engines.
+
+use std::collections::VecDeque;
+
+use rsky_core::dataset::Dataset;
+use rsky_core::dissim::DissimTable;
+use rsky_core::error::{Error, Result};
+use rsky_core::query::Query;
+use rsky_core::record::{RecordId, RowBuf, ValueId};
+use rsky_core::schema::Schema;
+
+use crate::engine::prunes_cached;
+use crate::qcache::QueryDistCache;
+
+/// One window entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: RecordId,
+    values: Vec<ValueId>,
+    /// Number of live window objects that prune this one.
+    pruner_count: u32,
+}
+
+/// Sliding-window reverse skyline for a fixed query.
+///
+/// ```
+/// use rsky_algos::StreamingReverseSkyline;
+///
+/// let (ds, q) = rsky_data::paper_example();
+/// let mut s = StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 10).unwrap();
+/// s.insert(1, ds.rows.values(0)).unwrap(); // O1 arrives
+/// s.insert(2, ds.rows.values(1)).unwrap(); // O2 arrives (pruned by O1)
+/// assert_eq!(s.current(), vec![1]);
+/// s.expire_oldest();                       // O1 leaves the window …
+/// assert_eq!(s.current(), vec![2]);        // … and O2 resurrects
+/// ```
+#[derive(Debug)]
+pub struct StreamingReverseSkyline {
+    schema: Schema,
+    dissim: DissimTable,
+    query: Query,
+    cache: QueryDistCache,
+    capacity: usize,
+    window: VecDeque<Entry>,
+    /// Attribute-level distance checks spent so far.
+    pub checks: u64,
+}
+
+impl StreamingReverseSkyline {
+    /// Creates a window of at most `capacity` objects for `query`.
+    pub fn new(
+        schema: Schema,
+        dissim: DissimTable,
+        query: Query,
+        capacity: usize,
+    ) -> Result<Self> {
+        if capacity == 0 {
+            return Err(Error::InvalidConfig("window capacity must be ≥ 1".into()));
+        }
+        schema.validate_values(&query.values)?;
+        let cache = QueryDistCache::new(&dissim, &schema, &query);
+        Ok(Self {
+            schema,
+            dissim,
+            query,
+            cache,
+            capacity,
+            window: VecDeque::with_capacity(capacity),
+            checks: 0,
+        })
+    }
+
+    /// Current window occupancy.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The fixed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Inserts a new object; when the window is full, the oldest object
+    /// expires first. Returns the expired id, if any.
+    pub fn insert(&mut self, id: RecordId, values: &[ValueId]) -> Result<Option<RecordId>> {
+        self.schema.validate_values(values)?;
+        let expired = if self.window.len() == self.capacity { self.expire_oldest() } else { None };
+
+        let mut incoming = Entry { id, values: values.to_vec(), pruner_count: 0 };
+        let subset = &self.query.subset;
+        for e in &mut self.window {
+            // Does the newcomer prune e?
+            if prunes_cached(&self.dissim, subset, &incoming.values, &e.values, &self.cache, &mut self.checks)
+            {
+                e.pruner_count += 1;
+            }
+            // Does e prune the newcomer?
+            if prunes_cached(&self.dissim, subset, &e.values, &incoming.values, &self.cache, &mut self.checks)
+            {
+                incoming.pruner_count += 1;
+            }
+        }
+        self.window.push_back(incoming);
+        Ok(expired)
+    }
+
+    /// Expires the oldest object, decrementing the counts of everything it
+    /// pruned (objects whose count reaches zero re-enter the result).
+    pub fn expire_oldest(&mut self) -> Option<RecordId> {
+        let leaving = self.window.pop_front()?;
+        let subset = &self.query.subset;
+        for e in &mut self.window {
+            if prunes_cached(&self.dissim, subset, &leaving.values, &e.values, &self.cache, &mut self.checks)
+            {
+                debug_assert!(e.pruner_count > 0, "count underflow");
+                e.pruner_count -= 1;
+            }
+        }
+        Some(leaving.id)
+    }
+
+    /// Ids currently in the reverse skyline (ascending).
+    pub fn current(&self) -> Vec<RecordId> {
+        let mut out: Vec<RecordId> =
+            self.window.iter().filter(|e| e.pruner_count == 0).map(|e| e.id).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Current result cardinality without materializing the ids.
+    pub fn current_len(&self) -> usize {
+        self.window.iter().filter(|e| e.pruner_count == 0).count()
+    }
+
+    /// Snapshot of the window as a [`Dataset`] (for cross-checking against
+    /// the batch engines / oracle).
+    pub fn snapshot(&self) -> Dataset {
+        let mut rows = RowBuf::new(self.schema.num_attrs());
+        for e in &self.window {
+            rows.push(e.id, &e.values);
+        }
+        Dataset {
+            schema: self.schema.clone(),
+            dissim: self.dissim.clone(),
+            rows,
+            label: "streaming-window".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rsky_core::skyline::reverse_skyline_by_definition;
+
+    fn oracle(s: &StreamingReverseSkyline) -> Vec<RecordId> {
+        let snap = s.snapshot();
+        reverse_skyline_by_definition(&snap.dissim, &snap.rows, s.query())
+    }
+
+    #[test]
+    fn paper_example_streamed_in_matches_batch() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut s =
+            StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 10).unwrap();
+        for i in 0..ds.rows.len() {
+            s.insert(ds.rows.id(i), ds.rows.values(i)).unwrap();
+            assert_eq!(s.current(), oracle(&s), "after inserting O{}", i + 1);
+        }
+        assert_eq!(s.current(), vec![3, 6]);
+    }
+
+    #[test]
+    fn expiration_resurrects_pruned_objects() {
+        // O2's pruners are {O1, O4, O5}; stream O1 then O2, then expire O1:
+        // O2 must re-enter the result.
+        let (ds, q) = rsky_data::paper_example();
+        let mut s =
+            StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 10).unwrap();
+        s.insert(1, ds.rows.values(0)).unwrap(); // O1
+        s.insert(2, ds.rows.values(1)).unwrap(); // O2 (pruned by O1)
+        assert_eq!(s.current(), vec![1]);
+        assert_eq!(s.expire_oldest(), Some(1));
+        assert_eq!(s.current(), vec![2], "O2 resurrects when its only pruner leaves");
+    }
+
+    #[test]
+    fn window_capacity_evicts_fifo() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut s =
+            StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 3).unwrap();
+        for i in 0..ds.rows.len() {
+            let expired = s.insert(ds.rows.id(i), ds.rows.values(i)).unwrap();
+            if i >= 3 {
+                assert_eq!(expired, Some(ds.rows.id(i - 3)));
+            } else {
+                assert_eq!(expired, None);
+            }
+            assert!(s.len() <= 3);
+            assert_eq!(s.current(), oracle(&s), "step {i}");
+        }
+    }
+
+    #[test]
+    fn random_stream_always_matches_oracle() {
+        let mut rng = StdRng::seed_from_u64(300);
+        let ds = rsky_data::synthetic::normal_dataset(3, 5, 1, &mut rng).unwrap();
+        let q = rsky_data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+        let mut s =
+            StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 25).unwrap();
+        for step in 0..400u32 {
+            if rng.gen_bool(0.8) || s.is_empty() {
+                let vals: Vec<u32> = (0..3).map(|i| rng.gen_range(0..ds.schema.cardinality(i))).collect();
+                s.insert(step, &vals).unwrap();
+            } else {
+                s.expire_oldest();
+            }
+            if step % 7 == 0 {
+                assert_eq!(s.current(), oracle(&s), "step {step}");
+            }
+        }
+        assert!(s.checks > 0);
+    }
+
+    #[test]
+    fn duplicate_arrivals_knock_each_other_out_and_resurrect() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut s =
+            StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 10).unwrap();
+        s.insert(10, &[2, 0, 2]).unwrap();
+        s.insert(11, &[2, 0, 2]).unwrap(); // exact duplicate
+        assert!(s.current().is_empty(), "duplicate pair eliminates itself");
+        s.expire_oldest();
+        assert_eq!(s.current(), vec![11], "survivor resurrects");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (ds, q) = rsky_data::paper_example();
+        assert!(StreamingReverseSkyline::new(
+            ds.schema.clone(),
+            ds.dissim.clone(),
+            q.clone(),
+            0
+        )
+        .is_err());
+        let mut s = StreamingReverseSkyline::new(ds.schema, ds.dissim, q, 5).unwrap();
+        assert!(s.insert(0, &[9, 9, 9]).is_err()); // out of domain
+        assert!(s.insert(0, &[0, 0]).is_err()); // arity
+    }
+
+    #[test]
+    fn empty_window_behaviour() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut s = StreamingReverseSkyline::new(ds.schema, ds.dissim, q, 5).unwrap();
+        assert!(s.is_empty());
+        assert!(s.current().is_empty());
+        assert_eq!(s.current_len(), 0);
+        assert_eq!(s.expire_oldest(), None);
+    }
+}

@@ -1,0 +1,776 @@
+//! # rsky-altree
+//!
+//! In-memory **AL-Tree** — the attribute-level prefix tree (trie) that powers
+//! the paper's main contribution, group-level reasoning with early pruning
+//! (Section 4.3). The structure is the in-memory variant of the AL-Tree of
+//! Deshpande et al. (EDBT 2008): the prefix tree of the dataset under a
+//! chosen attribute ordering, where
+//!
+//! * a node at depth `l` fixes the values of the first `l` attributes (in
+//!   *tree order* — callers apply their attribute permutation before
+//!   inserting);
+//! * every node knows how many record instances live in its subtree
+//!   (`desc_count`), which the TRS search uses to visit promising subtrees
+//!   first;
+//! * leaves (depth `m`) carry the **record ids** of the objects with exactly
+//!   that value combination. The paper stores a duplicate count; we keep the
+//!   ids themselves so an object scanned from disk can be prevented from
+//!   pruning *itself* while still pruning its exact duplicates — a
+//!   distinction a bare count cannot make.
+//!
+//! Nodes are slim (40 bytes + slots): one `Vec<u32>` per node serves as the
+//! child list for internal nodes and as the id list for leaves. The tree
+//! tracks an estimated memory footprint ([`AlTree::estimated_bytes`]): TRS
+//! sizes its batches by this estimate, and because a prefix tree shares
+//! prefixes, dense datasets pack far more objects into the same memory
+//! budget than flat buffers — one of the IO advantages the paper reports for
+//! TRS.
+//!
+//! For search-heavy phases, [`AlTree::order_children_for_search`] reorders
+//! every child list by ascending descendant count **once per batch**, so the
+//! `IsPrunable` walk (Algorithm 4) can push children in list order and have
+//! the LIFO stack pop the most promising subtree first — without sorting at
+//! every node visit.
+//!
+//! Traversal itself (the `IsPrunable` / `Prune` walks of Algorithms 4 and 5)
+//! lives in `rsky-algos::trs`; this crate provides the structure, mutation
+//! and accessors.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rsky_core::record::{RecordId, ValueId};
+
+/// Index of a node in the tree arena.
+pub type NodeIdx = u32;
+
+/// The arena slot of the root node.
+pub const ROOT: NodeIdx = 0;
+
+/// Modeled fixed cost of one node, in bytes, charged against the memory
+/// budget: value + subtree count + child-array pointer/length — the lean
+/// pointerless layout the paper's in-memory AL-Tree implies. The Rust
+/// arena's physical footprint is larger by a constant factor (fatter
+/// `Vec`-based nodes); the budget models the *algorithm's* memory need, the
+/// same way BRS/SRS batches are budgeted by `records × record_bytes` rather
+/// than by allocator-measured buffer sizes.
+const NODE_BASE_BYTES: u64 = 16;
+/// Modeled incremental cost of one child pointer / one leaf id.
+const SLOT_BYTES: u64 = 4;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Value this node fixes for attribute `level - 1` (tree order).
+    value: ValueId,
+    parent: NodeIdx,
+    /// Depth; root is 0, leaves are `m`.
+    level: u16,
+    /// Record instances in this subtree.
+    desc_count: u32,
+    /// Child node indices for internal nodes; record ids for leaves.
+    slots: Vec<u32>,
+}
+
+impl Node {
+    fn new(value: ValueId, parent: NodeIdx, level: u16) -> Self {
+        Self { value, parent, level, desc_count: 0, slots: Vec::new() }
+    }
+}
+
+/// Memo for [`AlTree::insert_with_hint`]: the previously inserted record's
+/// values and arena path.
+#[derive(Debug, Clone, Default)]
+pub struct InsertHint {
+    vals: Vec<ValueId>,
+    path: Vec<NodeIdx>,
+}
+
+/// Prefix tree over records of `m` attributes (in a caller-chosen order).
+///
+/// ```
+/// use rsky_altree::{AlTree, ROOT};
+///
+/// let mut t = AlTree::new(3);
+/// t.insert(&[0, 0, 1], 1); // O1 [MSW, AMD, DB2]
+/// t.insert(&[0, 0, 1], 4); // O4 — exact duplicate shares the whole path
+/// t.insert(&[0, 1, 1], 6); // O6 — shares the [MSW] prefix
+/// assert_eq!(t.num_records(), 3);
+/// assert_eq!(t.num_nodes(), 6); // root + MSW + 2×(CPU, DB) chains
+/// assert_eq!(t.desc_count(t.children(ROOT)[0]), 3);
+/// assert!(t.remove(&[0, 0, 1], 4));
+/// assert_eq!(t.collect_ids(), vec![1, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlTree {
+    m: usize,
+    nodes: Vec<Node>,
+    /// Freed arena slots available for reuse.
+    free: Vec<NodeIdx>,
+    estimated_bytes: u64,
+    num_records: u64,
+    /// Whether child lists are sorted by value (fast insert lookups). Reset
+    /// by [`AlTree::order_children_for_search`]; inserts then fall back to
+    /// linear child search.
+    value_sorted: bool,
+}
+
+impl AlTree {
+    /// Creates an empty tree for records of `m` attributes.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1, "AL-Tree needs at least one attribute");
+        assert!(m <= u16::MAX as usize, "attribute count exceeds tree depth limit");
+        Self {
+            m,
+            nodes: vec![Node::new(0, ROOT, 0)],
+            free: Vec::new(),
+            estimated_bytes: NODE_BASE_BYTES,
+            num_records: 0,
+            value_sorted: true,
+        }
+    }
+
+    /// Number of attributes / tree depth.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.m
+    }
+
+    /// Record instances currently stored.
+    #[inline]
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    /// Whether no records are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_records == 0
+    }
+
+    /// Estimated heap footprint in bytes. Deterministic (based on element
+    /// counts, not allocator capacities) so batch sizing is reproducible.
+    #[inline]
+    pub fn estimated_bytes(&self) -> u64 {
+        self.estimated_bytes
+    }
+
+    /// Live (non-freed) nodes, including the root.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Value fixed by `node` (meaningless for the root).
+    #[inline]
+    pub fn value(&self, node: NodeIdx) -> ValueId {
+        self.nodes[node as usize].value
+    }
+
+    /// Depth of `node`; the node fixes attribute `level(node) - 1`.
+    #[inline]
+    pub fn level(&self, node: NodeIdx) -> u16 {
+        self.nodes[node as usize].level
+    }
+
+    /// Whether `node` is a leaf (depth `m`).
+    #[inline]
+    pub fn is_leaf(&self, node: NodeIdx) -> bool {
+        self.nodes[node as usize].level as usize == self.m
+    }
+
+    /// Children of `node` (sorted by value id until
+    /// [`AlTree::order_children_for_search`] re-orders them).
+    ///
+    /// Must not be called on leaves (their slots hold record ids).
+    #[inline]
+    pub fn children(&self, node: NodeIdx) -> &[NodeIdx] {
+        debug_assert!(!self.is_leaf(node));
+        &self.nodes[node as usize].slots
+    }
+
+    /// Record instances below `node`.
+    #[inline]
+    pub fn desc_count(&self, node: NodeIdx) -> u32 {
+        self.nodes[node as usize].desc_count
+    }
+
+    /// Record ids stored at leaf `node`.
+    ///
+    /// Must not be called on internal nodes (their slots hold child links).
+    #[inline]
+    pub fn leaf_ids(&self, node: NodeIdx) -> &[RecordId] {
+        debug_assert!(self.is_leaf(node));
+        &self.nodes[node as usize].slots
+    }
+
+    /// Parent of `node` (the root is its own parent).
+    #[inline]
+    pub fn parent(&self, node: NodeIdx) -> NodeIdx {
+        self.nodes[node as usize].parent
+    }
+
+    fn child_by_value(&self, node: NodeIdx, value: ValueId) -> Option<NodeIdx> {
+        let ch = &self.nodes[node as usize].slots;
+        if self.value_sorted {
+            ch.binary_search_by_key(&value, |&c| self.nodes[c as usize].value)
+                .ok()
+                .map(|pos| ch[pos])
+        } else {
+            ch.iter().copied().find(|&c| self.nodes[c as usize].value == value)
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeIdx {
+        self.estimated_bytes += NODE_BASE_BYTES;
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as NodeIdx
+        }
+    }
+
+    /// Inserts a record with `values` (already in tree attribute order).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != m`.
+    pub fn insert(&mut self, values: &[ValueId], id: RecordId) {
+        assert_eq!(values.len(), self.m, "record arity mismatch");
+        self.nodes[ROOT as usize].desc_count += 1;
+        self.descend_insert(ROOT, 0, values, id, None);
+    }
+
+    /// Inserts `values` starting below `cur` at depth `from` (desc counts of
+    /// `cur` and above must already be incremented), optionally recording the
+    /// created/visited path into `hint`.
+    fn descend_insert(
+        &mut self,
+        mut cur: NodeIdx,
+        from: usize,
+        values: &[ValueId],
+        id: RecordId,
+        mut hint: Option<&mut Vec<NodeIdx>>,
+    ) {
+        for (l, &v) in values.iter().enumerate().take(self.m).skip(from) {
+            let next = match self.child_by_value(cur, v) {
+                Some(c) => c,
+                None => {
+                    let idx = self.alloc(Node::new(v, cur, (l + 1) as u16));
+                    let pos = if self.value_sorted {
+                        let nodes = &self.nodes;
+                        nodes[cur as usize]
+                            .slots
+                            .binary_search_by_key(&v, |&c| nodes[c as usize].value)
+                            .unwrap_err()
+                    } else {
+                        self.nodes[cur as usize].slots.len()
+                    };
+                    self.nodes[cur as usize].slots.insert(pos, idx);
+                    self.estimated_bytes += SLOT_BYTES;
+                    idx
+                }
+            };
+            self.nodes[next as usize].desc_count += 1;
+            if let Some(h) = hint.as_deref_mut() {
+                h.push(next);
+            }
+            cur = next;
+        }
+        self.nodes[cur as usize].slots.push(id);
+        self.estimated_bytes += SLOT_BYTES;
+        self.num_records += 1;
+    }
+
+    /// [`AlTree::insert`] accelerated for (mostly) sorted input: skips child
+    /// lookups along the longest common prefix with the previously inserted
+    /// record, which for multi-attribute-sorted batches removes most of the
+    /// build cost. Correct for arbitrary input order; the hint is only a
+    /// shortcut.
+    ///
+    /// The hint must be used for a pure insertion sequence into this tree —
+    /// reset it (via [`InsertHint::default`]) after any removal or `clear`.
+    pub fn insert_with_hint(&mut self, values: &[ValueId], id: RecordId, hint: &mut InsertHint) {
+        assert_eq!(values.len(), self.m, "record arity mismatch");
+        let mut lcp = 0;
+        if hint.path.len() == self.m {
+            while lcp < self.m && hint.vals[lcp] == values[lcp] {
+                lcp += 1;
+            }
+        }
+        self.nodes[ROOT as usize].desc_count += 1;
+        let mut cur = ROOT;
+        for l in 0..lcp {
+            cur = hint.path[l];
+            self.nodes[cur as usize].desc_count += 1;
+        }
+        hint.path.truncate(lcp);
+        self.descend_insert(cur, lcp, values, id, Some(&mut hint.path));
+        hint.vals.clear();
+        hint.vals.extend_from_slice(values);
+    }
+
+    /// Removes the record instance `id` stored under `values` (tree order).
+    /// Returns `true` if it was present. Empty nodes are detached and their
+    /// arena slots recycled.
+    pub fn remove(&mut self, values: &[ValueId], id: RecordId) -> bool {
+        assert_eq!(values.len(), self.m, "record arity mismatch");
+        let mut cur = ROOT;
+        for &v in values {
+            match self.child_by_value(cur, v) {
+                Some(c) => cur = c,
+                None => return false,
+            }
+        }
+        let leaf = &mut self.nodes[cur as usize];
+        match leaf.slots.iter().position(|&x| x == id) {
+            Some(pos) => {
+                leaf.slots.swap_remove(pos);
+                self.estimated_bytes -= SLOT_BYTES;
+                self.after_leaf_removal(cur, 1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every id at leaf `node` except `keep` (if given and present).
+    /// Returns how many instances were removed. Used by the TRS `Prune`
+    /// operation: an object scanned from disk removes all objects its values
+    /// dominate, *sparing itself*.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a leaf.
+    pub fn remove_leaf_except(&mut self, node: NodeIdx, keep: Option<RecordId>) -> u32 {
+        assert!(self.is_leaf(node), "remove_leaf_except on internal node");
+        let leaf = &mut self.nodes[node as usize];
+        let before = leaf.slots.len();
+        match keep {
+            Some(k) if leaf.slots.contains(&k) => {
+                leaf.slots.clear();
+                leaf.slots.push(k);
+            }
+            _ => leaf.slots.clear(),
+        }
+        let removed = (before - self.nodes[node as usize].slots.len()) as u32;
+        if removed > 0 {
+            self.estimated_bytes -= SLOT_BYTES * removed as u64;
+            self.after_leaf_removal(node, removed);
+        }
+        removed
+    }
+
+    /// Propagates a removal of `count` instances from leaf `node` upward:
+    /// decrements descendant counts and detaches nodes that became empty.
+    fn after_leaf_removal(&mut self, node: NodeIdx, count: u32) {
+        self.num_records -= count as u64;
+        let mut cur = node;
+        loop {
+            self.nodes[cur as usize].desc_count -= count;
+            if cur == ROOT {
+                break;
+            }
+            let parent = self.nodes[cur as usize].parent;
+            if self.nodes[cur as usize].desc_count == 0 {
+                // Detach from parent and recycle.
+                let ch = &mut self.nodes[parent as usize].slots;
+                if let Some(pos) = ch.iter().position(|&c| c == cur) {
+                    ch.remove(pos);
+                    self.estimated_bytes -= SLOT_BYTES;
+                }
+                self.free.push(cur);
+                self.estimated_bytes -= NODE_BASE_BYTES;
+            }
+            cur = parent;
+        }
+    }
+
+    /// Re-orders every internal node's child list by **ascending descendant
+    /// count** (one pass over the tree). A LIFO traversal that pushes
+    /// children in list order then pops the most promising subtree first —
+    /// the paper's Algorithm 4 heuristic — without per-visit sorting.
+    ///
+    /// After this call child lists are no longer value-sorted; inserts still
+    /// work (linear child lookup) but are slower.
+    pub fn order_children_for_search(&mut self) {
+        self.value_sorted = false;
+        // Take each slot vec out, sort, put back (avoids aliasing).
+        for i in 0..self.nodes.len() {
+            if self.free.contains(&(i as u32)) || self.nodes[i].level as usize == self.m {
+                continue;
+            }
+            let mut slots = std::mem::take(&mut self.nodes[i].slots);
+            slots.sort_by_key(|&c| self.nodes[c as usize].desc_count);
+            self.nodes[i].slots = slots;
+        }
+    }
+
+    /// All record ids currently stored, in depth-first order.
+    pub fn collect_ids(&self) -> Vec<RecordId> {
+        let mut out = Vec::with_capacity(self.num_records as usize);
+        let mut stack = vec![ROOT];
+        while let Some(n) = stack.pop() {
+            if self.is_leaf(n) {
+                out.extend_from_slice(&self.nodes[n as usize].slots);
+            } else {
+                // Push in reverse so the first child is processed first.
+                for &c in self.nodes[n as usize].slots.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Resets the tree to empty, keeping arena capacity for reuse across
+    /// batches (the workhorse-collection pattern).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.nodes.push(Node::new(0, ROOT, 0));
+        self.estimated_bytes = NODE_BASE_BYTES;
+        self.num_records = 0;
+        self.value_sorted = true;
+    }
+
+    /// Debug invariant check: descendant counts equal the number of leaf
+    /// instances below every node, child lists are value-sorted (while
+    /// inserts keep them so), levels are consistent, and no empty non-root
+    /// node remains. `O(nodes)`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut visited = 0u64;
+        let counted = self.check_node(ROOT, 0)?;
+        if counted != self.nodes[ROOT as usize].desc_count {
+            return Err("root desc_count mismatch".into());
+        }
+        if counted as u64 != self.num_records {
+            return Err(format!(
+                "num_records {} != counted instances {counted}",
+                self.num_records
+            ));
+        }
+        // Count reachable nodes to detect leaks.
+        let mut stack = vec![ROOT];
+        while let Some(n) = stack.pop() {
+            visited += 1;
+            if !self.is_leaf(n) {
+                stack.extend_from_slice(&self.nodes[n as usize].slots);
+            }
+        }
+        if visited as usize != self.num_nodes() {
+            return Err(format!("{} live nodes but {visited} reachable", self.num_nodes()));
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeIdx, level: u16) -> Result<u32, String> {
+        let n = &self.nodes[node as usize];
+        if n.level != level {
+            return Err(format!("node {node} level {} expected {level}", n.level));
+        }
+        if level as usize == self.m {
+            if n.slots.is_empty() {
+                return Err(format!("leaf {node} holds no ids"));
+            }
+            if n.desc_count as usize != n.slots.len() {
+                return Err(format!("leaf {node} desc_count != id count"));
+            }
+            return Ok(n.desc_count);
+        }
+        if node != ROOT && n.slots.is_empty() {
+            return Err(format!("empty internal node {node} not detached"));
+        }
+        let mut sum = 0;
+        let mut prev: Option<ValueId> = None;
+        for &c in &n.slots {
+            let v = self.nodes[c as usize].value;
+            if self.value_sorted {
+                if let Some(p) = prev {
+                    if p >= v {
+                        return Err(format!("children of {node} not strictly sorted"));
+                    }
+                }
+                prev = Some(v);
+            }
+            if self.nodes[c as usize].parent != node {
+                return Err(format!("child {c} has wrong parent"));
+            }
+            sum += self.check_node(c, level + 1)?;
+        }
+        if sum != n.desc_count {
+            return Err(format!("node {node} desc_count {} expected {sum}", n.desc_count));
+        }
+        Ok(sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First-phase batch 1 of the paper's running example, sorted order:
+    /// O1 [MSW, AMD, DB2], O2 [RHL, AMD, Informix], O3 [SL, Intel, Oracle].
+    fn batch1() -> AlTree {
+        let mut t = AlTree::new(3);
+        t.insert(&[0, 0, 1], 1);
+        t.insert(&[1, 0, 0], 2);
+        t.insert(&[2, 1, 2], 3);
+        t
+    }
+
+    #[test]
+    fn insert_builds_shared_prefixes() {
+        let mut t = AlTree::new(3);
+        t.insert(&[0, 0, 1], 1); // O1
+        t.insert(&[0, 0, 1], 4); // O4 (duplicate values)
+        t.insert(&[0, 1, 1], 6); // O6 (shares [MSW])
+        // root + MSW + (AMD + DB2-leaf) + (Intel + DB2-leaf) = 6 nodes.
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.num_records(), 3);
+        assert_eq!(t.desc_count(ROOT), 3);
+        let msw = t.children(ROOT)[0];
+        assert_eq!(t.desc_count(msw), 3);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_ids_accumulate_at_leaf() {
+        let mut t = AlTree::new(2);
+        t.insert(&[1, 1], 10);
+        t.insert(&[1, 1], 20);
+        let l1 = t.children(ROOT)[0];
+        let leaf = t.children(l1)[0];
+        assert!(t.is_leaf(leaf));
+        assert_eq!(t.leaf_ids(leaf), &[10, 20]);
+        assert_eq!(t.desc_count(leaf), 2);
+    }
+
+    #[test]
+    fn children_sorted_by_value() {
+        let mut t = AlTree::new(1);
+        for (i, v) in [5u32, 1, 3, 2, 4].into_iter().enumerate() {
+            t.insert(&[v], i as u32);
+        }
+        let vals: Vec<u32> = t.children(ROOT).iter().map(|&c| t.value(c)).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_prunes_empty_chains() {
+        let mut t = batch1();
+        assert!(t.remove(&[1, 0, 0], 2));
+        assert_eq!(t.num_records(), 2);
+        // The whole RHL path disappears.
+        assert_eq!(t.children(ROOT).len(), 2);
+        t.check_invariants().unwrap();
+        // Removing again fails.
+        assert!(!t.remove(&[1, 0, 0], 2));
+        // Wrong id at an existing leaf fails.
+        assert!(!t.remove(&[0, 0, 1], 99));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_keeps_shared_prefix_alive() {
+        let mut t = AlTree::new(2);
+        t.insert(&[0, 0], 1);
+        t.insert(&[0, 1], 2);
+        assert!(t.remove(&[0, 0], 1));
+        // Prefix node for value 0 must survive (still has the [0,1] child).
+        assert_eq!(t.children(ROOT).len(), 1);
+        assert_eq!(t.collect_ids(), vec![2]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_leaf_except_spares_kept_id() {
+        let mut t = AlTree::new(2);
+        t.insert(&[3, 3], 1);
+        t.insert(&[3, 3], 2);
+        t.insert(&[3, 3], 3);
+        let l1 = t.children(ROOT)[0];
+        let leaf = t.children(l1)[0];
+        assert_eq!(t.remove_leaf_except(leaf, Some(2)), 2);
+        assert_eq!(t.leaf_ids(leaf), &[2]);
+        assert_eq!(t.num_records(), 1);
+        t.check_invariants().unwrap();
+        // Removing the rest detaches the path entirely.
+        assert_eq!(t.remove_leaf_except(leaf, None), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.children(ROOT).len(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_leaf_except_with_absent_keep_removes_all() {
+        let mut t = AlTree::new(1);
+        t.insert(&[0], 1);
+        t.insert(&[0], 2);
+        let leaf = t.children(ROOT)[0];
+        assert_eq!(t.remove_leaf_except(leaf, Some(42)), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut t = AlTree::new(2);
+        t.insert(&[0, 0], 1);
+        let nodes_before = t.nodes.len();
+        assert!(t.remove(&[0, 0], 1));
+        t.insert(&[1, 1], 2);
+        // Reused freed slots instead of growing the arena.
+        assert_eq!(t.nodes.len(), nodes_before);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn estimated_bytes_tracks_growth_and_shrink() {
+        let mut t = AlTree::new(3);
+        let empty = t.estimated_bytes();
+        t.insert(&[0, 0, 1], 1);
+        let one = t.estimated_bytes();
+        assert!(one > empty);
+        t.insert(&[0, 0, 1], 4); // duplicate: only one id slot added
+        let two = t.estimated_bytes();
+        assert!(two > one && two - one < one - empty);
+        t.remove(&[0, 0, 1], 4);
+        assert_eq!(t.estimated_bytes(), one);
+        t.remove(&[0, 0, 1], 1);
+        assert_eq!(t.estimated_bytes(), empty);
+    }
+
+    #[test]
+    fn duplicates_cost_four_bytes_each() {
+        let mut t = AlTree::new(3);
+        for i in 0..100 {
+            t.insert(&[7, i % 4, i % 2], i);
+        }
+        assert!(t.num_nodes() < 20);
+        let before = t.estimated_bytes();
+        t.insert(&[7, 0, 0], 1000);
+        assert_eq!(t.estimated_bytes() - before, 4);
+    }
+
+    #[test]
+    fn collect_ids_in_dfs_order() {
+        let t = batch1();
+        assert_eq!(t.collect_ids(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut t = batch1();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.num_nodes(), 1);
+        t.insert(&[1, 1, 1], 9);
+        assert_eq!(t.collect_ids(), vec![9]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariant_checker_catches_corruption() {
+        let mut t = batch1();
+        t.nodes[ROOT as usize].desc_count = 99;
+        assert!(t.check_invariants().is_err());
+    }
+
+    #[test]
+    fn order_children_for_search_sorts_by_count() {
+        let mut t = AlTree::new(2);
+        t.insert(&[0, 0], 1); // subtree of value 0: 1 instance
+        t.insert(&[1, 0], 2); // subtree of value 1: 3 instances
+        t.insert(&[1, 1], 3);
+        t.insert(&[1, 2], 4);
+        t.insert(&[2, 0], 5); // subtree of value 2: 2 instances
+        t.insert(&[2, 0], 6);
+        t.order_children_for_search();
+        let counts: Vec<u32> = t.children(ROOT).iter().map(|&c| t.desc_count(c)).collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_and_remove_still_work_after_reordering() {
+        let mut t = AlTree::new(2);
+        t.insert(&[3, 0], 1);
+        t.insert(&[1, 0], 2);
+        t.insert(&[1, 0], 3);
+        t.order_children_for_search();
+        // Insert into an existing path and a new path.
+        t.insert(&[3, 0], 4);
+        t.insert(&[2, 2], 5);
+        assert_eq!(t.num_records(), 5);
+        assert!(t.remove(&[1, 0], 2));
+        assert!(t.remove(&[2, 2], 5));
+        t.check_invariants().unwrap();
+        let mut ids = t.collect_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn insert_with_hint_matches_plain_insert() {
+        // Sorted input (the TRS case) and shuffled input must both produce
+        // trees identical to plain insertion.
+        let rows: Vec<[u32; 3]> = vec![
+            [0, 0, 1],
+            [0, 0, 1],
+            [0, 1, 0],
+            [0, 1, 2],
+            [1, 0, 0],
+            [1, 2, 2],
+            [1, 2, 2],
+        ];
+        for order in [false, true] {
+            let mut data = rows.clone();
+            if order {
+                data.reverse(); // strictly decreasing: hint never matches fully
+            }
+            let mut plain = AlTree::new(3);
+            let mut hinted = AlTree::new(3);
+            let mut hint = InsertHint::default();
+            for (i, r) in data.iter().enumerate() {
+                plain.insert(r, i as u32);
+                hinted.insert_with_hint(r, i as u32, &mut hint);
+            }
+            plain.check_invariants().unwrap();
+            hinted.check_invariants().unwrap();
+            assert_eq!(plain.num_nodes(), hinted.num_nodes());
+            assert_eq!(plain.collect_ids(), hinted.collect_ids());
+            assert_eq!(plain.estimated_bytes(), hinted.estimated_bytes());
+        }
+    }
+
+    #[test]
+    fn insert_with_hint_random_equivalence() {
+        // Pseudo-random interleaving exercises partial prefix matches.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 4) as u32
+        };
+        let mut plain = AlTree::new(4);
+        let mut hinted = AlTree::new(4);
+        let mut hint = InsertHint::default();
+        for i in 0..500 {
+            let vals = [next(), next(), next(), next()];
+            plain.insert(&vals, i);
+            hinted.insert_with_hint(&vals, i, &mut hint);
+        }
+        plain.check_invariants().unwrap();
+        hinted.check_invariants().unwrap();
+        assert_eq!(plain.num_nodes(), hinted.num_nodes());
+        let (mut a, mut b) = (plain.collect_ids(), hinted.collect_ids());
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_struct_stays_slim() {
+        // The memory estimate (and TRS batch sizing fidelity) depends on the
+        // node being one vec plus 16 bytes of scalars.
+        assert!(std::mem::size_of::<Node>() <= 40, "Node grew: {}", std::mem::size_of::<Node>());
+    }
+}

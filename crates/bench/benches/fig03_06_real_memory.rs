@@ -1,0 +1,46 @@
+//! Figures 3–6: computational cost and IO cost vs % memory on the
+//! Census-Income-like (dense) and ForestCover-like (sparse) datasets.
+//!
+//! Paper shapes to reproduce: TRS several times faster than SRS and BRS on
+//! computation; sequential IO similar across algorithms (two scans); random
+//! IO highest for BRS, lowest for TRS, falling as memory grows; costs flat
+//! in memory beyond ~4 %.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_bench::{report, AlgoKind, BackendKind, BenchConfig};
+use rsky_core::dataset::Dataset;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Figures 3–6: computation & IO vs % memory (CI, FC)"));
+
+    let make_ci = |rng: &mut StdRng| -> Dataset {
+        rsky_data::census_income_like(cfg.n(rsky_data::realworld::CI_ROWS), rng).unwrap()
+    };
+    let make_fc = |rng: &mut StdRng| -> Dataset {
+        rsky_data::forest_cover_like(cfg.n(rsky_data::realworld::FC_ROWS), rng).unwrap()
+    };
+
+    for (name, which) in
+        [("Census-Income-like (Figs 3, 5)", 0usize), ("ForestCover-like (Figs 4, 6)", 1)]
+    {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let ds = if which == 0 { make_ci(&mut rng) } else { make_fc(&mut rng) };
+        let qs = rsky_data::random_queries(&ds.schema, cfg.queries, &mut rng).unwrap();
+        println!("\n=== {name}: n = {}, density {:.4}% ===", ds.len(), 100.0 * ds.density());
+        let mut points = Vec::new();
+        for mem in [4.0, 8.0, 12.0, 16.0, 20.0] {
+            let results: Vec<_> = AlgoKind::MAIN
+                .iter()
+                .map(|&a| {
+                    rsky_bench::run_algo(&ds, &qs, a, mem, cfg.page_size, BackendKind::Mem)
+                        .unwrap()
+                })
+                .collect();
+            points.push((format!("{mem}%"), results));
+        }
+        report::figure_tables(name, "% memory", &points);
+        report::shape_table(name, "% memory", &points);
+    }
+}

@@ -1,0 +1,41 @@
+//! Figures 7–8: response time vs % memory on CI-like and FC-like data, with
+//! pages on **real files** (all phase-one/phase-two reads and writes hit the
+//! filesystem).
+//!
+//! Paper shape: response time follows computational cost (pairwise
+//! comparison algorithms are CPU-bound); TRS responds several times faster
+//! than SRS/BRS at every memory size.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_bench::{report, AlgoKind, BackendKind, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Figures 7–8: response time vs % memory (CI, FC; file-backed)"));
+
+    for (name, is_ci) in
+        [("Census-Income-like (Fig 7)", true), ("ForestCover-like (Fig 8)", false)]
+    {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let ds = if is_ci {
+            rsky_data::census_income_like(cfg.n(rsky_data::realworld::CI_ROWS), &mut rng).unwrap()
+        } else {
+            rsky_data::forest_cover_like(cfg.n(rsky_data::realworld::FC_ROWS), &mut rng).unwrap()
+        };
+        let qs = rsky_data::random_queries(&ds.schema, cfg.queries, &mut rng).unwrap();
+        println!("\n=== {name}: n = {} ===", ds.len());
+        let mut points = Vec::new();
+        for mem in [4.0, 12.0, 20.0] {
+            let results: Vec<_> = AlgoKind::MAIN
+                .iter()
+                .map(|&a| {
+                    rsky_bench::run_algo(&ds, &qs, a, mem, cfg.page_size, BackendKind::File)
+                        .unwrap()
+                })
+                .collect();
+            points.push((format!("{mem}%"), results));
+        }
+        report::figure_tables(name, "% memory", &points);
+    }
+}

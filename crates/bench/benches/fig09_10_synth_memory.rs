@@ -1,0 +1,35 @@
+//! Figures 9–10: IO cost and response time vs % memory on synthetic normal
+//! data (paper: 1 M objects, 5 attributes, 50 values per attribute; memory
+//! 5–20 %).
+//!
+//! Paper shape: same trends as the real datasets — similar sequential IO,
+//! TRS lowest on random IO, response times dominated by computation with TRS
+//! fastest.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_bench::{report, AlgoKind, BackendKind, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Figures 9–10: IO & response vs % memory (synthetic normal)"));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n(1_000_000);
+    let ds = rsky_data::synthetic::normal_dataset(5, 50, n, &mut rng).unwrap();
+    let qs = rsky_data::random_queries(&ds.schema, cfg.queries, &mut rng).unwrap();
+    println!("n = {}, density {:.5}%", ds.len(), 100.0 * ds.density());
+
+    let mut points = Vec::new();
+    for mem in [5.0, 10.0, 15.0, 20.0] {
+        let results: Vec<_> = AlgoKind::MAIN
+            .iter()
+            .map(|&a| {
+                rsky_bench::run_algo(&ds, &qs, a, mem, cfg.page_size, BackendKind::File).unwrap()
+            })
+            .collect();
+        points.push((format!("{mem}%"), results));
+    }
+    report::figure_tables("Synthetic normal 5 attrs × 50 values", "% memory", &points);
+    report::shape_table("Synthetic normal", "% memory", &points);
+}

@@ -1,0 +1,33 @@
+//! Figures 11–13: computation, IO and response time vs data density, varying
+//! the dataset size (paper: n = 0.1–1.2 M at 5 attributes × 50 values,
+//! density 0.0003–0.003; memory 10 %).
+//!
+//! Paper shape: TRS outperforms BRS by up to an order of magnitude and SRS
+//! by ~5× on computation and response; TRS incurs about half the IO of the
+//! others on average; computation dominates response time throughout.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_bench::{report, AlgoKind, BackendKind, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Figures 11–13: cost vs density (varying dataset size)"));
+
+    let mut points = Vec::new();
+    for paper_n in [100_000usize, 200_000, 400_000, 800_000, 1_200_000] {
+        let n = cfg.n(paper_n);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let ds = rsky_data::synthetic::normal_dataset(5, 50, n, &mut rng).unwrap();
+        let qs = rsky_data::random_queries(&ds.schema, cfg.queries, &mut rng).unwrap();
+        let results: Vec<_> = AlgoKind::MAIN
+            .iter()
+            .map(|&a| {
+                rsky_bench::run_algo(&ds, &qs, a, 10.0, cfg.page_size, BackendKind::Mem).unwrap()
+            })
+            .collect();
+        points.push((format!("n={n} ρ={:.5}%", 100.0 * ds.density()), results));
+    }
+    report::figure_tables("Varying dataset size (5 attrs × 50 values, 10% memory)", "size/density", &points);
+    report::shape_table("Varying dataset size", "size/density", &points);
+}

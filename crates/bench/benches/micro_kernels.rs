@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks of the hot kernels: the domination check, the
+//! AL-Tree build (plain vs hint-accelerated), the `IsPrunable` walk and the
+//! Z-order key.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_algos::qcache::QueryDistCache;
+use rsky_algos::trs::is_prunable;
+use rsky_altree::{AlTree, InsertHint};
+use rsky_core::query::AttrSubset;
+use rsky_core::stats::RunStats;
+use rsky_order::multisort::sort_rows_lex;
+
+fn setup() -> (rsky_core::dataset::Dataset, rsky_core::query::Query) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let ds = rsky_data::synthetic::normal_dataset(5, 50, 20_000, &mut rng).unwrap();
+    let q = rsky_data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    (ds, q)
+}
+
+fn bench_domination(c: &mut Criterion) {
+    let (ds, q) = setup();
+    let subset = AttrSubset::all(5);
+    let cache = QueryDistCache::new(&ds.dissim, &ds.schema, &q);
+    let mut checks = 0u64;
+    c.bench_function("prunes_cached (5 attrs)", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let y = ds.rows.values(i % ds.rows.len());
+            let x = ds.rows.values((i * 7 + 1) % ds.rows.len());
+            i += 1;
+            black_box(rsky_algos::engine::prunes_cached(
+                &ds.dissim,
+                &subset,
+                y,
+                x,
+                &cache,
+                &mut checks,
+            ))
+        })
+    });
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let (ds, _) = setup();
+    let mut sorted = ds.rows.clone();
+    sort_rows_lex(&mut sorted, &[0, 1, 2, 3, 4]);
+
+    c.bench_function("altree build 20k plain", |b| {
+        b.iter(|| {
+            let mut t = AlTree::new(5);
+            for i in 0..sorted.len() {
+                t.insert(sorted.values(i), sorted.id(i));
+            }
+            black_box(t.num_nodes())
+        })
+    });
+    c.bench_function("altree build 20k hinted (sorted input)", |b| {
+        b.iter(|| {
+            let mut t = AlTree::new(5);
+            let mut hint = InsertHint::default();
+            for i in 0..sorted.len() {
+                t.insert_with_hint(sorted.values(i), sorted.id(i), &mut hint);
+            }
+            black_box(t.num_nodes())
+        })
+    });
+}
+
+fn bench_is_prunable(c: &mut Criterion) {
+    let (ds, q) = setup();
+    let order: Vec<usize> = (0..5).collect();
+    let mut tree = AlTree::new(5);
+    let mut hint = InsertHint::default();
+    let mut sorted = ds.rows.clone();
+    sort_rows_lex(&mut sorted, &order);
+    for i in 0..sorted.len() {
+        tree.insert_with_hint(sorted.values(i), sorted.id(i), &mut hint);
+    }
+    tree.order_children_for_search();
+    let cache = QueryDistCache::new(&ds.dissim, &ds.schema, &q);
+    let subset = AttrSubset::all(5);
+    let mut stats = RunStats::default();
+    c.bench_function("is_prunable over 20k-record tree", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let cand = sorted.values(i % sorted.len());
+            let id = sorted.id(i % sorted.len());
+            i += 1;
+            black_box(is_prunable(
+                &tree, &ds.dissim, &subset, &order, cand, id, &cache, &mut stats,
+            ))
+        })
+    });
+}
+
+fn bench_z_order(c: &mut Criterion) {
+    c.bench_function("z_order_key 7 dims", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(17);
+            black_box(rsky_order::z_order_key(&[
+                i % 16,
+                (i / 3) % 16,
+                (i / 7) % 16,
+                i % 8,
+                i % 4,
+                i % 5,
+                i % 3,
+            ]))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_domination, bench_tree_build, bench_is_prunable, bench_z_order
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Section 5.5: pre-processing (external multi-attribute sort) costs.
+//!
+//! Paper numbers (SmallText external sorter, 10 % memory): 3.2 s for
+//! ForestCover, 2.1 s for Census-Income, 4.2 s for the 1 M-object synthetic
+//! dataset — "negligible, for all practical settings". We sort with our own
+//! external merge sort at 10 % memory and report wall time, runs, merge
+//! passes and page IOs, plus the tiled (Z-order) variant for completeness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_algos::prep::{load_dataset, prepare_table, Layout};
+use rsky_bench::table::{ms, Table};
+use rsky_bench::BenchConfig;
+use rsky_order::extsort::{external_sort_by_key_with, RunStrategy};
+use rsky_core::record::row;
+use rsky_storage::{Disk, MemoryBudget};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Section 5.5: pre-processing (external sort) costs"));
+
+    let mut t = Table::new(
+        "External sort at 10% memory",
+        &["dataset", "rows", "layout", "time (ms)", "runs", "merge passes", "seq IO", "rand IO"],
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let datasets = vec![
+        rsky_data::census_income_like(cfg.n(rsky_data::realworld::CI_ROWS), &mut rng).unwrap(),
+        rsky_data::forest_cover_like(cfg.n(rsky_data::realworld::FC_ROWS), &mut rng).unwrap(),
+        rsky_data::synthetic::normal_dataset(5, 50, cfg.n(1_000_000), &mut rng).unwrap(),
+    ];
+    for ds in &datasets {
+        for layout in [Layout::MultiSort, Layout::Tiled { tiles_per_attr: 4 }] {
+            let mut disk = Disk::new_mem(cfg.page_size);
+            let raw = load_dataset(&mut disk, ds).unwrap();
+            let budget =
+                MemoryBudget::from_percent(ds.data_bytes(), 10.0, cfg.page_size).unwrap();
+            let p = prepare_table(&mut disk, &ds.schema, &raw, layout.clone(), &budget).unwrap();
+            let (runs, passes) = p.sort_outcome.unwrap_or((0, 0));
+            t.row(vec![
+                ds.label.clone(),
+                ds.len().to_string(),
+                format!("{layout:?}"),
+                ms(p.prep_time),
+                runs.to_string(),
+                passes.to_string(),
+                p.prep_io.sequential().to_string(),
+                p.prep_io.random().to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    // Run-generation strategy ablation on the synthetic dataset.
+    let ds = &datasets[2];
+    let mut t2 = Table::new(
+        "Run-generation strategy (synthetic, 10% memory)",
+        &["strategy", "time (ms)", "runs", "merge passes"],
+    );
+    for (name, strategy) in [
+        ("load-sort-write", RunStrategy::LoadSortWrite),
+        ("replacement selection", RunStrategy::ReplacementSelection),
+    ] {
+        let mut disk = Disk::new_mem(cfg.page_size);
+        let raw = load_dataset(&mut disk, ds).unwrap();
+        let budget = MemoryBudget::from_percent(ds.data_bytes(), 10.0, cfg.page_size).unwrap();
+        let t0 = std::time::Instant::now();
+        let key = |r: &[u32]| -> Vec<u32> {
+            let mut k = row::values(r).to_vec();
+            k.push(row::id(r));
+            k
+        };
+        let o = external_sort_by_key_with(&mut disk, &raw, &budget, key, strategy).unwrap();
+        t2.row(vec![
+            name.into(),
+            ms(t0.elapsed()),
+            o.runs.to_string(),
+            o.merge_passes.to_string(),
+        ]);
+    }
+    t2.print();
+
+    println!("\n(The paper reports 2.1–4.2 s at full scale with 32 KiB pages; the takeaway");
+    println!("to reproduce is that sorting costs a few database scans — negligible next to");
+    println!("query processing, and paid once per dataset, not per query.)");
+}

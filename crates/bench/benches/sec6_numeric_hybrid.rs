@@ -1,0 +1,78 @@
+//! Section 6: numeric attributes via discretization — bucket-resolution
+//! sweep (the paper describes the technique without a figure; this bench
+//! quantifies the trade-off it predicts).
+//!
+//! Expected shape: the result is exact at every resolution; coarser buckets
+//! leave more phase-one false positives ("there could be more false
+//! positives among first phase results; these are refined in the second
+//! phase"), finer buckets cost more tree nodes but fewer exact phase-two
+//! checks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsky_algos::hybrid::{hybrid_oracle, hybrid_trs, HybridDataset, HybridQuery, NumericAttr};
+use rsky_bench::table::{ms, Table};
+use rsky_bench::BenchConfig;
+use rsky_core::record::RowBuf;
+use rsky_core::schema::Schema;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Section 6: hybrid numeric/categorical TRS, bucket sweep"));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n(100_000);
+    let cat_schema = Schema::with_cardinalities(&[10, 6]).unwrap();
+    let dissim = rsky_data::dissim_gen::random_dissim_table(&cat_schema, &mut rng).unwrap();
+    let mut cat_rows = RowBuf::new(2);
+    let mut num = Vec::with_capacity(n * 2);
+    for id in 0..n {
+        cat_rows.push(id as u32, &[rng.gen_range(0..10), rng.gen_range(0..6)]);
+        num.push(rng.gen_range(0.0..1000.0));
+        num.push(rng.gen_range(-50.0..50.0));
+    }
+    let query = HybridQuery { cat: vec![4, 2], num: vec![400.0, 3.0] };
+    println!("n = {n}, 2 categorical + 2 numeric attributes\n");
+
+    let t0 = std::time::Instant::now();
+    let base = HybridDataset {
+        cat_schema: cat_schema.clone(),
+        dissim: dissim.clone(),
+        num_attrs: vec![
+            NumericAttr::new(0.0, 1000.0, 8).unwrap(),
+            NumericAttr::new(-50.0, 50.0, 8).unwrap(),
+        ],
+        cat_rows: cat_rows.clone(),
+        num: num.clone(),
+    };
+    let oracle = hybrid_oracle(&base, &query);
+    let oracle_time = t0.elapsed();
+
+    let mut t = Table::new(
+        "Hybrid TRS vs bucket resolution",
+        &["buckets", "|RS|", "phase-1 survivors", "checks", "time (ms)", "exact?"],
+    );
+    for buckets in [1u32, 2, 4, 8, 16, 32, 64] {
+        let ds = HybridDataset {
+            cat_schema: cat_schema.clone(),
+            dissim: dissim.clone(),
+            num_attrs: vec![
+                NumericAttr::new(0.0, 1000.0, buckets).unwrap(),
+                NumericAttr::new(-50.0, 50.0, buckets).unwrap(),
+            ],
+            cat_rows: cat_rows.clone(),
+            num: num.clone(),
+        };
+        let (ids, stats) = hybrid_trs(&ds, &query, n / 10).unwrap();
+        t.row(vec![
+            buckets.to_string(),
+            ids.len().to_string(),
+            stats.phase1_survivors.to_string(),
+            stats.dist_checks.to_string(),
+            ms(stats.total_time),
+            (ids == oracle).to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nexact O(n²) oracle: |RS| = {} in {:.1?}", oracle.len(), oracle_time);
+}

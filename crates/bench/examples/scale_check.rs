@@ -1,0 +1,33 @@
+fn main() {
+    use rand::SeedableRng;
+    use rsky_algos::prep::{load_dataset, prepare_table, Layout};
+    use rsky_algos::{Brs, EngineCtx, ReverseSkylineAlgo, Srs, Trs};
+    use rsky_storage::{Disk, MemoryBudget};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let kind = std::env::var("KIND").unwrap_or_default();
+    let ds = match kind.as_str() {
+        "dense" => rsky_data::synthetic::normal_dataset(5, 28, 50_000, &mut rng).unwrap(),
+        "ci" => rsky_data::census_income_like(50_000, &mut rng).unwrap(),
+        "fc" => rsky_data::forest_cover_like(58_000, &mut rng).unwrap(),
+        _ => rsky_data::synthetic::normal_dataset(5, 50, 50_000, &mut rng).unwrap(),
+    };
+    let qs = rsky_data::random_queries(&ds.schema, 2, &mut rng).unwrap();
+    let page = 4096usize;
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), 10.0, page).unwrap();
+    let mut disk = Disk::new_mem(page);
+    let raw = load_dataset(&mut disk, &ds).unwrap();
+    let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+    for (name, algo) in [("BRS", 0), ("SRS", 1), ("TRS", 2)] {
+        for q in &qs {
+            let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            let run = match algo {
+                0 => Brs.run(&mut ctx, &raw, q).unwrap(),
+                1 => Srs.run(&mut ctx, &sorted.file, q).unwrap(),
+                _ => Trs::for_schema(&ds.schema).run(&mut ctx, &sorted.file, q).unwrap(),
+            };
+            println!("{name} p1={:>9.2?} p2={:>9.2?} checks={:>9} surv={:>5} b1={} b2={} |RS|={}",
+                run.stats.phase1_time, run.stats.phase2_time, run.stats.dist_checks,
+                run.stats.phase1_survivors, run.stats.phase1_batches, run.stats.phase2_batches, run.ids.len());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Environment-driven bench configuration.
+
+/// Knobs shared by every figure bench, read from the environment once.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Percent of the paper's dataset sizes to run (default 10).
+    pub scale_pct: f64,
+    /// Random queries aggregated per data point (default 2).
+    pub queries: usize,
+    /// Page size in bytes (default 4 KiB scaled, 32 KiB at ≥ 100 %).
+    pub page_size: usize,
+    /// RNG seed base (default 42).
+    pub seed: u64,
+}
+
+impl BenchConfig {
+    /// Reads `RSKY_SCALE`, `RSKY_QUERIES`, `RSKY_PAGE`, `RSKY_SEED`.
+    pub fn from_env() -> Self {
+        let scale_pct = env_f64("RSKY_SCALE", 10.0).clamp(0.01, 1000.0);
+        let queries = env_f64("RSKY_QUERIES", 2.0).max(1.0) as usize;
+        let default_page = if scale_pct >= 100.0 { 32 * 1024 } else { 4 * 1024 };
+        let page_size = env_f64("RSKY_PAGE", default_page as f64).max(64.0) as usize;
+        let seed = env_f64("RSKY_SEED", 42.0) as u64;
+        Self { scale_pct, queries, page_size, seed }
+    }
+
+    /// Scales a paper-sized row count (at least 100 rows).
+    pub fn n(&self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.scale_pct / 100.0) as usize).max(100)
+    }
+
+    /// One-line banner describing the effective configuration.
+    pub fn banner(&self, what: &str) -> String {
+        format!(
+            "# {what} — scale {:.0}% of paper sizes, {} queries/point, {}-byte pages, seed {}",
+            self.scale_pct, self.queries, self.page_size, self.seed
+        )
+    }
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        // Do not mutate the environment (tests run in parallel); just check
+        // the derived quantities under the default config.
+        let c = BenchConfig { scale_pct: 10.0, queries: 2, page_size: 4096, seed: 42 };
+        assert_eq!(c.n(1_000_000), 100_000);
+        assert_eq!(c.n(10), 100); // floor
+        assert!(c.banner("fig").contains("10%"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Standard figure reporting: one table per metric, algorithms as columns.
+
+use crate::runner::PointResult;
+use crate::table::{ms, Table};
+
+/// Renders the paper's standard four plots for a sweep: computation time,
+/// sequential IO, random IO and response time — one row per x value, one
+/// column per algorithm.
+pub fn figure_tables(prefix: &str, x_name: &str, points: &[(String, Vec<PointResult>)]) {
+    if points.is_empty() {
+        return;
+    }
+    let algos: Vec<&'static str> = points[0].1.iter().map(|r| r.algo).collect();
+    let mut cols: Vec<&str> = vec![x_name];
+    cols.extend(algos.iter().copied());
+
+    let metric = |title: &str, f: &dyn Fn(&PointResult) -> String| {
+        let mut t = Table::new(format!("{prefix} — {title}"), &cols);
+        for (x, results) in points {
+            let mut row = vec![x.clone()];
+            row.extend(results.iter().map(f));
+            t.row(row);
+        }
+        t.print();
+    };
+
+    metric("Computation (ms)", &|r| ms(r.compute));
+    metric("Sequential IO (pages)", &|r| r.io.sequential().to_string());
+    metric("Random IO (pages)", &|r| r.io.random().to_string());
+    metric("Response time (ms)", &|r| ms(r.response));
+    metric("Distance checks", &|r| format!("{:.0}", r.checks));
+}
+
+/// Result-shape table (result size, phase-1 survivors) — useful context the
+/// paper reports in prose (Section 5.7).
+pub fn shape_table(prefix: &str, x_name: &str, points: &[(String, Vec<PointResult>)]) {
+    if points.is_empty() {
+        return;
+    }
+    let mut t = Table::new(
+        format!("{prefix} — result shape"),
+        &[x_name, "|RS| (mean)", "phase-1 survivors (mean per algo)"],
+    );
+    for (x, results) in points {
+        let rs = results.first().map(|r| r.result_size).unwrap_or(0.0);
+        let surv: Vec<String> =
+            results.iter().map(|r| format!("{}={:.0}", r.algo, r.phase1_survivors)).collect();
+        t.row(vec![x.clone(), format!("{rs:.1}"), surv.join(" ")]);
+    }
+    t.print();
+}

@@ -1,0 +1,84 @@
+//! Markdown table printing for the figure benches.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned markdown table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title (printed as a heading) and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "table row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {}\n", self.title);
+        let hdr: Vec<String> =
+            self.columns.iter().enumerate().map(|(i, c)| format!("{:w$}", c, w = widths[i])).collect();
+        let _ = writeln!(out, "| {} |", hdr.join(" | "));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "| {} |", sep.join(" | "));
+        for row in &self.rows {
+            let cells: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!("{:w$}", c, w = widths[i])).collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a millisecond value compactly.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["algo", "ms"]);
+        t.row(vec!["TRS".into(), "1.5".into()]);
+        t.row(vec!["BRS-long".into(), "10.25".into()]);
+        let r = t.render();
+        assert!(r.contains("## Demo"));
+        assert!(r.contains("| algo     | ms    |"));
+        assert!(r.contains("| BRS-long | 10.25 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal `--key value` flag parsing (keeps the CLI dependency-free).
+
+use std::collections::HashMap;
+
+use rsky_core::error::{Error, Result};
+
+/// Parsed `--key value` flags.
+pub struct Flags {
+    values: HashMap<String, String>,
+    /// Bare `--switch` flags (no value).
+    switches: Vec<String>,
+}
+
+/// Flag names that are boolean switches (take no value).
+const SWITCHES: &[&str] = &["explain", "file-backend", "keep-ids"];
+
+impl Flags {
+    /// Parses `--key value` pairs and bare switches.
+    pub fn parse(argv: &[String]) -> Result<Self> {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(Error::InvalidConfig(format!(
+                    "unexpected argument {arg:?} (flags are --key value)"
+                )));
+            };
+            if SWITCHES.contains(&key) {
+                switches.push(key.to_string());
+                i += 1;
+                continue;
+            }
+            let Some(value) = argv.get(i + 1) else {
+                return Err(Error::InvalidConfig(format!("flag --{key} needs a value")));
+            };
+            values.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Self { values, switches })
+    }
+
+    /// String flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str> {
+        self.get(key).ok_or_else(|| Error::InvalidConfig(format!("missing required flag --{key}")))
+    }
+
+    /// Parsed numeric flag with default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| Error::InvalidConfig(format!("flag --{key}: bad value {v:?}"))),
+        }
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Comma-separated `u32` list flag.
+    pub fn u32_list(&self, key: &str) -> Result<Option<Vec<u32>>> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|c| {
+                    c.trim().parse().map_err(|_| {
+                        Error::InvalidConfig(format!("flag --{key}: bad element {c:?}"))
+                    })
+                })
+                .collect::<Result<Vec<u32>>>()
+                .map(Some),
+        }
+    }
+
+    /// Comma-separated `usize` list flag.
+    pub fn usize_list(&self, key: &str) -> Result<Option<Vec<usize>>> {
+        Ok(self.u32_list(key)?.map(|v| v.into_iter().map(|x| x as usize).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let f = Flags::parse(&s(&["--n", "100", "--explain", "--kind", "normal"])).unwrap();
+        assert_eq!(f.get("n"), Some("100"));
+        assert_eq!(f.get("kind"), Some("normal"));
+        assert!(f.switch("explain"));
+        assert!(!f.switch("file-backend"));
+        assert_eq!(f.num::<usize>("n", 5).unwrap(), 100);
+        assert_eq!(f.num::<usize>("missing", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Flags::parse(&s(&["positional"])).is_err());
+        assert!(Flags::parse(&s(&["--n"])).is_err());
+        let f = Flags::parse(&s(&["--n", "abc"])).unwrap();
+        assert!(f.num::<usize>("n", 0).is_err());
+        assert!(f.require("missing").is_err());
+    }
+
+    #[test]
+    fn parses_lists() {
+        let f = Flags::parse(&s(&["--query", "1,2,3", "--subset", "0, 2"])).unwrap();
+        assert_eq!(f.u32_list("query").unwrap().unwrap(), vec![1, 2, 3]);
+        assert_eq!(f.usize_list("subset").unwrap().unwrap(), vec![0, 2]);
+        assert_eq!(f.u32_list("none").unwrap(), None);
+        let bad = Flags::parse(&s(&["--query", "1,x"])).unwrap();
+        assert!(bad.u32_list("query").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! `rsky compare` — side-by-side engine comparison on one dataset.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_core::error::Result;
+
+use crate::args::Flags;
+
+pub const HELP: &str = "\
+rsky compare --data <DIR> [OPTIONS]
+
+Runs Naive (optional), BRS, SRS, TRS, T-SRS and T-TRS over random queries on
+the dataset and prints a comparison table (time, checks, IOs) — a one-shot
+version of the repository's figure benches.
+
+OPTIONS:
+    --data DIR        dataset directory                          (required)
+    --queries N       random queries to aggregate over           [3]
+    --seed S          workload seed                              [7]
+    --memory PCT      working memory as % of dataset             [10]
+    --page BYTES      page size                                  [4096]
+    --naive BOOL      include the O(n²)-scan baseline (slow)     [false]";
+
+pub fn run(argv: &[String]) -> Result<()> {
+    let flags = Flags::parse(argv)?;
+    let ds = rsky_data::csv::load_dataset_dir(flags.require("data")?)?;
+    let queries: usize = flags.num("queries", 3)?;
+    let seed: u64 = flags.num("seed", 7)?;
+    let mem_pct: f64 = flags.num("memory", 10.0)?;
+    let page: usize = flags.num("page", 4096)?;
+    let include_naive: bool = flags.num("naive", false)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = rsky_data::random_queries(&ds.schema, queries, &mut rng)?;
+
+    println!(
+        "{} — {} records, {} queries, {mem_pct}% memory, {page}-byte pages\n",
+        ds.label,
+        ds.len(),
+        queries
+    );
+    println!(
+        "{:<7} {:>12} {:>14} {:>9} {:>9} {:>8}",
+        "algo", "mean ms", "mean checks", "seq IO", "rand IO", "|RS|"
+    );
+    let mut algos = vec![
+        rsky_bench_kind::Kind::Brs,
+        rsky_bench_kind::Kind::Srs,
+        rsky_bench_kind::Kind::Trs,
+        rsky_bench_kind::Kind::TSrs,
+        rsky_bench_kind::Kind::TTrs,
+    ];
+    if include_naive {
+        algos.insert(0, rsky_bench_kind::Kind::Naive);
+    }
+    for kind in algos {
+        let r = rsky_bench_kind::run(&ds, &workload, kind, mem_pct, page)?;
+        println!(
+            "{:<7} {:>12.1} {:>14.0} {:>9} {:>9} {:>8.1}",
+            kind.name(),
+            r.mean_ms,
+            r.mean_checks,
+            r.seq_io,
+            r.rand_io,
+            r.mean_rs
+        );
+    }
+    Ok(())
+}
+
+/// A small local runner (the bench crate's richer one is dev-only tooling).
+mod rsky_bench_kind {
+    use rsky_algos::prep::{load_dataset, prepare_table, Layout};
+    use rsky_algos::{Brs, EngineCtx, Naive, ReverseSkylineAlgo, Srs, Trs};
+    use rsky_core::dataset::Dataset;
+    use rsky_core::error::Result;
+    use rsky_core::query::Query;
+    use rsky_storage::{Disk, MemoryBudget};
+
+    #[derive(Clone, Copy)]
+    pub enum Kind {
+        Naive,
+        Brs,
+        Srs,
+        Trs,
+        TSrs,
+        TTrs,
+    }
+
+    impl Kind {
+        pub fn name(&self) -> &'static str {
+            match self {
+                Kind::Naive => "Naive",
+                Kind::Brs => "BRS",
+                Kind::Srs => "SRS",
+                Kind::Trs => "TRS",
+                Kind::TSrs => "T-SRS",
+                Kind::TTrs => "T-TRS",
+            }
+        }
+    }
+
+    pub struct Row {
+        pub mean_ms: f64,
+        pub mean_checks: f64,
+        pub seq_io: u64,
+        pub rand_io: u64,
+        pub mean_rs: f64,
+    }
+
+    pub fn run(
+        ds: &Dataset,
+        workload: &[Query],
+        kind: Kind,
+        mem_pct: f64,
+        page: usize,
+    ) -> Result<Row> {
+        let mut disk = Disk::new_mem(page);
+        let raw = load_dataset(&mut disk, ds)?;
+        let budget = MemoryBudget::from_percent(ds.data_bytes(), mem_pct, page)?;
+        let layout = match kind {
+            Kind::Naive | Kind::Brs => Layout::Original,
+            Kind::Srs | Kind::Trs => Layout::MultiSort,
+            Kind::TSrs | Kind::TTrs => Layout::Tiled { tiles_per_attr: 4 },
+        };
+        let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget)?;
+        let trs = Trs::for_schema(&ds.schema);
+        let engine: &dyn ReverseSkylineAlgo = match kind {
+            Kind::Naive => &Naive,
+            Kind::Brs => &Brs,
+            Kind::Srs | Kind::TSrs => &Srs,
+            Kind::Trs | Kind::TTrs => &trs,
+        };
+        let (mut ms, mut checks, mut rs) = (0.0, 0.0, 0.0);
+        let (mut seq, mut rand) = (0u64, 0u64);
+        for q in workload {
+            let mut ctx =
+                EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            let run = engine.run(&mut ctx, &prepared.file, q)?;
+            ms += run.stats.total_time.as_secs_f64() * 1e3;
+            checks += run.stats.dist_checks as f64;
+            rs += run.ids.len() as f64;
+            seq += run.stats.io.sequential();
+            rand += run.stats.io.random();
+        }
+        let n = workload.len().max(1) as f64;
+        Ok(Row {
+            mean_ms: ms / n,
+            mean_checks: checks / n,
+            seq_io: seq / workload.len().max(1) as u64,
+            rand_io: rand / workload.len().max(1) as u64,
+            mean_rs: rs / n,
+        })
+    }
+}

@@ -1,0 +1,116 @@
+//! `rsky query` — one reverse-skyline query against a dataset directory.
+
+use rsky_algos::prep::{load_dataset, prepare_table, Layout};
+use rsky_algos::{Brs, EngineCtx, Naive, ReverseSkylineAlgo, Srs, Trs};
+use rsky_core::error::{Error, Result};
+use rsky_core::query::Query;
+use rsky_storage::{Disk, MemoryBudget};
+
+use crate::args::Flags;
+
+pub const HELP: &str = "\
+rsky query --data <DIR> --query <v1,v2,…> [OPTIONS]
+
+Computes the reverse skyline of the query object over the dataset.
+
+OPTIONS:
+    --data DIR        dataset directory from `rsky generate`     (required)
+    --query V,V,…     query value ids, one per attribute         (required)
+    --algo A          naive | brs | srs | trs | tsrs | ttrs      [trs]
+    --subset I,I,…    attribute indices to search on             [all]
+    --memory PCT      working memory as % of dataset             [10]
+    --page BYTES      page size                                  [4096]
+    --cache PAGES     enable an LRU buffer pool of that many pages [off]
+    --tiles T         tiles per attribute for tsrs/ttrs          [4]
+    --file-backend    store pages in real files (response-time mode)
+    --explain         list a pruner witness for each excluded object near
+                      the result (slow: O(n²) over the dataset)";
+
+pub fn run(argv: &[String]) -> Result<()> {
+    let flags = Flags::parse(argv)?;
+    let dir = flags.require("data")?;
+    let ds = rsky_data::csv::load_dataset_dir(dir)?;
+    let values = flags
+        .u32_list("query")?
+        .ok_or_else(|| Error::InvalidConfig("missing required flag --query".into()))?;
+    let query = match flags.usize_list("subset")? {
+        Some(subset) => Query::on_subset(&ds.schema, values, &subset)?,
+        None => Query::new(&ds.schema, values)?,
+    };
+    let algo = flags.get("algo").unwrap_or("trs");
+    let mem_pct: f64 = flags.num("memory", 10.0)?;
+    let page: usize = flags.num("page", 4096)?;
+    let tiles: u32 = flags.num("tiles", 4)?;
+    let cache: usize = flags.num("cache", 0)?;
+
+    let mut disk = if flags.switch("file-backend") {
+        let dir = std::env::temp_dir().join(format!("rsky-cli-{}", std::process::id()));
+        Disk::new_dir(dir, page)?
+    } else {
+        Disk::new_mem(page)
+    };
+    disk.set_cache_pages(cache);
+    let raw = load_dataset(&mut disk, &ds)?;
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), mem_pct, page)?;
+    let layout = match algo {
+        "naive" | "brs" => Layout::Original,
+        "srs" | "trs" => Layout::MultiSort,
+        "tsrs" | "ttrs" => Layout::Tiled { tiles_per_attr: tiles },
+        other => {
+            return Err(Error::InvalidConfig(format!(
+                "unknown --algo {other:?} (naive|brs|srs|trs|tsrs|ttrs)"
+            )))
+        }
+    };
+    let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget)?;
+    if let Some((runs, passes)) = prepared.sort_outcome {
+        println!(
+            "pre-processing: {:.2?} ({runs} runs, {passes} merge passes)",
+            prepared.prep_time
+        );
+    }
+
+    let trs = Trs::for_schema(&ds.schema);
+    let engine: &dyn ReverseSkylineAlgo = match algo {
+        "naive" => &Naive,
+        "brs" => &Brs,
+        "srs" | "tsrs" => &Srs,
+        _ => &trs,
+    };
+    let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+    let run = engine.run(&mut ctx, &prepared.file, &query)?;
+
+    println!("\nreverse skyline: {} object(s)", run.ids.len());
+    let shown: Vec<String> = run.ids.iter().take(50).map(|id| id.to_string()).collect();
+    println!("ids: {}{}", shown.join(","), if run.ids.len() > 50 { ",…" } else { "" });
+    println!("\n--- cost profile ({}) ---", engine.name());
+    println!("distance checks:   {}", run.stats.dist_checks);
+    println!("query-side evals:  {}", run.stats.query_dist_checks);
+    println!("object pairs:      {}", run.stats.obj_comparisons);
+    println!("sequential IO:     {}", run.stats.io.sequential());
+    println!("random IO:         {}", run.stats.io.random());
+    println!("phase 1:           {:.2?} ({} batches → {} survivors)",
+        run.stats.phase1_time, run.stats.phase1_batches, run.stats.phase1_survivors);
+    println!("phase 2:           {:.2?} ({} batches)", run.stats.phase2_time, run.stats.phase2_batches);
+    println!("total:             {:.2?}", run.stats.total_time);
+    if let Some((hits, misses)) = ctx.disk.cache_stats() {
+        println!("buffer pool:       {hits} hits / {misses} misses");
+    }
+
+    if flags.switch("explain") {
+        let ex = rsky_algos::explain(&ds, &query);
+        let mut shown = 0;
+        println!("\n--- exclusions near the result (witnesses) ---");
+        for (id, m) in &ex.entries {
+            if let rsky_algos::Membership::PrunedBy { witness } = m {
+                println!("object {id} pruned by {witness}");
+                shown += 1;
+                if shown >= 20 {
+                    println!("… ({} more exclusions)", ds.len() - run.ids.len() - shown);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! `rsky` — command-line reverse skyline retrieval with arbitrary
+//! non-metric similarity measures (EDBT 2011 reproduction).
+//!
+//! ```text
+//! rsky demo                          # the paper's running example
+//! rsky generate --kind normal --n 10000 --out ./mydata
+//! rsky info --data ./mydata
+//! rsky query --data ./mydata --algo trs --query 3,17,25,25,25 --memory 10
+//! rsky influence --data ./mydata --queries 25 --top 5
+//! rsky help [command]
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod args;
+mod cmd_compare;
+mod cmd_demo;
+mod cmd_generate;
+mod cmd_influence;
+mod cmd_info;
+mod cmd_query;
+mod cmd_skyline;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rsky — reverse skyline retrieval with arbitrary non-metric similarity measures
+
+USAGE:
+    rsky <COMMAND> [OPTIONS]
+
+COMMANDS:
+    demo        run the paper's six-server running example end to end
+    generate    generate a dataset directory (synthetic / CI-like / FC-like)
+    info        describe a dataset directory
+    query       run a reverse-skyline query against a dataset directory
+    skyline     run a forward (dynamic) skyline query via block-nested-loops
+    influence   rank a workload of random queries by |RS| (influence)
+    compare     compare the engines over random queries on one dataset
+    help        show this message, or details for one command
+
+Run `rsky help <command>` for per-command options.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+    let result = match cmd {
+        "demo" => cmd_demo::run(rest),
+        "generate" => cmd_generate::run(rest),
+        "info" => cmd_info::run(rest),
+        "query" => cmd_query::run(rest),
+        "skyline" => cmd_skyline::run(rest),
+        "influence" => cmd_influence::run(rest),
+        "compare" => cmd_compare::run(rest),
+        "help" | "--help" | "-h" => {
+            match rest.first().map(String::as_str) {
+                Some("generate") => println!("{}", cmd_generate::HELP),
+                Some("query") => println!("{}", cmd_query::HELP),
+                Some("influence") => println!("{}", cmd_influence::HELP),
+                Some("info") => println!("{}", cmd_info::HELP),
+                Some("skyline") => println!("{}", cmd_skyline::HELP),
+                Some("compare") => println!("{}", cmd_compare::HELP),
+                Some("demo") => println!("{}", cmd_demo::HELP),
+                _ => println!("{USAGE}"),
+            }
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

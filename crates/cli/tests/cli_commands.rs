@@ -1,0 +1,112 @@
+//! End-to-end tests of the `rsky` binary via std::process.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // target/debug/rsky next to this test binary's directory.
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop(); // debug/
+    p.push("rsky");
+    p
+}
+
+fn tmpdata(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("rsky-clitest-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.display().to_string()
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin()).args(args).output().expect("spawn rsky");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn demo_prints_paper_result() {
+    let (ok, text) = run(&["demo"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("O3,O6"), "{text}");
+    assert!(text.contains("RS = {O3, O6}"), "{text}");
+}
+
+#[test]
+fn generate_info_query_influence_round_trip() {
+    let data = tmpdata("roundtrip");
+    let (ok, text) = run(&[
+        "generate", "--kind", "normal", "--n", "500", "--attrs", "3", "--values", "6", "--out",
+        &data,
+    ]);
+    assert!(ok, "{text}");
+
+    let (ok, text) = run(&["info", "--data", &data]);
+    assert!(ok, "{text}");
+    assert!(text.contains("records:  500"), "{text}");
+    assert!(text.contains("AL-Tree attribute order"), "{text}");
+
+    let (ok, text) = run(&["query", "--data", &data, "--query", "3,3,3", "--algo", "trs"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("reverse skyline:"), "{text}");
+    assert!(text.contains("distance checks:"), "{text}");
+
+    // All engines agree through the CLI too.
+    let mut results = Vec::new();
+    for algo in ["naive", "brs", "srs", "trs", "tsrs", "ttrs"] {
+        let (ok, text) = run(&["query", "--data", &data, "--query", "3,3,3", "--algo", algo]);
+        assert!(ok, "{algo}: {text}");
+        let ids = text.lines().find(|l| l.starts_with("ids:")).unwrap_or("ids:").to_string();
+        results.push(ids);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "engines disagree: {results:?}");
+
+    let (ok, text) = run(&["skyline", "--data", &data, "--query", "3,3,3"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("dynamic skyline:"), "{text}");
+
+    let (ok, text) = run(&["influence", "--data", &data, "--queries", "4", "--top", "2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("total influence"), "{text}");
+
+    let (ok, text) = run(&["compare", "--data", &data, "--queries", "2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("TRS"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn query_with_subset_and_cache() {
+    let data = tmpdata("subset");
+    let (ok, t) = run(&[
+        "generate", "--kind", "uniform", "--n", "300", "--attrs", "4", "--values", "5", "--out",
+        &data,
+    ]);
+    assert!(ok, "{t}");
+    let (ok, text) = run(&[
+        "query", "--data", &data, "--query", "1,2,3,4", "--subset", "0,2", "--cache", "16",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("buffer pool:"), "{text}");
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn helpful_errors() {
+    let (ok, text) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("unknown command"), "{text}");
+
+    let (ok, text) = run(&["query", "--data", "/nonexistent-rsky-dir"]);
+    assert!(!ok);
+    assert!(text.contains("error:"), "{text}");
+
+    let (ok, text) = run(&["help", "query"]);
+    assert!(ok);
+    assert!(text.contains("--memory PCT"), "{text}");
+}

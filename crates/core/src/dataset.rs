@@ -1,0 +1,63 @@
+//! A bundled experiment input: schema + dissimilarities + rows.
+
+use crate::dissim::DissimTable;
+use crate::record::RowBuf;
+use crate::schema::Schema;
+
+/// A fully specified dataset: schema, per-attribute dissimilarities and the
+/// records themselves. Generators (`rsky-data`) produce these; preparation
+/// (`rsky-algos::prep`) loads them onto a disk.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Attribute metadata.
+    pub schema: Schema,
+    /// Per-attribute dissimilarity measures.
+    pub dissim: DissimTable,
+    /// The records, with unique ids.
+    pub rows: RowBuf,
+    /// Human-readable provenance (generator + parameters).
+    pub label: String,
+}
+
+impl Dataset {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Data density `n / Π k_i` (the paper's sparsity measure).
+    pub fn density(&self) -> f64 {
+        self.schema.density(self.rows.len())
+    }
+
+    /// Bytes the records occupy on disk (the base of the memory-% knob).
+    pub fn data_bytes(&self) -> u64 {
+        self.rows.len() as u64 * self.rows.record_bytes() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissim::AttrDissim;
+
+    #[test]
+    fn accessors() {
+        let schema = Schema::with_cardinalities(&[4, 4]).unwrap();
+        let dissim =
+            DissimTable::new(&schema, vec![AttrDissim::Identity, AttrDissim::Identity]).unwrap();
+        let mut rows = RowBuf::new(2);
+        rows.push(0, &[1, 2]);
+        rows.push(1, &[3, 0]);
+        let d = Dataset { schema, dissim, rows, label: "test".into() };
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert!((d.density() - 2.0 / 16.0).abs() < 1e-12);
+        assert_eq!(d.data_bytes(), 2 * 3 * 4);
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-attribute dissimilarity functions.
+//!
+//! The paper's central premise is that dissimilarities between values of a
+//! categorical attribute are **arbitrary** — typically a matrix filled in by a
+//! domain expert — and need not satisfy the triangle inequality or induce any
+//! total order of values (they may not even be symmetric). [`AttrDissim`]
+//! therefore exposes nothing beyond point evaluation `d(a, b)`.
+//!
+//! Two properties *are* assumed, as in the paper: `d(x, x) = 0` (an object is
+//! not dissimilar to itself) and `d ≥ 0`. [`MatrixBuilder`] enforces both at
+//! construction time.
+//!
+//! # Argument order
+//!
+//! `d(moving, center)` mirrors the paper's domination definition
+//! `d_i(v_i(Y), v_i(X)) ≤ d_i(v_i(Q), v_i(X))`: the second argument is the
+//! object *with respect to which* domination is assessed. For symmetric
+//! matrices (the default in the paper's experiments) the order is immaterial,
+//! but asymmetric measures are fully supported.
+
+use crate::error::{Error, Result};
+use crate::record::ValueId;
+use crate::schema::Schema;
+
+/// Dissimilarity function over one attribute's value domain.
+///
+/// An enum rather than a trait object: the distance check is the innermost
+/// operation of every algorithm (the paper counts it as the unit of
+/// computational cost), so static dispatch with `#[inline]` matters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrDissim {
+    /// Arbitrary (possibly non-metric, possibly asymmetric) matrix, stored
+    /// **center-major**: `d(moving, center) = data[center * cardinality +
+    /// moving]`. Pruning checks hold the center fixed while sweeping many
+    /// moving values, so this layout makes the hot lookups contiguous.
+    Matrix {
+        /// Domain size; `data.len() == cardinality²`.
+        cardinality: u32,
+        /// Center-major dissimilarity matrix.
+        data: Box<[f64]>,
+    },
+    /// Identity measure: `0` if the values are equal, `1` otherwise.
+    /// Common for binary/flag attributes (e.g. ForestCover's 44 binary
+    /// soil/wilderness columns).
+    Identity,
+    /// `|a − b| · scale` over the value-id order. Metric; used as a contrast
+    /// baseline and for discretized numeric attributes whose buckets are
+    /// ordered.
+    Linear {
+        /// Multiplier applied to the absolute id difference.
+        scale: f64,
+    },
+}
+
+impl AttrDissim {
+    /// Evaluates `d(moving, center)`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if a value id is out of range for a `Matrix`.
+    #[inline]
+    pub fn d(&self, moving: ValueId, center: ValueId) -> f64 {
+        match self {
+            AttrDissim::Matrix { cardinality, data } => {
+                debug_assert!(moving < *cardinality && center < *cardinality);
+                data[center as usize * *cardinality as usize + moving as usize]
+            }
+            AttrDissim::Identity => {
+                if moving == center {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            AttrDissim::Linear { scale } => {
+                (moving as f64 - center as f64).abs() * scale
+            }
+        }
+    }
+
+    /// Domain size this measure was built for, if it is bounded.
+    pub fn cardinality(&self) -> Option<u32> {
+        match self {
+            AttrDissim::Matrix { cardinality, .. } => Some(*cardinality),
+            _ => None,
+        }
+    }
+
+    /// Whether this measure violates the triangle inequality anywhere
+    /// (i.e. is genuinely non-metric). Exhaustive `O(k³)` scan — intended for
+    /// tests and dataset reporting, not hot paths.
+    pub fn is_non_metric(&self) -> bool {
+        match self {
+            AttrDissim::Matrix { cardinality, .. } => {
+                let k = *cardinality;
+                for x in 0..k {
+                    for y in 0..k {
+                        for z in 0..k {
+                            if self.d(x, y) + self.d(y, z) < self.d(x, z) - 1e-12 {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            AttrDissim::Identity | AttrDissim::Linear { .. } => false,
+        }
+    }
+}
+
+/// Builder validating an explicit dissimilarity matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixBuilder {
+    cardinality: u32,
+    data: Vec<f64>,
+}
+
+impl MatrixBuilder {
+    /// Starts a `cardinality × cardinality` matrix of zeros.
+    pub fn new(cardinality: u32) -> Self {
+        Self { cardinality, data: vec![0.0; (cardinality as usize).pow(2)] }
+    }
+
+    /// Sets `d(a, b) = v` (one direction only; `a` moving, `b` center).
+    pub fn set(mut self, a: ValueId, b: ValueId, v: f64) -> Self {
+        let k = self.cardinality as usize;
+        self.data[b as usize * k + a as usize] = v;
+        self
+    }
+
+    /// Sets `d(a, b) = d(b, a) = v`.
+    pub fn set_sym(self, a: ValueId, b: ValueId, v: f64) -> Self {
+        self.set(a, b, v).set(b, a, v)
+    }
+
+    /// Validates (`d(x,x) = 0`, `d ≥ 0`, finite) and builds.
+    pub fn build(self) -> Result<AttrDissim> {
+        let k = self.cardinality as usize;
+        for x in 0..k {
+            let dxx = self.data[x * k + x];
+            if dxx != 0.0 {
+                return Err(Error::InvalidConfig(format!("d({x},{x}) = {dxx}, must be 0")));
+            }
+        }
+        for (i, &v) in self.data.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "d({},{}) = {v}, must be finite and non-negative",
+                    i / k,
+                    i % k
+                )));
+            }
+        }
+        Ok(AttrDissim::Matrix { cardinality: self.cardinality, data: self.data.into_boxed_slice() })
+    }
+}
+
+/// One dissimilarity measure per attribute of a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DissimTable {
+    attrs: Vec<AttrDissim>,
+}
+
+impl DissimTable {
+    /// Builds a table and checks it against `schema` (one measure per
+    /// attribute; matrix domains must match attribute cardinalities).
+    pub fn new(schema: &Schema, attrs: Vec<AttrDissim>) -> Result<Self> {
+        if attrs.len() != schema.num_attrs() {
+            return Err(Error::SchemaMismatch(format!(
+                "{} dissimilarity measures for {} attributes",
+                attrs.len(),
+                schema.num_attrs()
+            )));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if let Some(k) = a.cardinality() {
+                if k != schema.cardinality(i) {
+                    return Err(Error::SchemaMismatch(format!(
+                        "attribute {i}: matrix over {k} values, schema cardinality {}",
+                        schema.cardinality(i)
+                    )));
+                }
+            }
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The measure of attribute `i`.
+    #[inline]
+    pub fn attr(&self, i: usize) -> &AttrDissim {
+        &self.attrs[i]
+    }
+
+    /// Evaluates `d_i(moving, center)` on attribute `i`.
+    #[inline]
+    pub fn d(&self, i: usize, moving: ValueId, center: ValueId) -> f64 {
+        self.attrs[i].d(moving, center)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 `d1` (operating systems: MSW=0, RHL=1, SL=2).
+    pub(crate) fn paper_d1() -> AttrDissim {
+        MatrixBuilder::new(3)
+            .set_sym(0, 1, 0.8)
+            .set_sym(0, 2, 1.0)
+            .set_sym(1, 2, 0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure1_d1_is_non_metric() {
+        // d(MSW,SL)=1.0 > d(MSW,RHL)+d(RHL,SL)=0.9 — the paper's own example.
+        let d1 = paper_d1();
+        assert!(d1.is_non_metric());
+        assert_eq!(d1.d(0, 2), 1.0);
+        assert_eq!(d1.d(0, 1), 0.8);
+        assert_eq!(d1.d(1, 2), 0.1);
+    }
+
+    #[test]
+    fn identity_measure() {
+        let d = AttrDissim::Identity;
+        assert_eq!(d.d(3, 3), 0.0);
+        assert_eq!(d.d(3, 4), 1.0);
+        assert!(!d.is_non_metric());
+    }
+
+    #[test]
+    fn linear_measure_is_metric() {
+        let d = AttrDissim::Linear { scale: 0.5 };
+        assert_eq!(d.d(2, 6), 2.0);
+        assert_eq!(d.d(6, 2), 2.0);
+        assert!(!d.is_non_metric());
+    }
+
+    #[test]
+    fn builder_rejects_nonzero_diagonal() {
+        let r = MatrixBuilder::new(2).set(0, 0, 0.3).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn builder_rejects_negative_and_nan() {
+        assert!(MatrixBuilder::new(2).set(0, 1, -0.1).build().is_err());
+        assert!(MatrixBuilder::new(2).set(0, 1, f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn asymmetric_matrix_supported() {
+        let d = MatrixBuilder::new(2).set(0, 1, 0.2).set(1, 0, 0.9).build().unwrap();
+        assert_eq!(d.d(0, 1), 0.2);
+        assert_eq!(d.d(1, 0), 0.9);
+    }
+
+    #[test]
+    fn table_checks_arity_and_cardinality() {
+        let s = Schema::with_cardinalities(&[3, 2]).unwrap();
+        assert!(DissimTable::new(&s, vec![paper_d1()]).is_err());
+        // Matrix over 3 values cannot serve an attribute of cardinality 2.
+        assert!(DissimTable::new(&s, vec![paper_d1(), paper_d1()]).is_err());
+        let ok = DissimTable::new(&s, vec![paper_d1(), AttrDissim::Identity]);
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().d(0, 0, 2), 1.0);
+    }
+}

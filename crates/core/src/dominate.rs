@@ -1,0 +1,269 @@
+//! The domination / pruning predicate.
+//!
+//! `a ≻_c b` — object `a` *dominates* object `b` **with respect to center
+//! `c`** — iff on every (selected) attribute `a` is at most as dissimilar to
+//! `c` as `b` is, with strict inequality somewhere:
+//!
+//! ```text
+//! ∀i  d_i(a_i, c_i) ≤ d_i(b_i, c_i)   ∧   ∃i  d_i(a_i, c_i) < d_i(b_i, c_i)
+//! ```
+//!
+//! Both uses in the paper are instances of this single predicate:
+//!
+//! * **skyline domination** w.r.t. a query `Q`: `dominates(a, b, center = q)`;
+//! * **pruning** — `Y` is a pruner of `X` for query `Q` iff `Y ≻_X Q`, i.e.
+//!   `dominates(y, q, center = x)` — see [`prunes`].
+//!
+//! Every evaluation of `d_i` is counted through the `checks` out-parameters,
+//! because the paper uses attribute-level check counts as its computational
+//! cost unit (Table 3). Engines precompute `d_i(q_i, x_i)` once per center
+//! `X` (it does not depend on the candidate pruner), which
+//! [`prunes_with_center_dists`] exploits; the one-off precomputation is
+//! counted separately as `query_dist_checks`.
+
+use crate::dissim::DissimTable;
+use crate::query::AttrSubset;
+use crate::record::ValueId;
+
+/// `a ≻_center b` over the selected attributes, with early abort at the first
+/// attribute where `a` is strictly farther from the center than `b`.
+#[inline]
+pub fn dominates(
+    dt: &DissimTable,
+    subset: &AttrSubset,
+    a: &[ValueId],
+    b: &[ValueId],
+    center: &[ValueId],
+    checks: &mut u64,
+) -> bool {
+    let mut strict = false;
+    for &i in subset.indices() {
+        *checks += 2;
+        let da = dt.d(i, a[i], center[i]);
+        let db = dt.d(i, b[i], center[i]);
+        if da > db {
+            return false;
+        }
+        if da < db {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Whether `y` prunes `x` for query `q`, i.e. `y ≻_x q`.
+///
+/// The caller is responsible for never passing `y == x` *as an instance* —
+/// an object does not prune itself (exact duplicates, however, do prune each
+/// other; see the crate docs of `rsky-algos`).
+///
+/// ```
+/// use rsky_core::dissim::{DissimTable, MatrixBuilder};
+/// use rsky_core::dominate::prunes;
+/// use rsky_core::query::AttrSubset;
+/// use rsky_core::schema::Schema;
+///
+/// // One attribute with d(0,1) = 0.2, d(0,2) = 0.9.
+/// let schema = Schema::with_cardinalities(&[3]).unwrap();
+/// let m = MatrixBuilder::new(3).set_sym(0, 1, 0.2).set_sym(0, 2, 0.9).build().unwrap();
+/// let dt = DissimTable::new(&schema, vec![m]).unwrap();
+/// let all = AttrSubset::all(1);
+/// let mut checks = 0;
+/// // y = [1] is closer to center x = [0] than the query q = [2] is ⇒ prune.
+/// assert!(prunes(&dt, &all, &[1], &[0], &[2], &mut checks));
+/// // …but not the other way around.
+/// assert!(!prunes(&dt, &all, &[2], &[0], &[1], &mut checks));
+/// ```
+#[inline]
+pub fn prunes(
+    dt: &DissimTable,
+    subset: &AttrSubset,
+    y: &[ValueId],
+    x: &[ValueId],
+    q: &[ValueId],
+    checks: &mut u64,
+) -> bool {
+    dominates(dt, subset, y, q, x, checks)
+}
+
+/// Precomputes `d_i(q_i, x_i)` for each selected attribute (in subset order).
+///
+/// These are the right-hand sides of every pruning check against center `x`;
+/// computing them once per center instead of once per candidate pair is the
+/// baseline micro-optimization all engines share.
+#[inline]
+pub fn query_center_dists(
+    dt: &DissimTable,
+    subset: &AttrSubset,
+    q: &[ValueId],
+    x: &[ValueId],
+    query_checks: &mut u64,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(subset.len());
+    for &i in subset.indices() {
+        *query_checks += 1;
+        out.push(dt.d(i, q[i], x[i]));
+    }
+    out
+}
+
+/// [`prunes`] with the `d_i(q_i, x_i)` side precomputed by
+/// [`query_center_dists`]. `dqx[k]` corresponds to `subset.indices()[k]`.
+#[inline]
+pub fn prunes_with_center_dists(
+    dt: &DissimTable,
+    subset: &AttrSubset,
+    y: &[ValueId],
+    x: &[ValueId],
+    dqx: &[f64],
+    checks: &mut u64,
+) -> bool {
+    debug_assert_eq!(dqx.len(), subset.len());
+    let mut strict = false;
+    for (k, &i) in subset.indices().iter().enumerate() {
+        *checks += 1;
+        let dyx = dt.d(i, y[i], x[i]);
+        if dyx > dqx[k] {
+            return false;
+        }
+        if dyx < dqx[k] {
+            strict = true;
+        }
+    }
+    strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissim::{AttrDissim, MatrixBuilder};
+    use crate::schema::Schema;
+
+    /// Paper running example: OS {MSW=0,RHL=1,SL=2}, CPU {AMD=0,Intel=1},
+    /// DB {Informix=0,DB2=1,Oracle=2} with Figure 1 distances.
+    fn paper_table() -> (Schema, DissimTable) {
+        let schema = Schema::with_cardinalities(&[3, 2, 3]).unwrap();
+        let d1 = MatrixBuilder::new(3)
+            .set_sym(0, 1, 0.8)
+            .set_sym(0, 2, 1.0)
+            .set_sym(1, 2, 0.1)
+            .build()
+            .unwrap();
+        let d2 = MatrixBuilder::new(2).set_sym(0, 1, 0.5).build().unwrap();
+        let d3 = MatrixBuilder::new(3)
+            .set_sym(0, 1, 0.5)
+            .set_sym(0, 2, 0.9)
+            .set_sym(1, 2, 0.4)
+            .build()
+            .unwrap();
+        let dt = DissimTable::new(&schema, vec![d1, d2, d3]).unwrap();
+        (schema, dt)
+    }
+
+    const Q: [u32; 3] = [0, 1, 1]; // [MSW, Intel, DB2]
+    const O1: [u32; 3] = [0, 0, 1]; // [MSW, AMD, DB2]
+    const O2: [u32; 3] = [1, 0, 0]; // [RHL, AMD, Informix]
+    const O3: [u32; 3] = [2, 1, 2]; // [SL, Intel, Oracle]
+    const O4: [u32; 3] = [0, 0, 1]; // duplicate of O1
+    const O6: [u32; 3] = [0, 1, 1]; // [MSW, Intel, DB2] == Q
+
+    #[test]
+    fn paper_example_o1_prunes_o2() {
+        // "it is possible to prune O2 by O1, since O1 is closer than the query
+        // to O2 on the second attribute and at the same distance on the rest."
+        let (schema, dt) = paper_table();
+        let all = AttrSubset::all(schema.num_attrs());
+        let mut c = 0;
+        assert!(prunes(&dt, &all, &O1, &O2, &Q, &mut c));
+        assert!(c > 0);
+    }
+
+    #[test]
+    fn no_pruner_for_o3_among_sample() {
+        let (schema, dt) = paper_table();
+        let all = AttrSubset::all(schema.num_attrs());
+        let mut c = 0;
+        for y in [&O1, &O2, &O6] {
+            assert!(!prunes(&dt, &all, y, &O3, &Q, &mut c), "{y:?} must not prune O3");
+        }
+    }
+
+    #[test]
+    fn duplicates_prune_each_other_but_query_twins_do_not() {
+        let (schema, dt) = paper_table();
+        let all = AttrSubset::all(schema.num_attrs());
+        let mut c = 0;
+        // O4 == O1 and both differ from Q ⇒ each prunes the other.
+        assert!(prunes(&dt, &all, &O4, &O1, &Q, &mut c));
+        assert!(prunes(&dt, &all, &O1, &O4, &Q, &mut c));
+        // O6 == Q: nothing can be *strictly* closer to O6 than Q on any
+        // attribute? Not so — but a duplicate of O6 equals Q, so no strict.
+        assert!(!prunes(&dt, &all, &O6, &O6, &Q, &mut c));
+    }
+
+    #[test]
+    fn strictness_is_required() {
+        let (schema, dt) = paper_table();
+        let all = AttrSubset::all(schema.num_attrs());
+        let mut c = 0;
+        // Q vs Q w.r.t. any center: all equal, no strict ⇒ no domination.
+        assert!(!dominates(&dt, &all, &Q, &Q, &O1, &mut c));
+    }
+
+    #[test]
+    fn precomputed_variant_agrees_with_direct() {
+        let (schema, dt) = paper_table();
+        let all = AttrSubset::all(schema.num_attrs());
+        for x in [&O1, &O2, &O3, &O6] {
+            let mut qc = 0;
+            let dqx = query_center_dists(&dt, &all, &Q, x, &mut qc);
+            assert_eq!(qc, 3);
+            for y in [&O1, &O2, &O3, &O6] {
+                let (mut c1, mut c2) = (0, 0);
+                let direct = prunes(&dt, &all, y, x, &Q, &mut c1);
+                let pre = prunes_with_center_dists(&dt, &all, y, x, &dqx, &mut c2);
+                assert_eq!(direct, pre, "y={y:?} x={x:?}");
+                assert!(c2 <= c1, "precomputed variant must not do more checks");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_restricts_comparison() {
+        let (schema, dt) = paper_table();
+        // On {CPU} alone, O6 (Intel) prunes O3 w.r.t. O3's center: d(Intel,
+        // Intel)=0 < d(q=Intel, Intel)=0? No — equal, no strict. Use O1 vs O2:
+        // center O2 has AMD; O1 has AMD (d=0), Q has Intel (d=0.5) ⇒ prune.
+        let cpu_only = AttrSubset::from_indices(schema.num_attrs(), &[1]).unwrap();
+        let mut c = 0;
+        assert!(prunes(&dt, &cpu_only, &O1, &O2, &Q, &mut c));
+        // On {OS} alone O1 does not prune O2: d(MSW,RHL)=0.8 = d(Q,RHL) ⇒ no strict.
+        let os_only = AttrSubset::from_indices(schema.num_attrs(), &[0]).unwrap();
+        assert!(!prunes(&dt, &os_only, &O1, &O2, &Q, &mut c));
+    }
+
+    #[test]
+    fn early_abort_counts_fewer_checks() {
+        let (schema, dt) = paper_table();
+        let all = AttrSubset::all(schema.num_attrs());
+        // O6 vs center O1: attribute 2 (CPU): d(Intel, AMD)=0.5 > d(Q=Intel,
+        // AMD)=0.5? equal. attr 3: d(DB2,DB2)=0 = 0. No strict ⇒ full scan.
+        // O3 vs center O1: attr 1 d(SL,MSW)=1.0 > d(Q=MSW,MSW)=0 ⇒ abort at 1.
+        let mut c = 0;
+        assert!(!prunes(&dt, &all, &O3, &O1, &Q, &mut c));
+        assert_eq!(c, 2, "must abort after the first attribute (2 evaluations)");
+    }
+
+    #[test]
+    fn identity_attributes_work_in_predicates() {
+        let schema = Schema::with_cardinalities(&[2, 2]).unwrap();
+        let dt =
+            DissimTable::new(&schema, vec![AttrDissim::Identity, AttrDissim::Identity]).unwrap();
+        let all = AttrSubset::all(2);
+        let mut c = 0;
+        // y matches center on both; q differs on one ⇒ prune.
+        assert!(prunes(&dt, &all, &[0, 0], &[0, 0], &[0, 1], &mut c));
+        // q matches center exactly ⇒ nothing prunes.
+        assert!(!prunes(&dt, &all, &[0, 0], &[0, 0], &[0, 0], &mut c));
+    }
+}

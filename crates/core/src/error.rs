@@ -1,0 +1,92 @@
+//! Error type shared by the `rsky` crates.
+
+use std::fmt;
+
+/// Errors produced anywhere in the `rsky` stack.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A record, query or dissimilarity table does not match the schema it is
+    /// used with (wrong attribute count, value id out of domain, …).
+    SchemaMismatch(String),
+    /// A value id was outside the declared attribute cardinality.
+    ValueOutOfDomain {
+        /// Attribute index (0-based).
+        attr: usize,
+        /// The offending value id.
+        value: u32,
+        /// Declared cardinality of the attribute.
+        cardinality: u32,
+    },
+    /// The configured memory budget is too small to make progress (e.g. it
+    /// cannot hold a single record or page).
+    BudgetTooSmall(String),
+    /// Underlying storage failure (real-file backend).
+    Io(std::io::Error),
+    /// A malformed on-disk structure (truncated page, bad record width, …).
+    Corrupt(String),
+    /// Invalid caller-supplied configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            Error::ValueOutOfDomain { attr, value, cardinality } => write!(
+                f,
+                "value {value} out of domain for attribute {attr} (cardinality {cardinality})"
+            ),
+            Error::BudgetTooSmall(m) => write!(f, "memory budget too small: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::ValueOutOfDomain { attr: 2, value: 9, cardinality: 5 };
+        let s = e.to_string();
+        assert!(s.contains("attribute 2"));
+        assert!(s.contains('9'));
+        assert!(s.contains('5'));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        let io = std::io::Error::other("boom");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let e = Error::Corrupt("bad page".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

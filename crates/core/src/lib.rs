@@ -1,0 +1,64 @@
+//! # rsky-core
+//!
+//! Core model for **reverse skyline retrieval under arbitrary non-metric
+//! similarity measures**, reproducing Deshpande & Deepak P, *EDBT 2011*.
+//!
+//! This crate holds everything the algorithm crates share:
+//!
+//! * [`schema`] — attribute metadata ([`Schema`], [`AttrMeta`]);
+//! * [`record`] — fixed-width rows of value ids with stable record ids
+//!   ([`RowBuf`], [`row`] helpers);
+//! * [`dissim`] — per-attribute dissimilarity functions, including arbitrary
+//!   non-metric matrices ([`AttrDissim`], [`DissimTable`]);
+//! * [`query`] — query objects and attribute subsets ([`Query`],
+//!   [`AttrSubset`]);
+//! * [`dominate`] — the domination / pruning predicate of the paper;
+//! * [`skyline`] — dynamic skylines and the *definitional* reverse-skyline
+//!   oracle used to validate every optimized algorithm;
+//! * [`stats`] — cost counters (attribute-level distance checks, page IOs,
+//!   phase metrics).
+//!
+//! ## The problem in one paragraph
+//!
+//! An object `Y` *dominates the query `Q` with respect to `X`* when `Y` is at
+//! most as dissimilar to `X` as `Q` is on every attribute, and strictly less
+//! dissimilar on at least one. Such a `Y` is a **pruner** of `X`: its
+//! existence proves `Q` is not in `X`'s dynamic skyline, hence `X` is not in
+//! the reverse skyline of `Q`. The reverse skyline `RS_D(Q)` is the set of
+//! objects with no pruner. Because the per-attribute dissimilarities are
+//! arbitrary (hand-filled expert matrices — no triangle inequality, no total
+//! order of values), no spatial index applies and the interesting question is
+//! how to organize scans, batches and group-level reasoning; see the
+//! `rsky-algos` crate.
+//!
+//! [`Schema`]: schema::Schema
+//! [`AttrMeta`]: schema::AttrMeta
+//! [`RowBuf`]: record::RowBuf
+//! [`row`]: record::row
+//! [`AttrDissim`]: dissim::AttrDissim
+//! [`DissimTable`]: dissim::DissimTable
+//! [`Query`]: query::Query
+//! [`AttrSubset`]: query::AttrSubset
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod dissim;
+pub mod dominate;
+pub mod error;
+pub mod query;
+pub mod record;
+pub mod schema;
+pub mod skyline;
+pub mod stats;
+
+pub use dataset::Dataset;
+pub use dissim::{AttrDissim, DissimTable};
+pub use dominate::{prunes, prunes_with_center_dists, query_center_dists};
+pub use error::{Error, Result};
+pub use query::{AttrSubset, Query};
+pub use record::{RecordId, RowBuf, ValueId};
+pub use schema::{AttrMeta, Schema};
+pub use skyline::{dynamic_skyline, reverse_skyline_by_definition};
+pub use stats::RunStats;

@@ -1,0 +1,149 @@
+//! Query objects and attribute subsets.
+//!
+//! A reverse-skyline query is an object (which need not belong to the
+//! database) plus, optionally, a *subset of attributes* to search on —
+//! Section 5.6 of the paper ("among the many attributes of hotels, a user may
+//! be interested in only the price and proximity to the beach"). All engines
+//! evaluate domination only over the selected attributes.
+
+use crate::error::{Error, Result};
+use crate::record::ValueId;
+use crate::schema::Schema;
+
+/// A subset of a schema's attributes, in ascending index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSubset {
+    /// `mask[i]` — whether attribute `i` participates in the query.
+    mask: Box<[bool]>,
+    /// Selected attribute indices, ascending.
+    indices: Box<[usize]>,
+}
+
+impl AttrSubset {
+    /// All `m` attributes.
+    pub fn all(m: usize) -> Self {
+        Self {
+            mask: vec![true; m].into_boxed_slice(),
+            indices: (0..m).collect(),
+        }
+    }
+
+    /// Subset from explicit attribute indices (deduplicated, sorted).
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] if empty or any index `≥ m`.
+    pub fn from_indices(m: usize, indices: &[usize]) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(Error::InvalidConfig("attribute subset must be non-empty".into()));
+        }
+        let mut mask = vec![false; m];
+        for &i in indices {
+            if i >= m {
+                return Err(Error::InvalidConfig(format!(
+                    "attribute index {i} out of range for {m} attributes"
+                )));
+            }
+            mask[i] = true;
+        }
+        let sorted: Vec<usize> = (0..m).filter(|&i| mask[i]).collect();
+        Ok(Self { mask: mask.into_boxed_slice(), indices: sorted.into_boxed_slice() })
+    }
+
+    /// Total number of attributes in the schema (`m`).
+    #[inline]
+    pub fn schema_attrs(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Number of selected attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether no attribute is selected (never true for constructed values).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Whether every schema attribute is selected.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len() == self.schema_attrs()
+    }
+
+    /// Whether attribute `i` is selected.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.mask[i]
+    }
+
+    /// Selected attribute indices, ascending.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+}
+
+/// A reverse-skyline query: the query object's values plus the attribute
+/// subset the search runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Query object values, one per *schema* attribute (values of unselected
+    /// attributes are carried but ignored).
+    pub values: Vec<ValueId>,
+    /// Attributes the search runs on.
+    pub subset: AttrSubset,
+}
+
+impl Query {
+    /// Full-attribute query, validated against `schema`.
+    pub fn new(schema: &Schema, values: Vec<ValueId>) -> Result<Self> {
+        schema.validate_values(&values)?;
+        Ok(Self { subset: AttrSubset::all(schema.num_attrs()), values })
+    }
+
+    /// Query on a subset of attributes, validated against `schema`.
+    pub fn on_subset(schema: &Schema, values: Vec<ValueId>, indices: &[usize]) -> Result<Self> {
+        schema.validate_values(&values)?;
+        Ok(Self { subset: AttrSubset::from_indices(schema.num_attrs(), indices)?, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_everything() {
+        let s = AttrSubset::all(4);
+        assert!(s.is_full());
+        assert_eq!(s.indices(), &[0, 1, 2, 3]);
+        assert!(s.contains(3));
+    }
+
+    #[test]
+    fn from_indices_sorts_and_dedups() {
+        let s = AttrSubset::from_indices(5, &[3, 1, 3]).unwrap();
+        assert_eq!(s.indices(), &[1, 3]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_full());
+        assert!(s.contains(1) && !s.contains(0));
+    }
+
+    #[test]
+    fn rejects_empty_and_out_of_range() {
+        assert!(AttrSubset::from_indices(3, &[]).is_err());
+        assert!(AttrSubset::from_indices(3, &[3]).is_err());
+    }
+
+    #[test]
+    fn query_validates_against_schema() {
+        let schema = Schema::with_cardinalities(&[3, 2, 3]).unwrap();
+        assert!(Query::new(&schema, vec![0, 1, 2]).is_ok());
+        assert!(Query::new(&schema, vec![0, 2, 2]).is_err()); // attr 1 card 2
+        let q = Query::on_subset(&schema, vec![0, 1, 2], &[0, 2]).unwrap();
+        assert_eq!(q.subset.indices(), &[0, 2]);
+    }
+}

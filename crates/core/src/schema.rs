@@ -1,0 +1,166 @@
+//! Attribute metadata for a dataset.
+//!
+//! Attributes are categorical: each attribute `i` has a finite domain of
+//! `cardinality` values, identified by dense ids `0..cardinality`. Non-metric
+//! dissimilarities between value ids are described separately by a
+//! [`crate::dissim::DissimTable`]. Numeric attributes (Section 6 of the
+//! paper) are modelled by *discretizing* into buckets, so at the schema level
+//! they also appear as finite domains; see `rsky-algos::hybrid`.
+
+use crate::error::{Error, Result};
+
+/// Metadata of one attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrMeta {
+    /// Human-readable attribute name (e.g. `"OS"`, `"Processor"`).
+    pub name: String,
+    /// Number of distinct values; value ids range over `0..cardinality`.
+    pub cardinality: u32,
+}
+
+impl AttrMeta {
+    /// Creates attribute metadata.
+    pub fn new(name: impl Into<String>, cardinality: u32) -> Self {
+        Self { name: name.into(), cardinality }
+    }
+}
+
+/// Schema of a dataset: the ordered list of attributes.
+///
+/// The *physical* attribute order is the order in which values are stored in
+/// records. Algorithms that need a different logical order (e.g. the AL-Tree
+/// sorts attributes by ascending cardinality) carry an explicit permutation
+/// rather than rewriting the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<AttrMeta>,
+}
+
+impl Schema {
+    /// Builds a schema from attribute metadata.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when `attrs` is empty or an attribute
+    /// has cardinality zero.
+    pub fn new(attrs: Vec<AttrMeta>) -> Result<Self> {
+        if attrs.is_empty() {
+            return Err(Error::InvalidConfig("schema needs at least one attribute".into()));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if a.cardinality == 0 {
+                return Err(Error::InvalidConfig(format!(
+                    "attribute {i} ({}) has cardinality 0",
+                    a.name
+                )));
+            }
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Shorthand: anonymous attributes `A1..Am` with the given cardinalities.
+    pub fn with_cardinalities(cards: &[u32]) -> Result<Self> {
+        Self::new(
+            cards
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| AttrMeta::new(format!("A{}", i + 1), c))
+                .collect(),
+        )
+    }
+
+    /// Number of attributes `m`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute metadata slice, in physical order.
+    #[inline]
+    pub fn attrs(&self) -> &[AttrMeta] {
+        &self.attrs
+    }
+
+    /// Cardinality of attribute `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn cardinality(&self, i: usize) -> u32 {
+        self.attrs[i].cardinality
+    }
+
+    /// Total number of distinct possible objects `Π cardinality_i` (saturating),
+    /// the denominator of the paper's *data density* `n / Π k_i`.
+    pub fn domain_size(&self) -> u128 {
+        self.attrs.iter().fold(1u128, |acc, a| acc.saturating_mul(a.cardinality as u128))
+    }
+
+    /// Data density of a dataset of `n` objects under this schema.
+    pub fn density(&self, n: usize) -> f64 {
+        n as f64 / self.domain_size() as f64
+    }
+
+    /// Validates that every value of `values` lies inside its attribute domain.
+    pub fn validate_values(&self, values: &[u32]) -> Result<()> {
+        if values.len() != self.num_attrs() {
+            return Err(Error::SchemaMismatch(format!(
+                "record has {} values, schema has {} attributes",
+                values.len(),
+                self.num_attrs()
+            )));
+        }
+        for (i, (&v, a)) in values.iter().zip(&self.attrs).enumerate() {
+            if v >= a.cardinality {
+                return Err(Error::ValueOutOfDomain { attr: i, value: v, cardinality: a.cardinality });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_schema() {
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_cardinality() {
+        assert!(Schema::with_cardinalities(&[3, 0, 2]).is_err());
+    }
+
+    #[test]
+    fn domain_size_and_density() {
+        let s = Schema::with_cardinalities(&[3, 2, 3]).unwrap();
+        assert_eq!(s.domain_size(), 18);
+        assert!((s.density(9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_size_saturates() {
+        let s = Schema::with_cardinalities(&[u32::MAX; 5]).unwrap();
+        // 2^160 > u128::MAX, must saturate rather than overflow.
+        assert_eq!(s.domain_size(), u128::MAX);
+    }
+
+    #[test]
+    fn validate_values_checks_arity_and_domain() {
+        let s = Schema::with_cardinalities(&[3, 2]).unwrap();
+        assert!(s.validate_values(&[2, 1]).is_ok());
+        assert!(matches!(s.validate_values(&[2]), Err(Error::SchemaMismatch(_))));
+        assert!(matches!(
+            s.validate_values(&[3, 1]),
+            Err(Error::ValueOutOfDomain { attr: 0, value: 3, cardinality: 3 })
+        ));
+    }
+
+    #[test]
+    fn named_attrs_preserved() {
+        let s = Schema::new(vec![AttrMeta::new("OS", 3), AttrMeta::new("CPU", 2)]).unwrap();
+        assert_eq!(s.attrs()[0].name, "OS");
+        assert_eq!(s.cardinality(1), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Dynamic skylines and the definitional reverse-skyline oracle.
+//!
+//! These are the *reference* implementations: `O(n²)` block-nested-loops
+//! evaluations straight from the definitions. The optimized engines in
+//! `rsky-algos` are validated against [`reverse_skyline_by_definition`] in
+//! unit, integration and property tests.
+//!
+//! ## A note on the formal definition
+//!
+//! The paper defines `RS_D(Q) = {X | Q ∈ S_{D∪{Q}}(X)}` and alternatively
+//! `{X | ¬∃ Y ∈ D, Y ≻_X Q}`. Read literally, the first form would let `X`
+//! *itself* dominate `Q` with respect to `X` (an object is at distance 0 from
+//! itself), emptying the result. The paper's own algorithms (Naive, line 4:
+//! `∀Y ∈ D, Y ≠ X`) make the intended semantics explicit: the pruner ranges
+//! over `D` **excluding the instance `X`**. Exact duplicates of `X` remain
+//! eligible pruners, so duplicate pairs knock each other out unless they tie
+//! the query on every attribute. This module implements that semantics, and
+//! [`reverse_skyline_via_skyline`] shows it coincides with
+//! `Q ∈ S_{(D∖{X})∪{Q}}(X)`.
+
+use crate::dissim::DissimTable;
+use crate::dominate::{dominates, prunes_with_center_dists, query_center_dists};
+use crate::query::{AttrSubset, Query};
+use crate::record::{RecordId, RowBuf, ValueId};
+
+/// Dynamic skyline of `rows` with respect to `center`: ids of rows not
+/// dominated (w.r.t. `center`) by any *other* row. Block-nested-loops.
+pub fn dynamic_skyline(
+    dt: &DissimTable,
+    subset: &AttrSubset,
+    rows: &RowBuf,
+    center: &[ValueId],
+) -> Vec<RecordId> {
+    let n = rows.len();
+    let mut out = Vec::new();
+    let mut checks = 0u64;
+    'cand: for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(dt, subset, rows.values(j), rows.values(i), center, &mut checks) {
+                continue 'cand;
+            }
+        }
+        out.push(rows.id(i));
+    }
+    out
+}
+
+/// Definitional oracle: `X ∈ RS_D(Q)` iff no other instance `Y ∈ D` satisfies
+/// `Y ≻_X Q`. Returns ids in dataset order. `O(n²·m)`.
+pub fn reverse_skyline_by_definition(
+    dt: &DissimTable,
+    rows: &RowBuf,
+    query: &Query,
+) -> Vec<RecordId> {
+    let n = rows.len();
+    let subset = &query.subset;
+    let q = query.values.as_slice();
+    let mut out = Vec::new();
+    let (mut checks, mut qchecks) = (0u64, 0u64);
+    'cand: for i in 0..n {
+        let x = rows.values(i);
+        let dqx = query_center_dists(dt, subset, q, x, &mut qchecks);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if prunes_with_center_dists(dt, subset, rows.values(j), x, &dqx, &mut checks) {
+                continue 'cand;
+            }
+        }
+        out.push(rows.id(i));
+    }
+    out
+}
+
+/// The same set computed through the paper's primary formulation: `X` is in
+/// the reverse skyline iff `Q` belongs to the dynamic skyline of `X` over
+/// `(D ∖ {X}) ∪ {Q}`. Quadratic in `n` *per candidate* (`O(n³)` total) —
+/// strictly a cross-validation tool for tests.
+pub fn reverse_skyline_via_skyline(
+    dt: &DissimTable,
+    rows: &RowBuf,
+    query: &Query,
+) -> Vec<RecordId> {
+    let n = rows.len();
+    let subset = &query.subset;
+    let q = query.values.as_slice();
+    const Q_MARK: RecordId = u32::MAX;
+    let mut out = Vec::new();
+    for i in 0..n {
+        // Build (D ∖ {X}) ∪ {Q} and ask for the skyline w.r.t. X.
+        let mut pool = RowBuf::with_capacity(rows.num_attrs(), n);
+        for j in 0..n {
+            if j != i {
+                pool.push_flat(rows.flat_row(j));
+            }
+        }
+        pool.push(Q_MARK, q);
+        let sky = dynamic_skyline(dt, subset, &pool, rows.values(i));
+        if sky.contains(&Q_MARK) {
+            out.push(rows.id(i));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissim::MatrixBuilder;
+    use crate::schema::Schema;
+
+    /// Paper running example (Table 1 + Figure 1).
+    fn paper_dataset() -> (Schema, DissimTable, RowBuf, Query) {
+        let schema = Schema::with_cardinalities(&[3, 2, 3]).unwrap();
+        let d1 = MatrixBuilder::new(3)
+            .set_sym(0, 1, 0.8)
+            .set_sym(0, 2, 1.0)
+            .set_sym(1, 2, 0.1)
+            .build()
+            .unwrap();
+        let d2 = MatrixBuilder::new(2).set_sym(0, 1, 0.5).build().unwrap();
+        let d3 = MatrixBuilder::new(3)
+            .set_sym(0, 1, 0.5)
+            .set_sym(0, 2, 0.9)
+            .set_sym(1, 2, 0.4)
+            .build()
+            .unwrap();
+        let dt = DissimTable::new(&schema, vec![d1, d2, d3]).unwrap();
+        // OS: MSW=0,RHL=1,SL=2; CPU: AMD=0,Intel=1; DB: Informix=0,DB2=1,Oracle=2.
+        let mut rows = RowBuf::new(3);
+        rows.push(1, &[0, 0, 1]); // O1 [MSW, AMD, DB2]
+        rows.push(2, &[1, 0, 0]); // O2 [RHL, AMD, Informix]
+        rows.push(3, &[2, 1, 2]); // O3 [SL, Intel, Oracle]
+        rows.push(4, &[0, 0, 1]); // O4 [MSW, AMD, DB2]
+        rows.push(5, &[1, 0, 0]); // O5 [RHL, AMD, Informix]
+        rows.push(6, &[0, 1, 1]); // O6 [MSW, Intel, DB2]
+        let query = Query::new(&schema, vec![0, 1, 1]).unwrap(); // [MSW, Intel, DB2]
+        (schema, dt, rows, query)
+    }
+
+    #[test]
+    fn table1_reverse_skyline_is_o3_o6() {
+        let (_, dt, rows, q) = paper_dataset();
+        assert_eq!(reverse_skyline_by_definition(&dt, &rows, &q), vec![3, 6]);
+    }
+
+    #[test]
+    fn both_formulations_agree_on_paper_example() {
+        let (_, dt, rows, q) = paper_dataset();
+        assert_eq!(
+            reverse_skyline_by_definition(&dt, &rows, &q),
+            reverse_skyline_via_skyline(&dt, &rows, &q)
+        );
+    }
+
+    #[test]
+    fn table1_pruner_relationships_hold() {
+        // Table 1 lists pruners: O1×{4}, O2×{1,4,5}, O4×{1}, O5×{1,2,4}.
+        let (schema, dt, rows, q) = paper_dataset();
+        let all = AttrSubset::all(schema.num_attrs());
+        let expected: &[(usize, &[u32])] =
+            &[(0, &[4]), (1, &[1, 4, 5]), (3, &[1]), (4, &[1, 2, 4])];
+        let mut checks = 0u64;
+        for &(xi, pruners) in expected {
+            let x = rows.values(xi);
+            let got: Vec<u32> = (0..rows.len())
+                .filter(|&yi| {
+                    yi != xi
+                        && crate::dominate::prunes(
+                            &dt,
+                            &all,
+                            rows.values(yi),
+                            x,
+                            &q.values,
+                            &mut checks,
+                        )
+                })
+                .map(|yi| rows.id(yi))
+                .collect();
+            assert_eq!(got, pruners, "pruners of O{}", xi + 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_skyline_basic() {
+        let (schema, dt, rows, q) = paper_dataset();
+        let all = AttrSubset::all(schema.num_attrs());
+        // Skyline w.r.t. O3's values must contain the query among candidates
+        // {all others + Q} — cross-checked by O3 ∈ RS.
+        let mut pool = RowBuf::new(3);
+        for j in 0..rows.len() {
+            if rows.id(j) != 3 {
+                pool.push_flat(rows.flat_row(j));
+            }
+        }
+        pool.push(99, &q.values);
+        let sky = dynamic_skyline(&dt, &all, &pool, rows.values(2));
+        assert!(sky.contains(&99));
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_result() {
+        let (schema, dt, _, q) = paper_dataset();
+        let rows = RowBuf::new(schema.num_attrs());
+        assert!(reverse_skyline_by_definition(&dt, &rows, &q).is_empty());
+    }
+
+    #[test]
+    fn singleton_dataset_is_always_in_result() {
+        let (_, dt, _, q) = paper_dataset();
+        let mut rows = RowBuf::new(3);
+        rows.push(42, &[2, 0, 2]);
+        assert_eq!(reverse_skyline_by_definition(&dt, &rows, &q), vec![42]);
+    }
+
+    #[test]
+    fn duplicate_pair_eliminates_itself_unless_query_tied() {
+        let (_, dt, _, q) = paper_dataset();
+        let mut rows = RowBuf::new(3);
+        rows.push(1, &[2, 0, 2]);
+        rows.push(2, &[2, 0, 2]);
+        // Each copy prunes the other (they differ from Q at positive distance).
+        assert!(reverse_skyline_by_definition(&dt, &rows, &q).is_empty());
+        // Duplicates *of the query* survive: no strict improvement possible.
+        let mut tied = RowBuf::new(3);
+        tied.push(7, &[0, 1, 1]);
+        tied.push(8, &[0, 1, 1]);
+        assert_eq!(reverse_skyline_by_definition(&dt, &tied, &q), vec![7, 8]);
+    }
+
+    #[test]
+    fn subset_query_changes_result() {
+        let (schema, dt, rows, _) = paper_dataset();
+        // On the CPU attribute alone with Q=Intel: every AMD object is pruned
+        // by any Intel object (d(Intel,AMD)... center is the AMD object:
+        // d_2(Intel_y, AMD_x)=0.5 vs d_2(Intel_q, AMD_x)=0.5 — tie, no strict.
+        // AMD pruners of AMD centers: d(AMD,AMD)=0 < 0.5 strict ⇒ pruned.
+        // Intel centers: d(q,x)=0 ⇒ nothing prunes.
+        let q = Query::on_subset(&schema, vec![0, 1, 1], &[1]).unwrap();
+        let rs = reverse_skyline_by_definition(&dt, &rows, &q);
+        assert_eq!(rs, vec![3, 6]); // exactly the Intel machines
+    }
+}

@@ -1,0 +1,125 @@
+//! Cost accounting.
+//!
+//! The paper evaluates algorithms along three axes: **computational cost**
+//! (attribute-level distance checks / CPU time), **IO cost** (sequential and
+//! random page accesses, plotted separately because random IO is costlier),
+//! and **response time**. [`RunStats`] carries all of them so every harness
+//! and test can inspect exactly what a run cost.
+
+use std::time::Duration;
+
+/// Page-IO counters, split by access pattern and direction.
+///
+/// An access is *sequential* when it targets the page immediately following
+/// the previous access **on the same file with the same disk head** — the
+/// storage substrate models a single head, so interleaving two files turns
+/// accesses random, exactly the effect the paper charges for (e.g. jumping
+/// between the database scan and the phase-one write area).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoCounts {
+    /// Sequential page reads.
+    pub seq_reads: u64,
+    /// Random page reads.
+    pub rand_reads: u64,
+    /// Sequential page writes.
+    pub seq_writes: u64,
+    /// Random page writes.
+    pub rand_writes: u64,
+}
+
+impl IoCounts {
+    /// Total sequential accesses (reads + writes).
+    pub fn sequential(&self) -> u64 {
+        self.seq_reads + self.seq_writes
+    }
+
+    /// Total random accesses (reads + writes).
+    pub fn random(&self) -> u64 {
+        self.rand_reads + self.rand_writes
+    }
+
+    /// All page accesses.
+    pub fn total(&self) -> u64 {
+        self.sequential() + self.random()
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: IoCounts) {
+        self.seq_reads += other.seq_reads;
+        self.rand_reads += other.rand_reads;
+        self.seq_writes += other.seq_writes;
+        self.rand_writes += other.rand_writes;
+    }
+
+    /// `self - earlier`, for deltas across a phase.
+    pub fn delta_since(&self, earlier: IoCounts) -> IoCounts {
+        IoCounts {
+            seq_reads: self.seq_reads - earlier.seq_reads,
+            rand_reads: self.rand_reads - earlier.rand_reads,
+            seq_writes: self.seq_writes - earlier.seq_writes,
+            rand_writes: self.rand_writes - earlier.rand_writes,
+        }
+    }
+}
+
+/// Full cost profile of one reverse-skyline run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Attribute-level dissimilarity evaluations between two *data* values —
+    /// the paper's "checks" (Table 3 counts these).
+    pub dist_checks: u64,
+    /// Dissimilarity evaluations involving the query value (`d(q_i, x_i)`),
+    /// counted separately because engines precompute them once per center.
+    pub query_dist_checks: u64,
+    /// Object-vs-object pruning attempts (pairs for which at least one
+    /// attribute was compared).
+    pub obj_comparisons: u64,
+    /// Page-IO counters accumulated over the whole run.
+    pub io: IoCounts,
+    /// Objects surviving phase one (the paper's intermediate result `R`).
+    pub phase1_survivors: usize,
+    /// Batches processed in phase one.
+    pub phase1_batches: usize,
+    /// Batches of `R` processed in phase two (each costs ~one scan of `D`).
+    pub phase2_batches: usize,
+    /// Wall time of phase one.
+    pub phase1_time: Duration,
+    /// Wall time of phase two.
+    pub phase2_time: Duration,
+    /// Total wall time of the run (≥ phase1 + phase2; includes setup).
+    pub total_time: Duration,
+    /// Cardinality of the reverse skyline returned.
+    pub result_size: usize,
+}
+
+impl RunStats {
+    /// All distance evaluations, data-data and query-data combined.
+    pub fn all_checks(&self) -> u64 {
+        self.dist_checks + self.query_dist_checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_counts_arithmetic() {
+        let mut a = IoCounts { seq_reads: 10, rand_reads: 2, seq_writes: 3, rand_writes: 1 };
+        assert_eq!(a.sequential(), 13);
+        assert_eq!(a.random(), 3);
+        assert_eq!(a.total(), 16);
+        let b = IoCounts { seq_reads: 1, rand_reads: 1, seq_writes: 1, rand_writes: 1 };
+        a.add(b);
+        assert_eq!(a.total(), 20);
+        let d = a.delta_since(b);
+        assert_eq!(d.seq_reads, 10);
+        assert_eq!(d.total(), 16);
+    }
+
+    #[test]
+    fn run_stats_all_checks() {
+        let s = RunStats { dist_checks: 30, query_dist_checks: 8, ..Default::default() };
+        assert_eq!(s.all_checks(), 38);
+    }
+}

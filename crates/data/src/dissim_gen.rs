@@ -1,0 +1,108 @@
+//! Random non-metric dissimilarity matrices.
+//!
+//! The paper draws value-to-value dissimilarities "randomly from the interval
+//! [0−1]" for both the real and synthetic experiments. Uniform random
+//! matrices are overwhelmingly non-metric (triangle-inequality violations
+//! appear as soon as the domain has ≥ 3 values), which is exactly the regime
+//! the algorithms target.
+
+use rand::Rng;
+use rsky_core::dissim::{AttrDissim, DissimTable};
+use rsky_core::error::Result;
+use rsky_core::schema::Schema;
+
+/// Random symmetric matrix over `cardinality` values: zero diagonal,
+/// off-diagonal entries `U[lo, hi]`.
+pub fn random_matrix<R: Rng>(cardinality: u32, rng: &mut R) -> AttrDissim {
+    random_matrix_in(cardinality, 0.0, 1.0, rng)
+}
+
+/// Random symmetric matrix with off-diagonal entries `U[lo, hi]`.
+pub fn random_matrix_in<R: Rng>(cardinality: u32, lo: f64, hi: f64, rng: &mut R) -> AttrDissim {
+    let k = cardinality as usize;
+    let mut data = vec![0.0; k * k];
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let v = rng.gen_range(lo..=hi);
+            data[a * k + b] = v;
+            data[b * k + a] = v;
+        }
+    }
+    AttrDissim::Matrix { cardinality, data: data.into_boxed_slice() }
+}
+
+/// Random *asymmetric* matrix (each direction drawn independently); used by
+/// tests to confirm nothing relies on symmetry.
+pub fn random_asymmetric_matrix<R: Rng>(cardinality: u32, rng: &mut R) -> AttrDissim {
+    let k = cardinality as usize;
+    let mut data = vec![0.0; k * k];
+    for a in 0..k {
+        for b in 0..k {
+            if a != b {
+                // Center-major storage; each direction drawn independently.
+                data[a * k + b] = rng.gen_range(0.0..=1.0);
+            }
+        }
+    }
+    AttrDissim::Matrix { cardinality, data: data.into_boxed_slice() }
+}
+
+/// One random symmetric matrix per attribute of `schema`.
+pub fn random_dissim_table<R: Rng>(schema: &Schema, rng: &mut R) -> Result<DissimTable> {
+    let attrs =
+        (0..schema.num_attrs()).map(|i| random_matrix(schema.cardinality(i), rng)).collect();
+    DissimTable::new(schema, attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrices_have_zero_diagonal_and_are_symmetric() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = random_matrix(8, &mut rng);
+        for a in 0..8u32 {
+            assert_eq!(m.d(a, a), 0.0);
+            for b in 0..8u32 {
+                assert_eq!(m.d(a, b), m.d(b, a));
+                assert!((0.0..=1.0).contains(&m.d(a, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn random_matrices_are_typically_non_metric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let nonmetric =
+            (0..20).filter(|_| random_matrix(10, &mut rng).is_non_metric()).count();
+        assert!(nonmetric >= 19, "only {nonmetric}/20 random matrices were non-metric");
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = random_matrix(6, &mut StdRng::seed_from_u64(42));
+        let b = random_matrix(6, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn asymmetric_matrix_is_asymmetric_somewhere() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_asymmetric_matrix(6, &mut rng);
+        let any_asym =
+            (0..6u32).any(|a| (0..6u32).any(|b| a != b && m.d(a, b) != m.d(b, a)));
+        assert!(any_asym);
+    }
+
+    #[test]
+    fn table_matches_schema() {
+        let schema = Schema::with_cardinalities(&[4, 9, 2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = random_dissim_table(&schema, &mut rng).unwrap();
+        assert_eq!(t.num_attrs(), 3);
+        assert_eq!(t.attr(1).cardinality(), Some(9));
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's running example (Table 1 + Figure 1).
+//!
+//! Six servers over three attributes with hand-specified non-metric
+//! dissimilarities, and the query `Q = [MSW, Intel, DB2]` whose reverse
+//! skyline is `{O3, O6}`. Record ids are 1-based to match the paper's `O1…O6`
+//! naming.
+
+use rsky_core::dissim::{DissimTable, MatrixBuilder};
+use rsky_core::query::Query;
+use rsky_core::record::RowBuf;
+use rsky_core::schema::{AttrMeta, Schema};
+
+use crate::workload::Dataset;
+
+/// Value ids for the OS attribute.
+pub mod os {
+    /// MS Windows.
+    pub const MSW: u32 = 0;
+    /// RedHat Linux.
+    pub const RHL: u32 = 1;
+    /// SuSE Linux.
+    pub const SL: u32 = 2;
+}
+
+/// Value ids for the Processor attribute.
+pub mod cpu {
+    /// AMD.
+    pub const AMD: u32 = 0;
+    /// Intel.
+    pub const INTEL: u32 = 1;
+}
+
+/// Value ids for the DB attribute.
+pub mod db {
+    /// Informix.
+    pub const INFORMIX: u32 = 0;
+    /// DB2.
+    pub const DB2: u32 = 1;
+    /// Oracle.
+    pub const ORACLE: u32 = 2;
+}
+
+/// The running example dataset plus the paper's query.
+///
+/// Returns `(dataset, query)`; `reverse_skyline(query) == {3, 6}` and the
+/// pruner lists match Table 1 (see tests).
+pub fn paper_example() -> (Dataset, Query) {
+    let schema = Schema::new(vec![
+        AttrMeta::new("OS", 3),
+        AttrMeta::new("Processor", 2),
+        AttrMeta::new("DB", 3),
+    ])
+    .expect("static schema is valid");
+
+    // Figure 1. d1: OS; d2: Processor; d3: DB.
+    let d1 = MatrixBuilder::new(3)
+        .set_sym(os::MSW, os::RHL, 0.8)
+        .set_sym(os::MSW, os::SL, 1.0)
+        .set_sym(os::RHL, os::SL, 0.1)
+        .build()
+        .expect("static matrix is valid");
+    let d2 = MatrixBuilder::new(2)
+        .set_sym(cpu::AMD, cpu::INTEL, 0.5)
+        .build()
+        .expect("static matrix is valid");
+    let d3 = MatrixBuilder::new(3)
+        .set_sym(db::INFORMIX, db::DB2, 0.5)
+        .set_sym(db::INFORMIX, db::ORACLE, 0.9)
+        .set_sym(db::DB2, db::ORACLE, 0.4)
+        .build()
+        .expect("static matrix is valid");
+    let dissim = DissimTable::new(&schema, vec![d1, d2, d3]).expect("static table is valid");
+
+    // Table 1.
+    let mut rows = RowBuf::new(3);
+    rows.push(1, &[os::MSW, cpu::AMD, db::DB2]); // O1
+    rows.push(2, &[os::RHL, cpu::AMD, db::INFORMIX]); // O2
+    rows.push(3, &[os::SL, cpu::INTEL, db::ORACLE]); // O3
+    rows.push(4, &[os::MSW, cpu::AMD, db::DB2]); // O4
+    rows.push(5, &[os::RHL, cpu::AMD, db::INFORMIX]); // O5
+    rows.push(6, &[os::MSW, cpu::INTEL, db::DB2]); // O6
+
+    let query = Query::new(&schema, vec![os::MSW, cpu::INTEL, db::DB2])
+        .expect("static query is valid");
+
+    (Dataset { schema, dissim, rows, label: "paper-running-example".into() }, query)
+}
+
+/// The reverse skyline the paper reports for the running example.
+pub const EXPECTED_RESULT: [u32; 2] = [3, 6];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsky_core::skyline::reverse_skyline_by_definition;
+
+    #[test]
+    fn matches_table1() {
+        let (d, q) = paper_example();
+        assert_eq!(reverse_skyline_by_definition(&d.dissim, &d.rows, &q), EXPECTED_RESULT);
+    }
+
+    #[test]
+    fn d1_is_the_papers_non_metric_example() {
+        let (d, _) = paper_example();
+        assert!(d.dissim.attr(0).is_non_metric());
+        // d1(MSW,SL) = 1.0 > d1(MSW,RHL) + d1(RHL,SL) = 0.9.
+        assert!(d.dissim.d(0, os::MSW, os::SL) > d.dissim.d(0, os::MSW, os::RHL) + d.dissim.d(0, os::RHL, os::SL));
+    }
+
+    #[test]
+    fn density_is_one_third() {
+        let (d, _) = paper_example();
+        assert!((d.density() - 6.0 / 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! Synthetic categorical data.
+//!
+//! The paper: "We generate synthetic data from a normal distribution, since
+//! normal distributions are said to characterize real data. … we assume an
+//! ordering of values for each attribute, and generate data to ensure that
+//! the distribution is normal and hence is concentrated around the middle
+//! values in the chosen ordering. We still generate similarities between
+//! values randomly. … We use a uniform random number generator and rejection
+//! sampling. We choose the variance to be 3, and the mean to be the index of
+//! the middle \[value\]."
+
+use rand::Rng;
+use rsky_core::error::Result;
+use rsky_core::record::RowBuf;
+use rsky_core::schema::Schema;
+
+use crate::dissim_gen::random_dissim_table;
+use crate::workload::Dataset;
+
+/// The paper's variance for the discretized normal value distribution.
+pub const PAPER_VARIANCE: f64 = 3.0;
+
+/// Samples one value id from `0..k` under a discretized normal centered at
+/// the middle index with the given variance, via rejection sampling against
+/// a uniform proposal (the paper's method).
+pub fn sample_normal_value<R: Rng>(k: u32, variance: f64, rng: &mut R) -> u32 {
+    let mean = (k - 1) as f64 / 2.0;
+    loop {
+        let v = rng.gen_range(0..k);
+        let x = v as f64 - mean;
+        let accept = (-x * x / (2.0 * variance)).exp();
+        if rng.gen::<f64>() <= accept {
+            return v;
+        }
+    }
+}
+
+/// Rows of `n` records whose attribute values follow the discretized normal
+/// of the paper (variance 3, centered on the middle value id).
+pub fn normal_rows<R: Rng>(schema: &Schema, n: usize, rng: &mut R) -> RowBuf {
+    normal_rows_with_variance(schema, n, PAPER_VARIANCE, rng)
+}
+
+/// [`normal_rows`] with an explicit variance.
+pub fn normal_rows_with_variance<R: Rng>(
+    schema: &Schema,
+    n: usize,
+    variance: f64,
+    rng: &mut R,
+) -> RowBuf {
+    let m = schema.num_attrs();
+    let mut rows = RowBuf::with_capacity(m, n);
+    let mut vals = vec![0u32; m];
+    for id in 0..n {
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = sample_normal_value(schema.cardinality(i), variance, rng);
+        }
+        rows.push(id as u32, &vals);
+    }
+    rows
+}
+
+/// Rows with uniformly distributed values (maximal sparsity for a given
+/// schema; used in adversarial tests).
+pub fn uniform_rows<R: Rng>(schema: &Schema, n: usize, rng: &mut R) -> RowBuf {
+    let m = schema.num_attrs();
+    let mut rows = RowBuf::with_capacity(m, n);
+    let mut vals = vec![0u32; m];
+    for id in 0..n {
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = rng.gen_range(0..schema.cardinality(i));
+        }
+        rows.push(id as u32, &vals);
+    }
+    rows
+}
+
+/// Complete synthetic-normal dataset: `m` attributes of `values_per_attr`
+/// values each, `n` rows, random `[0,1]` dissimilarities. This is the
+/// configuration behind Figures 9–18 (there with `n` up to 1.2 M, `m` 3–7,
+/// values 45–70).
+pub fn normal_dataset<R: Rng>(
+    m: usize,
+    values_per_attr: u32,
+    n: usize,
+    rng: &mut R,
+) -> Result<Dataset> {
+    let schema = Schema::with_cardinalities(&vec![values_per_attr; m])?;
+    let dissim = random_dissim_table(&schema, rng)?;
+    let rows = normal_rows(&schema, n, rng);
+    Ok(Dataset {
+        schema,
+        dissim,
+        rows,
+        label: format!("synthetic-normal n={n} m={m} k={values_per_attr}"),
+    })
+}
+
+/// Complete uniform dataset (same shape knobs as [`normal_dataset`]).
+pub fn uniform_dataset<R: Rng>(
+    m: usize,
+    values_per_attr: u32,
+    n: usize,
+    rng: &mut R,
+) -> Result<Dataset> {
+    let schema = Schema::with_cardinalities(&vec![values_per_attr; m])?;
+    let dissim = random_dissim_table(&schema, rng)?;
+    let rows = uniform_rows(&schema, n, rng);
+    Ok(Dataset {
+        schema,
+        dissim,
+        rows,
+        label: format!("synthetic-uniform n={n} m={m} k={values_per_attr}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_values_concentrate_around_middle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = 51u32;
+        let n = 20_000;
+        let mut hist = vec![0u32; k as usize];
+        for _ in 0..n {
+            hist[sample_normal_value(k, PAPER_VARIANCE, &mut rng) as usize] += 1;
+        }
+        let mid = 25usize;
+        // σ ≈ 1.73 ⇒ ±5 captures essentially everything.
+        let central: u32 = hist[mid - 5..=mid + 5].iter().sum();
+        assert!(central as f64 > 0.99 * n as f64, "central mass {central}/{n}");
+        // Mode at or adjacent to the middle.
+        let mode = hist.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert!((mode as i64 - mid as i64).abs() <= 1, "mode {mode}");
+    }
+
+    #[test]
+    fn normal_rows_are_valid_and_reproducible() {
+        let schema = Schema::with_cardinalities(&[50, 50, 50]).unwrap();
+        let a = normal_rows(&schema, 100, &mut StdRng::seed_from_u64(8));
+        let b = normal_rows(&schema, 100, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert!(a.validate(&schema).is_ok());
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn uniform_rows_cover_the_domain() {
+        let schema = Schema::with_cardinalities(&[4]).unwrap();
+        let rows = uniform_rows(&schema, 400, &mut StdRng::seed_from_u64(9));
+        let mut seen = [false; 4];
+        for i in 0..rows.len() {
+            seen[rows.values(i)[0] as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn datasets_report_density() {
+        let d = normal_dataset(5, 50, 1000, &mut StdRng::seed_from_u64(10)).unwrap();
+        let expect = 1000.0 / 50f64.powi(5);
+        assert!((d.density() - expect).abs() < 1e-15);
+        assert_eq!(d.data_bytes(), 1000 * 6 * 4);
+    }
+
+    #[test]
+    fn small_domains_work() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert_eq!(sample_normal_value(1, PAPER_VARIANCE, &mut rng), 0);
+            assert!(sample_normal_value(2, PAPER_VARIANCE, &mut rng) < 2);
+        }
+    }
+}

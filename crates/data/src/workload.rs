@@ -1,0 +1,66 @@
+//! Bundled datasets and query workloads.
+
+use rand::Rng;
+use rsky_core::error::Result;
+use rsky_core::query::Query;
+use rsky_core::schema::Schema;
+
+pub use rsky_core::dataset::Dataset;
+
+/// `count` random full-attribute queries with uniformly drawn values —
+/// queries need not (and usually do not) exist in the database.
+pub fn random_queries<R: Rng>(schema: &Schema, count: usize, rng: &mut R) -> Result<Vec<Query>> {
+    (0..count)
+        .map(|_| {
+            let values =
+                (0..schema.num_attrs()).map(|i| rng.gen_range(0..schema.cardinality(i))).collect();
+            Query::new(schema, values)
+        })
+        .collect()
+}
+
+/// `count` random queries restricted to the attribute subset `indices`.
+pub fn random_subset_queries<R: Rng>(
+    schema: &Schema,
+    indices: &[usize],
+    count: usize,
+    rng: &mut R,
+) -> Result<Vec<Query>> {
+    (0..count)
+        .map(|_| {
+            let values =
+                (0..schema.num_attrs()).map(|i| rng.gen_range(0..schema.cardinality(i))).collect();
+            Query::on_subset(schema, values, indices)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn queries_are_valid_and_reproducible() {
+        let schema = Schema::with_cardinalities(&[5, 3, 7]).unwrap();
+        let qs1 = random_queries(&schema, 10, &mut StdRng::seed_from_u64(5)).unwrap();
+        let qs2 = random_queries(&schema, 10, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(qs1.len(), 10);
+        assert_eq!(qs1, qs2);
+        for q in &qs1 {
+            assert!(schema.validate_values(&q.values).is_ok());
+            assert!(q.subset.is_full());
+        }
+    }
+
+    #[test]
+    fn subset_queries_carry_subset() {
+        let schema = Schema::with_cardinalities(&[5, 3, 7]).unwrap();
+        let qs =
+            random_subset_queries(&schema, &[0, 2], 3, &mut StdRng::seed_from_u64(6)).unwrap();
+        for q in &qs {
+            assert_eq!(q.subset.indices(), &[0, 2]);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Attribute orderings.
+//!
+//! The AL-Tree "requires an ordering of attributes. Arranging the attributes
+//! in the increasing order of number of distinct values would enable better
+//! group level reasoning due to larger sized groups towards the root"
+//! (Section 5.1). The same ordering drives the multi-attribute sort, so the
+//! sorted file clusters exactly the way the tree groups.
+
+use rsky_core::schema::Schema;
+
+/// Attribute indices sorted by ascending cardinality (ties keep schema
+/// order). `result[level]` is the schema attribute stored at tree level
+/// `level + 1` / used as the `level`-th sort key.
+pub fn ascending_cardinality_order(schema: &Schema) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..schema.num_attrs()).collect();
+    order.sort_by_key(|&i| schema.cardinality(i));
+    order
+}
+
+/// Inverse permutation: `inverse(order)[attr] = position of attr in order`.
+pub fn inverse(order: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; order.len()];
+    for (pos, &a) in order.iter().enumerate() {
+        inv[a] = pos;
+    }
+    inv
+}
+
+/// Applies `order` to a record's values: output `k`-th value is
+/// `values[order[k]]`.
+pub fn permute_values(values: &[u32], order: &[usize], out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(order.iter().map(|&i| values[i]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_by_cardinality_with_stable_ties() {
+        let s = Schema::with_cardinalities(&[91, 17, 5, 53, 7]).unwrap();
+        assert_eq!(ascending_cardinality_order(&s), vec![2, 4, 1, 3, 0]);
+        let t = Schema::with_cardinalities(&[3, 3, 2]).unwrap();
+        assert_eq!(ascending_cardinality_order(&t), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let order = vec![2, 4, 1, 3, 0];
+        let inv = inverse(&order);
+        for (pos, &a) in order.iter().enumerate() {
+            assert_eq!(inv[a], pos);
+        }
+    }
+
+    #[test]
+    fn permute_values_applies_order() {
+        let mut out = Vec::new();
+        permute_values(&[10, 20, 30], &[2, 0, 1], &mut out);
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+}

@@ -1,0 +1,514 @@
+//! External merge sort over record files (the pre-processing of Sections 4.2
+//! and 5.5).
+//!
+//! Classic two-stage design within a [`MemoryBudget`]:
+//!
+//! 1. **Run generation** — either load-sort-write (memory-sized sorted runs;
+//!    the default) or **replacement selection** ([`RunStrategy`]): a
+//!    tournament heap that emits runs averaging twice the memory size on
+//!    random input, halving the number of runs at the cost of per-record
+//!    heap operations;
+//! 2. **Merge** — k-way merge of runs with one page of memory per run;
+//!    when the number of runs exceeds the budgeted fan-in, merge in multiple
+//!    passes.
+//!
+//! All IO flows through the [`Disk`], so the pre-processing cost experiment
+//! (Section 5.5) reads its page counts straight off the disk counters.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rsky_core::error::Result;
+use rsky_core::record::RowBuf;
+use rsky_storage::{Disk, MemoryBudget, RecordFile, RecordWriter};
+
+use crate::multisort::lex_cmp;
+
+/// How sorted runs are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunStrategy {
+    /// Fill memory, sort, write — runs of exactly the memory size.
+    #[default]
+    LoadSortWrite,
+    /// Tournament (heap) replacement selection — runs average twice the
+    /// memory size on random input, fewer runs to merge.
+    ReplacementSelection,
+}
+
+/// Result of an external sort.
+#[derive(Debug)]
+pub struct SortOutcome {
+    /// The sorted output file.
+    pub file: RecordFile,
+    /// Sorted runs produced by run generation.
+    pub runs: usize,
+    /// Merge passes performed (0 when a single run sufficed).
+    pub merge_passes: usize,
+}
+
+/// External sort by the multi-attribute lexicographic order of
+/// [`crate::multisort`] under `order` (ids break ties).
+pub fn external_sort_lex(
+    disk: &mut Disk,
+    input: &RecordFile,
+    budget: &MemoryBudget,
+    order: &[usize],
+) -> Result<SortOutcome> {
+    let key = |row: &[u32]| -> Vec<u32> {
+        let mut k: Vec<u32> = order.iter().map(|&i| rsky_core::record::row::values(row)[i]).collect();
+        k.push(rsky_core::record::row::id(row));
+        k
+    };
+    let out = external_sort_by_key(disk, input, budget, key)?;
+    debug_assert!({
+        let rows = out.file.read_all(disk)?;
+        (1..rows.len()).all(|i| {
+            lex_cmp(rows.flat_row(i - 1), rows.flat_row(i), order) != std::cmp::Ordering::Greater
+        })
+    });
+    Ok(out)
+}
+
+/// External sort by an arbitrary totally-ordered key of the flat row
+/// (`[id, v_0, …]`). The key function must be deterministic; include the id
+/// in the key if a stable total order is required.
+pub fn external_sort_by_key<K, F>(
+    disk: &mut Disk,
+    input: &RecordFile,
+    budget: &MemoryBudget,
+    key_fn: F,
+) -> Result<SortOutcome>
+where
+    K: Ord,
+    F: Fn(&[u32]) -> K,
+{
+    external_sort_by_key_with(disk, input, budget, key_fn, RunStrategy::default())
+}
+
+/// [`external_sort_by_key`] with an explicit run-generation strategy.
+pub fn external_sort_by_key_with<K, F>(
+    disk: &mut Disk,
+    input: &RecordFile,
+    budget: &MemoryBudget,
+    key_fn: F,
+    strategy: RunStrategy,
+) -> Result<SortOutcome>
+where
+    K: Ord,
+    F: Fn(&[u32]) -> K,
+{
+    let m = input.num_attrs();
+    // --- Run generation ---------------------------------------------------
+    let batch_cap = budget.phase1_records(input.record_bytes());
+    let mut runs: Vec<RecordFile> = match strategy {
+        RunStrategy::LoadSortWrite => load_sort_write_runs(disk, input, batch_cap, &key_fn)?,
+        RunStrategy::ReplacementSelection => {
+            replacement_selection_runs(disk, input, batch_cap, &key_fn)?
+        }
+    };
+    if runs.is_empty() {
+        return Ok(SortOutcome { file: RecordFile::create(disk, m)?, runs: 0, merge_passes: 0 });
+    }
+    let num_runs = runs.len();
+
+    // --- Merge passes -------------------------------------------------------
+    // One page of memory per input run plus one output page.
+    let budget_pages = (budget.bytes() / disk.page_size() as u64).max(2) as usize;
+    let fanin = budget_pages.saturating_sub(1).max(2);
+    let mut passes = 0;
+    while runs.len() > 1 {
+        passes += 1;
+        let mut next = Vec::with_capacity(runs.len().div_ceil(fanin));
+        let mut iter = runs.into_iter().peekable();
+        let mut group = Vec::with_capacity(fanin);
+        while iter.peek().is_some() {
+            group.clear();
+            for _ in 0..fanin {
+                match iter.next() {
+                    Some(r) => group.push(r),
+                    None => break,
+                }
+            }
+            next.push(merge_runs(disk, &group, &key_fn)?);
+        }
+        runs = next;
+    }
+    Ok(SortOutcome { file: runs.pop().expect("at least one run"), runs: num_runs, merge_passes: passes })
+}
+
+/// Load-sort-write run generation: memory-sized sorted runs.
+fn load_sort_write_runs<K: Ord, F: Fn(&[u32]) -> K>(
+    disk: &mut Disk,
+    input: &RecordFile,
+    batch_cap: usize,
+    key_fn: &F,
+) -> Result<Vec<RecordFile>> {
+    let m = input.num_attrs();
+    let total_pages = input.num_pages(disk);
+    let mut runs = Vec::new();
+    let mut page = 0;
+    let mut batch = RowBuf::new(m);
+    while page < total_pages {
+        batch.clear();
+        let (pages, _) = input.read_batch(disk, page, batch_cap, &mut batch)?;
+        page += pages;
+        sort_buf_by_key(&mut batch, key_fn);
+        let mut rf = RecordFile::create(disk, m)?;
+        rf.write_all(disk, &batch)?;
+        runs.push(rf);
+    }
+    Ok(runs)
+}
+
+/// Replacement-selection run generation: a heap of `batch_cap` records where
+/// each popped record is replaced by the next input record, tagged into the
+/// current run if its key is not smaller than the last emitted key and into
+/// the next run otherwise. Random input yields runs ≈ 2 × memory.
+fn replacement_selection_runs<K: Ord, F: Fn(&[u32]) -> K>(
+    disk: &mut Disk,
+    input: &RecordFile,
+    batch_cap: usize,
+    key_fn: &F,
+) -> Result<Vec<RecordFile>> {
+    let m = input.num_attrs();
+    if input.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Heap entries: (run, key, seq, row); `seq` keeps equal keys stable.
+    type HeapEntry<K> = Reverse<(u32, K, u64, Vec<u32>)>;
+    let mut heap: BinaryHeap<HeapEntry<K>> = BinaryHeap::new();
+    let mut reader = RunReader::new(input.clone());
+    let mut seq: u64 = 0;
+    while heap.len() < batch_cap && reader.refill(disk)? {
+        let row = reader.take_current();
+        heap.push(Reverse((0, key_fn(&row), seq, row)));
+        seq += 1;
+    }
+    let mut runs: Vec<RecordFile> = Vec::new();
+    let mut writer = RecordWriter::new(RecordFile::create(disk, m)?);
+    let mut cur_run: u32 = 0;
+    while let Some(Reverse((run, key, _, row))) = heap.pop() {
+        if run != cur_run {
+            runs.push(writer.finish(disk)?);
+            writer = RecordWriter::new(RecordFile::create(disk, m)?);
+            cur_run = run;
+        }
+        writer.push(disk, &row)?;
+        if reader.refill(disk)? {
+            let next = reader.take_current();
+            let nk = key_fn(&next);
+            let target = if nk >= key { cur_run } else { cur_run + 1 };
+            heap.push(Reverse((target, nk, seq, next)));
+            seq += 1;
+        }
+    }
+    runs.push(writer.finish(disk)?);
+    Ok(runs)
+}
+
+/// Sorts a row buffer by cached keys (each key computed once).
+fn sort_buf_by_key<K: Ord, F: Fn(&[u32]) -> K>(buf: &mut RowBuf, key_fn: &F) {
+    let mut keyed: Vec<(K, usize)> =
+        (0..buf.len()).map(|i| (key_fn(buf.flat_row(i)), i)).collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut out = RowBuf::with_capacity(buf.num_attrs(), buf.len());
+    for (_, i) in keyed {
+        out.push_flat(buf.flat_row(i));
+    }
+    *buf = out;
+}
+
+/// Streams one sorted run page by page.
+struct RunReader {
+    rf: RecordFile,
+    next_page: u64,
+    buf: RowBuf,
+    pos: usize,
+}
+
+impl RunReader {
+    fn new(rf: RecordFile) -> Self {
+        let m = rf.num_attrs();
+        Self { rf, next_page: 0, buf: RowBuf::new(m), pos: 0 }
+    }
+
+    /// Returns the current row (refilling from disk as needed) without
+    /// consuming it.
+    fn refill(&mut self, disk: &mut Disk) -> Result<bool> {
+        if self.pos < self.buf.len() {
+            return Ok(true);
+        }
+        if self.next_page >= self.rf.num_pages(disk) {
+            return Ok(false);
+        }
+        self.buf.clear();
+        self.pos = 0;
+        self.rf.read_page_rows(disk, self.next_page, &mut self.buf)?;
+        self.next_page += 1;
+        Ok(true)
+    }
+
+    fn take_current(&mut self) -> Vec<u32> {
+        let row = self.buf.flat_row(self.pos).to_vec();
+        self.pos += 1;
+        row
+    }
+}
+
+/// Merges sorted runs into a single sorted file.
+fn merge_runs<K, F>(disk: &mut Disk, runs: &[RecordFile], key_fn: &F) -> Result<RecordFile>
+where
+    K: Ord,
+    F: Fn(&[u32]) -> K,
+{
+    let m = runs[0].num_attrs();
+    let out = RecordFile::create(disk, m)?;
+    let mut writer = RecordWriter::new(out);
+    let mut readers: Vec<RunReader> = runs.iter().cloned().map(RunReader::new).collect();
+    // Heap of (Reverse(key, run), run) — min-key first; run index breaks ties
+    // deterministically.
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
+    let mut current: Vec<Option<Vec<u32>>> = vec![None; readers.len()];
+    for (i, r) in readers.iter_mut().enumerate() {
+        if r.refill(disk)? {
+            let row = r.take_current();
+            heap.push(Reverse((key_fn(&row), i)));
+            current[i] = Some(row);
+        }
+    }
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let row = current[i].take().expect("heap entry without current row");
+        writer.push(disk, &row)?;
+        if readers[i].refill(disk)? {
+            let row = readers[i].take_current();
+            heap.push(Reverse((key_fn(&row), i)));
+            current[i] = Some(row);
+        }
+    }
+    writer.finish(disk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsky_core::record::row;
+
+    fn make_input(disk: &mut Disk, m: usize, n: usize, seed: u64) -> RecordFile {
+        // Simple deterministic pseudo-random rows (LCG).
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut rows = RowBuf::new(m);
+        for i in 0..n {
+            let vals: Vec<u32> = (0..m)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 33) % 10) as u32
+                })
+                .collect();
+            rows.push(i as u32, &vals);
+        }
+        let mut rf = RecordFile::create(disk, m).unwrap();
+        rf.write_all(disk, &rows).unwrap();
+        rf
+    }
+
+    fn assert_sorted_and_permutation(disk: &mut Disk, input: &RecordFile, output: &RecordFile, order: &[usize]) {
+        let inp = input.read_all(disk).unwrap();
+        let out = output.read_all(disk).unwrap();
+        assert_eq!(inp.len(), out.len());
+        assert!(crate::multisort::is_sorted_lex(&out, order), "output not sorted");
+        let mut in_ids: Vec<u32> = inp.iter().map(row::id).collect();
+        let mut out_ids: Vec<u32> = out.iter().map(row::id).collect();
+        in_ids.sort_unstable();
+        out_ids.sort_unstable();
+        assert_eq!(in_ids, out_ids, "output not a permutation of input");
+    }
+
+    #[test]
+    fn single_run_needs_no_merge() {
+        let mut disk = Disk::new_mem(256);
+        let input = make_input(&mut disk, 3, 10, 7);
+        let budget = MemoryBudget::from_bytes(10_000, 256).unwrap();
+        let o = external_sort_lex(&mut disk, &input, &budget, &[0, 1, 2]).unwrap();
+        assert_eq!(o.runs, 1);
+        assert_eq!(o.merge_passes, 0);
+        assert_sorted_and_permutation(&mut disk, &input, &o.file, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn multiple_runs_single_pass() {
+        let mut disk = Disk::new_mem(256); // 16 rows/page for m=3
+        let input = make_input(&mut disk, 3, 200, 3);
+        // budget 1 KiB = 4 pages → 64 records per run, fanin = 3.
+        let budget = MemoryBudget::from_bytes(1024, 256).unwrap();
+        let o = external_sort_lex(&mut disk, &input, &budget, &[0, 1, 2]).unwrap();
+        assert!(o.runs >= 3, "expected several runs, got {}", o.runs);
+        assert!(o.merge_passes >= 1);
+        assert_sorted_and_permutation(&mut disk, &input, &o.file, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn tiny_budget_forces_multipass_merge() {
+        let mut disk = Disk::new_mem(64); // 4 rows/page for m=3
+        let input = make_input(&mut disk, 3, 160, 11);
+        // One page of memory → runs of one page, fanin forced to 2.
+        let budget = MemoryBudget::from_bytes(64, 64).unwrap();
+        let o = external_sort_lex(&mut disk, &input, &budget, &[0, 1, 2]).unwrap();
+        assert_eq!(o.runs, 40);
+        assert!(o.merge_passes >= 5, "40 runs at fanin 2 need ≥ 6 passes, got {}", o.merge_passes);
+        assert_sorted_and_permutation(&mut disk, &input, &o.file, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let mut disk = Disk::new_mem(256);
+        let input = RecordFile::create(&mut disk, 3).unwrap();
+        let budget = MemoryBudget::from_bytes(1024, 256).unwrap();
+        let o = external_sort_lex(&mut disk, &input, &budget, &[0, 1, 2]).unwrap();
+        assert_eq!(o.file.len(), 0);
+        assert_eq!(o.runs, 0);
+    }
+
+    #[test]
+    fn respects_attribute_order_permutation() {
+        let mut disk = Disk::new_mem(256);
+        let mut rows = RowBuf::new(2);
+        rows.push(0, &[1, 0]);
+        rows.push(1, &[0, 1]);
+        let mut input = RecordFile::create(&mut disk, 2).unwrap();
+        input.write_all(&mut disk, &rows).unwrap();
+        let budget = MemoryBudget::from_bytes(4096, 256).unwrap();
+        let o = external_sort_lex(&mut disk, &input, &budget, &[1, 0]).unwrap();
+        let out = o.file.read_all(&mut disk).unwrap();
+        assert_eq!(out.id(0), 0); // value 0 on attribute 1 first
+    }
+
+    #[test]
+    fn sort_by_custom_key() {
+        let mut disk = Disk::new_mem(256);
+        let input = make_input(&mut disk, 3, 50, 5);
+        let budget = MemoryBudget::from_bytes(512, 256).unwrap();
+        // Sort by descending first attribute, id tiebreak.
+        let o = external_sort_by_key(&mut disk, &input, &budget, |r| {
+            (u32::MAX - row::values(r)[0], row::id(r))
+        })
+        .unwrap();
+        let out = o.file.read_all(&mut disk).unwrap();
+        for i in 1..out.len() {
+            assert!(out.values(i - 1)[0] >= out.values(i)[0]);
+        }
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn replacement_selection_sorts_correctly() {
+        let mut disk = Disk::new_mem(256);
+        let input = make_input(&mut disk, 3, 500, 17);
+        let budget = MemoryBudget::from_bytes(1024, 256).unwrap();
+        let key = |r: &[u32]| -> Vec<u32> {
+            let mut k = row::values(r).to_vec();
+            k.push(row::id(r));
+            k
+        };
+        let o = external_sort_by_key_with(
+            &mut disk,
+            &input,
+            &budget,
+            key,
+            RunStrategy::ReplacementSelection,
+        )
+        .unwrap();
+        assert_sorted_and_permutation(&mut disk, &input, &o.file, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn replacement_selection_produces_fewer_runs() {
+        let mut disk = Disk::new_mem(256);
+        let input = make_input(&mut disk, 3, 2000, 23);
+        let budget = MemoryBudget::from_bytes(1024, 256).unwrap(); // 64-record memory
+        let key = |r: &[u32]| -> Vec<u32> {
+            let mut k = row::values(r).to_vec();
+            k.push(row::id(r));
+            k
+        };
+        let lsw =
+            external_sort_by_key_with(&mut disk, &input, &budget, key, RunStrategy::LoadSortWrite)
+                .unwrap();
+        let rs = external_sort_by_key_with(
+            &mut disk,
+            &input,
+            &budget,
+            key,
+            RunStrategy::ReplacementSelection,
+        )
+        .unwrap();
+        // Theory: ≈ half as many runs on random input. Allow generous slack.
+        assert!(
+            (rs.runs as f64) < 0.75 * lsw.runs as f64,
+            "replacement selection {} runs vs load-sort-write {}",
+            rs.runs,
+            lsw.runs
+        );
+        assert_sorted_and_permutation(&mut disk, &input, &rs.file, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn replacement_selection_on_presorted_input_is_one_run() {
+        // Already-sorted input never starts a second run.
+        let mut disk = Disk::new_mem(256);
+        let mut rows = RowBuf::new(2);
+        for i in 0..300u32 {
+            rows.push(i, &[i / 10, i % 10]);
+        }
+        let mut input = RecordFile::create(&mut disk, 2).unwrap();
+        input.write_all(&mut disk, &rows).unwrap();
+        let budget = MemoryBudget::from_bytes(512, 256).unwrap();
+        let key = |r: &[u32]| -> Vec<u32> {
+            let mut k = row::values(r).to_vec();
+            k.push(row::id(r));
+            k
+        };
+        let o = external_sort_by_key_with(
+            &mut disk,
+            &input,
+            &budget,
+            key,
+            RunStrategy::ReplacementSelection,
+        )
+        .unwrap();
+        assert_eq!(o.runs, 1);
+        assert_eq!(o.merge_passes, 0);
+        assert_eq!(o.file.read_all(&mut disk).unwrap(), rows);
+    }
+
+    #[test]
+    fn replacement_selection_empty_input() {
+        let mut disk = Disk::new_mem(256);
+        let input = RecordFile::create(&mut disk, 3).unwrap();
+        let budget = MemoryBudget::from_bytes(512, 256).unwrap();
+        let o = external_sort_by_key_with(
+            &mut disk,
+            &input,
+            &budget,
+            |r: &[u32]| row::id(r),
+            RunStrategy::ReplacementSelection,
+        )
+        .unwrap();
+        assert_eq!(o.file.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_heavy_input_stays_stable_by_id() {
+        let mut disk = Disk::new_mem(64);
+        let mut rows = RowBuf::new(3);
+        for i in 0..40 {
+            rows.push(i, &[1, 2, 3]);
+        }
+        let mut input = RecordFile::create(&mut disk, 3).unwrap();
+        input.write_all(&mut disk, &rows).unwrap();
+        let budget = MemoryBudget::from_bytes(64, 64).unwrap();
+        let o = external_sort_lex(&mut disk, &input, &budget, &[0, 1, 2]).unwrap();
+        let out = o.file.read_all(&mut disk).unwrap();
+        let ids: Vec<u32> = out.iter().map(row::id).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<u32>>());
+    }
+}

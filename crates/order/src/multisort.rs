@@ -1,0 +1,94 @@
+//! In-memory multi-attribute sort (Section 4.2).
+//!
+//! "The database is ordered according to the first attribute values, and the
+//! objects that take the same value for the first attribute are ordered
+//! according to the second attribute values and so on. The actual ordering
+//! among different values of an attribute is immaterial" — we use value-id
+//! order per attribute and break full ties by record id so the sort is total
+//! and deterministic.
+
+use std::cmp::Ordering;
+
+use rsky_core::record::{row, RowBuf};
+
+/// Lexicographic comparison of two *flat* rows under an attribute ordering.
+/// Ties across all ordered attributes fall back to record id.
+#[inline]
+pub fn lex_cmp(a: &[u32], b: &[u32], order: &[usize]) -> Ordering {
+    let (va, vb) = (row::values(a), row::values(b));
+    for &i in order {
+        match va[i].cmp(&vb[i]) {
+            Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    row::id(a).cmp(&row::id(b))
+}
+
+/// Sorts `rows` in place by [`lex_cmp`] under `order`.
+pub fn sort_rows_lex(rows: &mut RowBuf, order: &[usize]) {
+    rows.sort_by(|a, b| lex_cmp(a, b, order));
+}
+
+/// Whether `rows` is sorted under `order` (used by tests and debug checks).
+pub fn is_sorted_lex(rows: &RowBuf, order: &[usize]) -> bool {
+    (1..rows.len())
+        .all(|i| lex_cmp(rows.flat_row(i - 1), rows.flat_row(i), order) != Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: after the multi-attribute sort the order
+    /// of object ids is {O1, O4, O6, O2, O5, O3} (Section 4.2).
+    #[test]
+    fn paper_example_sorted_order() {
+        let mut rows = RowBuf::new(3);
+        rows.push(1, &[0, 0, 1]); // O1 [MSW, AMD, DB2]
+        rows.push(2, &[1, 0, 0]); // O2 [RHL, AMD, Informix]
+        rows.push(3, &[2, 1, 2]); // O3 [SL, Intel, Oracle]
+        rows.push(4, &[0, 0, 1]); // O4 [MSW, AMD, DB2]
+        rows.push(5, &[1, 0, 0]); // O5 [RHL, AMD, Informix]
+        rows.push(6, &[0, 1, 1]); // O6 [MSW, Intel, DB2]
+        sort_rows_lex(&mut rows, &[0, 1, 2]);
+        let ids: Vec<u32> = rows.iter().map(row::id).collect();
+        assert_eq!(ids, vec![1, 4, 6, 2, 5, 3]);
+        assert!(is_sorted_lex(&rows, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn respects_attribute_order() {
+        let mut rows = RowBuf::new(2);
+        rows.push(0, &[1, 0]);
+        rows.push(1, &[0, 1]);
+        // Sorting on attribute 1 first reverses the outcome.
+        sort_rows_lex(&mut rows, &[1, 0]);
+        let ids: Vec<u32> = rows.iter().map(row::id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        sort_rows_lex(&mut rows, &[0, 1]);
+        let ids: Vec<u32> = rows.iter().map(row::id).collect();
+        assert_eq!(ids, vec![1, 0]);
+    }
+
+    #[test]
+    fn ties_broken_by_id_for_determinism() {
+        let mut rows = RowBuf::new(1);
+        rows.push(9, &[5]);
+        rows.push(3, &[5]);
+        rows.push(7, &[5]);
+        sort_rows_lex(&mut rows, &[0]);
+        let ids: Vec<u32> = rows.iter().map(row::id).collect();
+        assert_eq!(ids, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn partial_order_subsets_sort_only_named_attrs() {
+        let mut rows = RowBuf::new(3);
+        rows.push(0, &[2, 0, 9]);
+        rows.push(1, &[1, 1, 0]);
+        sort_rows_lex(&mut rows, &[1]); // only attribute 1
+        let ids: Vec<u32> = rows.iter().map(row::id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

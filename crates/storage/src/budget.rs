@@ -1,0 +1,126 @@
+//! The paper's memory model: working memory as a percentage of dataset size.
+//!
+//! Every experiment of the paper varies "% Memory" — the fraction of the
+//! dataset the engines may hold in RAM. [`MemoryBudget`] converts that knob
+//! into concrete batch capacities:
+//!
+//! * **phase one** uses the whole budget for the current batch;
+//! * **phase two** reserves exactly one page for the sequential scan of the
+//!   database ("One page memory is used to scan the original database and the
+//!   rest of the memory is used to load the first phase results").
+
+use rsky_core::error::{Error, Result};
+
+/// Byte budget for the in-memory working set of an engine run.
+///
+/// ```
+/// use rsky_storage::MemoryBudget;
+///
+/// // "10% memory" over a 1 MB dataset with 4 KiB pages:
+/// let b = MemoryBudget::from_percent(1_000_000, 10.0, 4096).unwrap();
+/// assert_eq!(b.bytes(), 100_000);
+/// // Phase-one batches of 24-byte records; phase two keeps one page for
+/// // the database scan.
+/// assert_eq!(b.phase1_records(24), 4166);
+/// assert_eq!(b.phase2_records(24), (100_000 - 4096) / 24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: u64,
+    page_size: usize,
+}
+
+impl MemoryBudget {
+    /// Budget of exactly `bytes`, clamped up to one page (the engines cannot
+    /// make progress on less).
+    pub fn from_bytes(bytes: u64, page_size: usize) -> Result<Self> {
+        if page_size == 0 {
+            return Err(Error::InvalidConfig("page size must be positive".into()));
+        }
+        Ok(Self { bytes: bytes.max(page_size as u64), page_size })
+    }
+
+    /// Budget of `percent`% of `dataset_bytes` — the paper's knob.
+    pub fn from_percent(dataset_bytes: u64, percent: f64, page_size: usize) -> Result<Self> {
+        if !(0.0..=100.0).contains(&percent) {
+            return Err(Error::InvalidConfig(format!("memory percent {percent} out of range")));
+        }
+        Self::from_bytes((dataset_bytes as f64 * percent / 100.0) as u64, page_size)
+    }
+
+    /// Total budget in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Page size the budget is expressed against.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Records a phase-one batch may hold (`≥ 1`).
+    pub fn phase1_records(&self, record_bytes: usize) -> usize {
+        ((self.bytes / record_bytes as u64) as usize).max(1)
+    }
+
+    /// Records a phase-two batch of intermediate results may hold, after
+    /// reserving one page for the database scan (`≥ 1`).
+    pub fn phase2_records(&self, record_bytes: usize) -> usize {
+        let left = self.bytes.saturating_sub(self.page_size as u64);
+        ((left / record_bytes as u64) as usize).max(1)
+    }
+
+    /// Byte budget for a phase-one AL-Tree (the whole budget; the tree *is*
+    /// the batch).
+    pub fn phase1_tree_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Byte budget for a phase-two AL-Tree (one page reserved for the scan).
+    pub fn phase2_tree_bytes(&self) -> u64 {
+        self.bytes.saturating_sub(self.page_size as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_of_dataset() {
+        let b = MemoryBudget::from_percent(1_000_000, 10.0, 32 * 1024).unwrap();
+        assert_eq!(b.bytes(), 100_000);
+    }
+
+    #[test]
+    fn clamps_to_one_page() {
+        let b = MemoryBudget::from_percent(1_000, 1.0, 32 * 1024).unwrap();
+        assert_eq!(b.bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(MemoryBudget::from_percent(1000, -1.0, 64).is_err());
+        assert!(MemoryBudget::from_percent(1000, 101.0, 64).is_err());
+        assert!(MemoryBudget::from_bytes(1000, 0).is_err());
+    }
+
+    #[test]
+    fn batch_capacities() {
+        // 4 KiB budget, 1 KiB pages, 16-byte records.
+        let b = MemoryBudget::from_bytes(4096, 1024).unwrap();
+        assert_eq!(b.phase1_records(16), 256);
+        assert_eq!(b.phase2_records(16), 192); // one page reserved
+        assert_eq!(b.phase1_tree_bytes(), 4096);
+        assert_eq!(b.phase2_tree_bytes(), 3072);
+    }
+
+    #[test]
+    fn phase2_never_zero() {
+        let b = MemoryBudget::from_bytes(1024, 1024).unwrap();
+        assert_eq!(b.phase2_records(16), 1);
+        assert_eq!(b.phase2_tree_bytes(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Querying on attribute subsets (Section 5.6): hotels edition.
+//!
+//! "Among the many attributes of hotels, a user may be interested in only
+//! the price and proximity to the beach." The engines accept an attribute
+//! subset per query; this example compares SRS / T-SRS / TRS / T-TRS on
+//! subsets that are, and are not, prefixes of the sort order — the setting
+//! of the paper's Figure 19, where the multi-attribute sort's weakness and
+//! tiling's robustness show up.
+//!
+//! ```text
+//! cargo run --release --example attribute_subsets
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky::prelude::*;
+
+fn main() -> rsky::core::error::Result<()> {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Hotels over 7 attributes (the Figure 19 shape, scaled down).
+    let m = 7;
+    let dataset = rsky::data::synthetic::normal_dataset(m, 20, 30_000, &mut rng)?;
+    println!("{} hotels, {} attributes\n", dataset.len(), m);
+
+    let mut disk = Disk::new_mem(4096);
+    let raw = load_dataset(&mut disk, &dataset)?;
+    let budget = MemoryBudget::from_percent(dataset.data_bytes(), 10.0, disk.page_size())?;
+    let sorted = prepare_table(&mut disk, &dataset.schema, &raw, Layout::MultiSort, &budget)?;
+    let tiled = prepare_table(
+        &mut disk,
+        &dataset.schema,
+        &raw,
+        Layout::Tiled { tiles_per_attr: 4 },
+        &budget,
+    )?;
+    let trs = Trs::for_schema(&dataset.schema);
+
+    // Subsets relative to the sort order: a prefix (friendly), a suffix
+    // (hostile to the sort), and a scattered pick.
+    let order = &sorted.attr_order;
+    let cases = [
+        ("prefix of sort order ", vec![order[0], order[1], order[2]]),
+        ("suffix of sort order ", vec![order[4], order[5], order[6]]),
+        ("scattered attributes ", vec![order[1], order[3], order[5]]),
+    ];
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "query subset", "SRS", "T-SRS", "TRS", "T-TRS"
+    );
+    for (label, subset) in &cases {
+        let q = Query::on_subset(
+            &dataset.schema,
+            (0..m).map(|i| dataset.rows.values(17)[i]).collect(),
+            subset,
+        )?;
+        let mut cells = Vec::new();
+        let mut expected: Option<Vec<u32>> = None;
+        for (engine_is_trs, table) in
+            [(false, &sorted.file), (false, &tiled.file), (true, &sorted.file), (true, &tiled.file)]
+        {
+            let mut ctx = EngineCtx {
+                disk: &mut disk,
+                schema: &dataset.schema,
+                dissim: &dataset.dissim,
+                budget,
+            };
+            let run = if engine_is_trs {
+                trs.run(&mut ctx, table, &q)?
+            } else {
+                Srs.run(&mut ctx, table, &q)?
+            };
+            match &expected {
+                None => expected = Some(run.ids.clone()),
+                Some(e) => assert_eq!(e, &run.ids, "engines must agree on {label}"),
+            }
+            cells.push(format!("{:>9.1?}", run.stats.total_time));
+        }
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>12}   |RS| = {}",
+            label,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            expected.map(|e| e.len()).unwrap_or(0)
+        );
+    }
+
+    println!("\nReading the rows like Figure 19: SRS degrades when the subset skips the");
+    println!("leading sort attributes, tile ordering flattens that out, and TRS is the");
+    println!("least sensitive of all — it needs only as many checks as the tree path is");
+    println!("deep once an object and its pruner share a batch.");
+    Ok(())
+}

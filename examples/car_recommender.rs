@@ -1,0 +1,98 @@
+//! Targeted promotion for a pre-owned car dealer — the paper's car /
+//! retail-mailing scenario (Section 1).
+//!
+//! The database holds *customer preference profiles* expressed in the same
+//! attribute space as cars (manufacturer, fuel type, color family, safety
+//! tier, entertainment package). Similarities between categorical values
+//! ("LPG is quite like petrol, nothing like electric") come from a domain
+//! expert and are non-metric. The reverse skyline of a car is the set of
+//! customers whose preference is **not dominated** by any other customer
+//! profile with respect to that car — the right audience for a mailer, and
+//! the dealer's measure of which cars to source more of.
+//!
+//! ```text
+//! cargo run --release --example car_recommender
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky::prelude::*;
+
+fn main() -> rsky::core::error::Result<()> {
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // Attribute space shared by cars and customer preferences.
+    let schema = Schema::new(vec![
+        AttrMeta::new("Manufacturer", 9),
+        AttrMeta::new("Fuel", 4),    // petrol, diesel, LPG, electric
+        AttrMeta::new("Color", 6),   // color families
+        AttrMeta::new("Safety", 4),  // safety tiers
+        AttrMeta::new("Entertainment", 5),
+    ])?;
+
+    // Expert-style dissimilarities: hand-build the Fuel matrix (petrol=0,
+    // diesel=1, LPG=2, electric=3) — deliberately non-metric, like Figure 1 —
+    // and draw the rest randomly as the paper does.
+    let fuel = rsky::core::dissim::MatrixBuilder::new(4)
+        .set_sym(0, 1, 0.3)
+        .set_sym(0, 2, 0.2)
+        .set_sym(0, 3, 0.9)
+        .set_sym(1, 2, 0.4)
+        .set_sym(1, 3, 0.95)
+        .set_sym(2, 3, 0.5) // 0.9 > 0.2 + 0.5: triangle inequality violated
+        .build()?;
+    assert!(fuel.is_non_metric(), "the fuel matrix is intentionally non-metric");
+    let mut measures = vec![];
+    for i in 0..schema.num_attrs() {
+        if i == 1 {
+            measures.push(fuel.clone());
+        } else {
+            measures.push(rsky::data::dissim_gen::random_matrix(schema.cardinality(i), &mut rng));
+        }
+    }
+    let dissim = DissimTable::new(&schema, measures)?;
+
+    // 30k customer preference profiles.
+    let rows = rsky::data::synthetic::normal_rows(&schema, 30_000, &mut rng);
+    let customers = Dataset { schema, dissim, rows, label: "customer preferences".into() };
+
+    let mut disk = Disk::new_mem(4096);
+    let raw = load_dataset(&mut disk, &customers)?;
+    let budget = MemoryBudget::from_percent(customers.data_bytes(), 10.0, disk.page_size())?;
+    let sorted = prepare_table(&mut disk, &customers.schema, &raw, Layout::MultiSort, &budget)?;
+    let trs = Trs::for_schema(&customers.schema);
+
+    // Three cars the dealer can source; which reaches the widest receptive
+    // audience?
+    let lots = [
+        ("budget petrol hatchback", vec![2u32, 0, 1, 1, 0]),
+        ("family diesel estate   ", vec![5, 1, 3, 2, 2]),
+        ("premium electric sedan ", vec![7, 3, 0, 3, 4]),
+    ];
+
+    println!("audience size per car (reverse skyline over {} customer profiles):\n", customers.len());
+    let mut best = (0usize, ""); // (audience, name)
+    for (name, values) in &lots {
+        let q = Query::new(&customers.schema, values.clone())?;
+        let mut ctx = EngineCtx {
+            disk: &mut disk,
+            schema: &customers.schema,
+            dissim: &customers.dissim,
+            budget,
+        };
+        let run = trs.run(&mut ctx, &sorted.file, &q)?;
+        println!(
+            "  {name}  →  {:>5} customers to mail   ({} checks, {:.1?})",
+            run.ids.len(),
+            run.stats.dist_checks,
+            run.stats.total_time
+        );
+        if run.ids.len() > best.0 {
+            best = (run.ids.len(), name);
+        }
+    }
+    println!("\nsource more of: {} (largest receptive audience, no aggregation function needed)", best.1.trim());
+    println!("top-k with a weighted score would require committing to one weighting of");
+    println!("manufacturer vs fuel vs safety; the reverse skyline covers them all.");
+    Ok(())
+}

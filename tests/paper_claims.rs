@@ -1,0 +1,173 @@
+//! The paper's *qualitative* performance claims, encoded as tests on
+//! moderate-size data. These pin the shape of the evaluation section —
+//! orderings and trends, not absolute numbers — so a regression that changes
+//! who wins shows up in `cargo test`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky::prelude::*;
+use rsky_core::stats::RunStats;
+
+struct Costs {
+    brs: RunStats,
+    srs: RunStats,
+    trs: RunStats,
+}
+
+/// Runs the three main engines on one dataset/query and returns their stats.
+fn run_all(ds: &Dataset, q: &Query, page: usize, mem_pct: f64) -> Costs {
+    let mut disk = Disk::new_mem(page);
+    let raw = load_dataset(&mut disk, ds).unwrap();
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), mem_pct, page).unwrap();
+    let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+    let trs_engine = Trs::for_schema(&ds.schema);
+    let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+    let brs = Brs.run(&mut ctx, &raw, q).unwrap();
+    let srs = Srs.run(&mut ctx, &sorted.file, q).unwrap();
+    let trs = trs_engine.run(&mut ctx, &sorted.file, q).unwrap();
+    assert_eq!(brs.ids, srs.ids);
+    assert_eq!(srs.ids, trs.ids);
+    Costs { brs: brs.stats, srs: srs.stats, trs: trs.stats }
+}
+
+fn synth(n: usize, seed: u64) -> (Dataset, Query) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = rsky::data::synthetic::normal_dataset(5, 20, n, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    (ds, q)
+}
+
+/// "TRS is roughly 3 times and 6 times faster than SRS and BRS respectively"
+/// — at minimum, the check-count ordering TRS < SRS < BRS must hold.
+#[test]
+fn check_count_ordering_trs_srs_brs() {
+    for seed in [1, 2, 3] {
+        let (ds, q) = synth(5_000, seed);
+        let c = run_all(&ds, &q, 1024, 10.0);
+        assert!(
+            c.trs.dist_checks < c.srs.dist_checks,
+            "seed {seed}: TRS checks {} !< SRS {}",
+            c.trs.dist_checks,
+            c.srs.dist_checks
+        );
+        assert!(
+            c.srs.dist_checks < c.brs.dist_checks,
+            "seed {seed}: SRS checks {} !< BRS {}",
+            c.srs.dist_checks,
+            c.brs.dist_checks
+        );
+    }
+}
+
+/// Group-level reasoning must save a *factor*, not a few percent: TRS needs
+/// at most half of BRS's checks on normal data.
+#[test]
+fn trs_saves_a_factor_over_brs() {
+    let (ds, q) = synth(8_000, 4);
+    let c = run_all(&ds, &q, 1024, 10.0);
+    assert!(
+        2 * c.trs.dist_checks <= c.brs.dist_checks,
+        "TRS {} vs BRS {}",
+        c.trs.dist_checks,
+        c.brs.dist_checks
+    );
+}
+
+/// Pre-sorting improves phase-one pruning: SRS leaves no more survivors than
+/// BRS (Section 4.2 / Table 2).
+#[test]
+fn sorting_improves_phase1_pruning() {
+    for seed in [5, 6] {
+        let (ds, q) = synth(6_000, seed);
+        let c = run_all(&ds, &q, 1024, 10.0);
+        assert!(
+            c.srs.phase1_survivors <= c.brs.phase1_survivors,
+            "seed {seed}: SRS survivors {} > BRS {}",
+            c.srs.phase1_survivors,
+            c.brs.phase1_survivors
+        );
+    }
+}
+
+/// Section 5.7: intermediate results are small, so phase two is one pass for
+/// every engine at 10% memory.
+#[test]
+fn phase_two_is_single_pass() {
+    let (ds, q) = synth(8_000, 7);
+    let c = run_all(&ds, &q, 1024, 10.0);
+    assert_eq!(c.brs.phase2_batches, 1);
+    assert_eq!(c.srs.phase2_batches, 1);
+    assert_eq!(c.trs.phase2_batches, 1);
+}
+
+/// Sequential IO is similar across the three engines (two scans each);
+/// random IO favors TRS over BRS.
+#[test]
+fn io_shape_claims() {
+    let (ds, q) = synth(8_000, 8);
+    let c = run_all(&ds, &q, 1024, 10.0);
+    let seqs = [c.brs.io.sequential(), c.srs.io.sequential(), c.trs.io.sequential()];
+    let (lo, hi) = (*seqs.iter().min().unwrap(), *seqs.iter().max().unwrap());
+    assert!(hi <= 2 * lo, "sequential IO spread too wide: {seqs:?}");
+    assert!(c.trs.io.random() <= c.brs.io.random());
+}
+
+/// The result cardinality observation of Section 5.7: reverse skylines are
+/// small (tens, not thousands) and intermediate results only a small factor
+/// larger.
+#[test]
+fn result_sets_are_small() {
+    let (ds, q) = synth(10_000, 9);
+    let c = run_all(&ds, &q, 1024, 10.0);
+    assert!(c.trs.result_size < ds.len() / 20, "|RS| = {}", c.trs.result_size);
+    assert!(
+        c.trs.phase1_survivors <= 40 * c.trs.result_size.max(5),
+        "survivors {} vs |RS| {}",
+        c.trs.phase1_survivors,
+        c.trs.result_size
+    );
+}
+
+/// Denser data prunes better: on the dense CI-like shape the survivor ratio
+/// beats the sparse FC-like shape (the density discussion of Section 5.3).
+#[test]
+fn density_improves_pruning() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let dense = rsky::data::census_income_like(4_000, &mut rng).unwrap();
+    let sparse = rsky::data::forest_cover_like(4_000, &mut rng).unwrap();
+    let qd = rsky::data::random_queries(&dense.schema, 1, &mut rng).unwrap().remove(0);
+    let qs = rsky::data::random_queries(&sparse.schema, 1, &mut rng).unwrap().remove(0);
+    let cd = run_all(&dense, &qd, 1024, 10.0);
+    let cs = run_all(&sparse, &qs, 1024, 10.0);
+    let dense_ratio = cd.trs.phase1_survivors as f64 / dense.len() as f64;
+    let sparse_ratio = cs.trs.phase1_survivors as f64 / sparse.len() as f64;
+    assert!(
+        dense_ratio < sparse_ratio,
+        "dense survivor ratio {dense_ratio:.4} !< sparse {sparse_ratio:.4}"
+    );
+}
+
+/// TRS's attribute-subset robustness (Section 5.6): its check count on a
+/// suffix subset stays within a constant factor of the prefix subset, while
+/// SRS degrades more.
+#[test]
+fn subset_sensitivity() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let ds = rsky::data::synthetic::normal_dataset(7, 12, 8_000, &mut rng).unwrap();
+    let vals: Vec<u32> = ds.rows.values(3).to_vec();
+    let prefix = Query::on_subset(&ds.schema, vals.clone(), &[0, 1, 2]).unwrap();
+    let suffix = Query::on_subset(&ds.schema, vals, &[4, 5, 6]).unwrap();
+    // Each subset is its own problem (different result sets), so raw
+    // degradation ratios are not comparable across engines; the stable claim
+    // from Figure 19 is that TRS stays competitive with SRS on *every*
+    // subset, favorable or not.
+    for (label, q) in [("prefix", &prefix), ("suffix", &suffix)] {
+        let c = run_all(&ds, q, 1024, 10.0);
+        assert!(
+            c.trs.dist_checks as f64 <= 1.5 * c.srs.dist_checks as f64,
+            "{label}: TRS checks {} vs SRS {}",
+            c.trs.dist_checks,
+            c.srs.dist_checks
+        );
+    }
+}
