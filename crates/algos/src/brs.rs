@@ -15,13 +15,15 @@
 //! never prunes itself — engines compare record ids, so exact duplicates
 //! still prune each other.
 
+use rsky_core::dissim::DissimTable;
+use rsky_core::dominate::prunes_with_center_dists;
 use rsky_core::error::Result;
 use rsky_core::query::Query;
 use rsky_core::record::{RecordId, RowBuf};
 use rsky_core::stats::RunStats;
 use rsky_storage::{RecordFile, RecordWriter};
 
-use crate::engine::{prunes_cached, run_with_scaffolding, EngineCtx, ReverseSkylineAlgo, RsRun};
+use crate::engine::{run_with_scaffolding, EngineCtx, ReverseSkylineAlgo, RsRun};
 use crate::qcache::QueryDistCache;
 
 /// How phase one searches a batch for pruners of its members.
@@ -74,6 +76,7 @@ pub(crate) fn two_phase(
         let mut writer = RecordWriter::new(RecordFile::create(ctx.disk, m)?);
         let mut page = 0;
         let mut batch = RowBuf::new(m);
+        let mut dqx = Vec::with_capacity(subset.len());
         while page < total_pages {
             batch.clear();
             let (pages, _) = table.read_batch(ctx.disk, page, cap1, &mut batch)?;
@@ -81,7 +84,8 @@ pub(crate) fn two_phase(
             stats.phase1_batches += 1;
             let n = batch.len();
             for i in 0..n {
-                if !find_pruner_in_batch(ctx, &batch, i, query, cache, order, stats) {
+                if !find_pruner_in_batch(ctx.dissim, &batch, i, query, cache, order, &mut dqx, stats)
+                {
                     writer.push(ctx.disk, batch.flat_row(i))?;
                 }
             }
@@ -90,7 +94,6 @@ pub(crate) fn two_phase(
     };
     stats.phase1_time = t1.elapsed();
     stats.phase1_survivors = r_file.len() as usize;
-    let _ = subset;
 
     // --- Phase two --------------------------------------------------------
     let t2 = std::time::Instant::now();
@@ -101,11 +104,21 @@ pub(crate) fn two_phase(
         let mut rpage = 0;
         let mut rbatch = RowBuf::new(m);
         let mut dpage = RowBuf::new(m);
+        let slen = subset.len();
+        let mut dqx_rows: Vec<f64> = Vec::new();
+        let mut row = Vec::with_capacity(slen);
         while rpage < r_pages {
             rbatch.clear();
             let (pages, _) = r_file.read_batch(ctx.disk, rpage, cap2, &mut rbatch)?;
             rpage += pages;
             stats.phase2_batches += 1;
+            // Hoist each center's cached query-distance row out of the
+            // D-scan: one row per batch member, computed once per batch.
+            dqx_rows.clear();
+            for xi in 0..rbatch.len() {
+                cache.center_dists_into(subset, rbatch.values(xi), &mut row);
+                dqx_rows.extend_from_slice(&row);
+            }
             let mut alive = vec![true; rbatch.len()];
             let mut alive_count = rbatch.len();
             for p in 0..total_pages {
@@ -120,17 +133,18 @@ pub(crate) fn two_phase(
                     }
                     let x = rbatch.values(xi);
                     let x_id = rbatch.id(xi);
+                    let x_dqx = &dqx_rows[xi * slen..(xi + 1) * slen];
                     for yi in 0..dpage.len() {
                         if dpage.id(yi) == x_id {
                             continue;
                         }
                         stats.obj_comparisons += 1;
-                        if prunes_cached(
+                        if prunes_with_center_dists(
                             ctx.dissim,
-                            &query.subset,
+                            subset,
                             dpage.values(yi),
                             x,
-                            cache,
+                            x_dqx,
                             &mut stats.dist_checks,
                         ) {
                             *alive_flag = false;
@@ -153,21 +167,34 @@ pub(crate) fn two_phase(
 }
 
 /// Whether batch member `i` has a pruner inside the batch, probing in the
-/// configured order.
-fn find_pruner_in_batch(
-    ctx: &EngineCtx<'_>,
+/// configured order. `dqx` is caller-provided scratch for the candidate's
+/// query-distance row (hoisted out of the probe loop). Shared with the
+/// parallel engines in [`crate::par`], which is why it takes the
+/// dissimilarity table rather than a full (disk-bearing) context.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn find_pruner_in_batch(
+    dissim: &DissimTable,
     batch: &RowBuf,
     i: usize,
     query: &Query,
     cache: &QueryDistCache,
     order: Phase1Order,
+    dqx: &mut Vec<f64>,
     stats: &mut RunStats,
 ) -> bool {
     let x = batch.values(i);
     let n = batch.len();
+    cache.center_dists_into(&query.subset, x, dqx);
     let check = |j: usize, stats: &mut RunStats| -> bool {
         stats.obj_comparisons += 1;
-        prunes_cached(ctx.dissim, &query.subset, batch.values(j), x, cache, &mut stats.dist_checks)
+        prunes_with_center_dists(
+            dissim,
+            &query.subset,
+            batch.values(j),
+            x,
+            dqx,
+            &mut stats.dist_checks,
+        )
     };
     match order {
         Phase1Order::Linear => {

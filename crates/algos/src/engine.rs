@@ -47,6 +47,35 @@ pub trait ReverseSkylineAlgo {
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun>;
 }
 
+/// Looks up an engine by its CLI/bench name (`naive | brs | srs | trs |
+/// tsrs | ttrs`), parallelized across `threads` worker threads when
+/// `threads > 1` (the tiled variants share engines with their flat twins —
+/// the layout, not the algorithm, differs). `naive` has no parallel variant
+/// and always runs sequentially.
+pub fn engine_by_name(
+    name: &str,
+    schema: &Schema,
+    threads: usize,
+) -> Result<Box<dyn ReverseSkylineAlgo>> {
+    use crate::par::{ParBrs, ParSrs, ParTrs};
+    use crate::{Brs, Naive, Srs, Trs};
+    let t = threads.max(1);
+    Ok(match name {
+        "naive" => Box::new(Naive),
+        "brs" if t > 1 => Box::new(ParBrs { threads: t }),
+        "brs" => Box::new(Brs),
+        "srs" | "tsrs" if t > 1 => Box::new(ParSrs { threads: t }),
+        "srs" | "tsrs" => Box::new(Srs),
+        "trs" | "ttrs" if t > 1 => Box::new(ParTrs::for_schema(schema, t)),
+        "trs" | "ttrs" => Box::new(Trs::for_schema(schema)),
+        other => {
+            return Err(rsky_core::error::Error::InvalidConfig(format!(
+                "unknown engine {other:?} (naive|brs|srs|trs|tsrs|ttrs)"
+            )))
+        }
+    })
+}
+
 /// One pruning check using the query-distance cache: does `y` prune the
 /// center `x` (`y ≻_x q`)? Counts one data-data distance evaluation per
 /// attribute compared.

@@ -120,12 +120,7 @@ impl InfluenceEngine {
                 budget: self.budget,
             };
             let run = self.trs.run(&mut ctx, &self.prepared.file, q)?;
-            totals.dist_checks += run.stats.dist_checks;
-            totals.query_dist_checks += run.stats.query_dist_checks;
-            totals.obj_comparisons += run.stats.obj_comparisons;
-            totals.io.add(run.stats.io);
-            totals.total_time += run.stats.total_time;
-            totals.result_size += run.stats.result_size;
+            totals.merge(&run.stats);
             per_query.push(Influence {
                 query_index: qi,
                 cardinality: run.ids.len(),
@@ -187,12 +182,7 @@ pub fn run_influence_parallel(
     let mut totals = RunStats::default();
     for r in results {
         for (qi, inf, t) in r? {
-            totals.dist_checks += t.dist_checks;
-            totals.query_dist_checks += t.query_dist_checks;
-            totals.obj_comparisons += t.obj_comparisons;
-            totals.io.add(t.io);
-            totals.total_time += t.total_time;
-            totals.result_size += t.result_size;
+            totals.merge(&t);
             per_query[qi] = Some(inf);
         }
     }

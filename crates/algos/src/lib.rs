@@ -40,6 +40,7 @@ pub mod explain;
 pub mod hybrid;
 pub mod influence;
 pub mod naive;
+pub mod par;
 pub mod prep;
 pub mod qcache;
 pub mod skyline_bnl;
@@ -48,11 +49,12 @@ pub mod streaming;
 pub mod trs;
 
 pub use brs::Brs;
-pub use engine::{EngineCtx, ReverseSkylineAlgo, RsRun};
+pub use engine::{engine_by_name, EngineCtx, ReverseSkylineAlgo, RsRun};
 pub use explain::{all_witnesses, explain, Explanation, Membership};
 pub use hybrid::{hybrid_trs, HybridDataset, HybridQuery, NumericAttr};
 pub use influence::{run_influence_parallel, InfluenceEngine, InfluenceReport};
 pub use naive::Naive;
+pub use par::{ParBrs, ParSrs, ParTrs};
 pub use prep::{prepare_table, Layout, PreparedTable};
 pub use qcache::QueryDistCache;
 pub use skyline_bnl::{dynamic_skyline_bnl, SkylineRun};

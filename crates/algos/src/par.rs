@@ -1,0 +1,648 @@
+//! Parallel reverse-skyline execution layer.
+//!
+//! [`ParBrs`], [`ParSrs`] and [`ParTrs`] run both phases of their sequential
+//! twins across a configurable number of OS threads (`std::thread::scope`,
+//! the pattern proven by [`crate::influence::run_influence_parallel`] — no
+//! extra dependencies). The sequential engines are untouched; the parallel
+//! ones are additional [`ReverseSkylineAlgo`] implementations.
+//!
+//! ## Determinism
+//!
+//! The unit of parallelism is the **batch**, and batches are composed
+//! *exactly* as the sequential engines compose them:
+//!
+//! * BRS/SRS batch boundaries depend only on file length, page geometry and
+//!   the memory budget, so [`flat_batch_starts`] precomputes them without IO
+//!   and workers claim batch indices from an atomic counter;
+//! * TRS batch boundaries depend on the data (the AL-Tree's memory estimate
+//!   grows with prefix sharing), so a mutex-guarded loader hands out batches
+//!   one at a time, advancing through the file precisely like the sequential
+//!   loop — loading is serialized, the expensive tree walks are not.
+//!
+//! Each worker processes whole batches with thread-local [`RunStats`]; the
+//! coordinator merges per-batch stats **in batch order** via
+//! [`RunStats::merge`] and concatenates phase-1 survivors in batch order, so
+//! the write area `R` is byte-identical to the sequential run's. Result id
+//! sets are identical, and so are the `dist_checks` / `obj_comparisons`
+//! counters, for any thread count — asserted by the twin tests.
+//!
+//! ## What legitimately differs
+//!
+//! IO *classification*. The sequential engines share one disk head, so
+//! interleaving the database scan with `R`-writes costs random IOs. Workers
+//! scan read-only snapshots ([`rsky_storage::SharedRecords`]) with one head
+//! each, and the coordinator writes `R` in one sequential pass — total pages
+//! read/written match the sequential profile, but the sequential/random
+//! split differs. Wall-clock phase times are measured by the coordinator;
+//! the merged per-batch durations (total work) are overwritten with elapsed
+//! time, per the [`RunStats::merge`] contract.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rsky_altree::AlTree;
+use rsky_core::dominate::prunes_with_center_dists;
+use rsky_core::error::Result;
+use rsky_core::query::Query;
+use rsky_core::record::{RecordId, RowBuf};
+use rsky_core::schema::Schema;
+use rsky_core::stats::{IoCounts, RunStats};
+use rsky_storage::{RecordFile, RecordScanner, RecordWriter, SharedRecords};
+
+use crate::brs::{find_pruner_in_batch, Phase1Order};
+use crate::engine::{validate_inputs, EngineCtx, ReverseSkylineAlgo, RsRun};
+use crate::qcache::QueryDistCache;
+use crate::trs::{self, Trs};
+
+/// Parallel BRS: both phases sharded by batch across OS threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ParBrs {
+    /// Worker thread count (values ≤ 1 still run the parallel machinery on
+    /// one worker, which is bit-identical to sequential BRS).
+    pub threads: usize,
+}
+
+/// Parallel SRS: [`ParBrs`] with the radiating phase-1 probe order; expects
+/// a sorted layout like its sequential twin.
+#[derive(Debug, Clone, Copy)]
+pub struct ParSrs {
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+/// Parallel TRS: tree batches are loaded under a lock (sequential-identical
+/// composition) and walked concurrently.
+#[derive(Debug, Clone)]
+pub struct ParTrs {
+    /// The underlying TRS configuration (attribute order, ablation switches).
+    pub trs: Trs,
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+impl ParTrs {
+    /// Parallel TRS with the paper's default attribute ordering.
+    pub fn for_schema(schema: &Schema, threads: usize) -> Self {
+        Self { trs: Trs::for_schema(schema), threads }
+    }
+}
+
+impl ReverseSkylineAlgo for ParBrs {
+    fn name(&self) -> &str {
+        "BRS-P"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
+        validate_inputs(ctx, table, query)?;
+        run_par_scaffolding(ctx, query, |ctx, cache, stats| {
+            par_two_phase(ctx, table, query, cache, Phase1Order::Linear, self.threads, stats)
+        })
+    }
+}
+
+impl ReverseSkylineAlgo for ParSrs {
+    fn name(&self) -> &str {
+        "SRS-P"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
+        validate_inputs(ctx, table, query)?;
+        run_par_scaffolding(ctx, query, |ctx, cache, stats| {
+            par_two_phase(ctx, table, query, cache, Phase1Order::Radiating, self.threads, stats)
+        })
+    }
+}
+
+impl ReverseSkylineAlgo for ParTrs {
+    fn name(&self) -> &str {
+        "TRS-P"
+    }
+
+    fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
+        validate_inputs(ctx, table, query)?;
+        self.trs.validate_order(table.num_attrs())?;
+        run_par_scaffolding(ctx, query, |ctx, cache, stats| {
+            par_trs(ctx, table, query, cache, &self.trs, self.threads, stats)
+        })
+    }
+}
+
+/// Like `run_with_scaffolding`, but the body *adds* worker-scanner IO into
+/// `stats.io` as it goes, so the disk delta is added rather than assigned.
+fn run_par_scaffolding(
+    ctx: &mut EngineCtx<'_>,
+    query: &Query,
+    body: impl FnOnce(&mut EngineCtx<'_>, &QueryDistCache, &mut RunStats) -> Result<Vec<RecordId>>,
+) -> Result<RsRun> {
+    let io_before = ctx.disk.io_stats();
+    let t0 = Instant::now();
+    let cache = QueryDistCache::new(ctx.dissim, ctx.schema, query);
+    let mut stats = RunStats { query_dist_checks: cache.build_checks, ..Default::default() };
+    let mut ids = body(ctx, &cache, &mut stats)?;
+    ids.sort_unstable();
+    stats.total_time = t0.elapsed();
+    stats.io.add(ctx.disk.io_stats().delta_since(io_before));
+    stats.result_size = ids.len();
+    Ok(RsRun { ids, stats })
+}
+
+/// First pages of every batch a sequential `read_batch` loop over `file`
+/// with record budget `cap` would produce. Pure arithmetic — every page
+/// except the last holds exactly `records_per_page` records, so boundaries
+/// need no IO. Mirrors `RecordFile::read_batch` including its
+/// at-least-one-page guarantee.
+fn flat_batch_starts(file: &SharedRecords, cap: usize) -> Vec<u64> {
+    let n = file.len();
+    let rpp = file.records_per_page();
+    let total_pages = file.num_pages();
+    let mut starts = Vec::new();
+    let mut page = 0u64;
+    while page < total_pages {
+        starts.push(page);
+        let mut records = 0usize;
+        while page < total_pages && records + rpp <= cap.max(rpp) {
+            records += ((n - page * rpp as u64) as usize).min(rpp);
+            page += 1;
+            if records >= cap {
+                break;
+            }
+        }
+    }
+    starts
+}
+
+/// Merges per-batch outputs: stats folded in batch-index order, payloads
+/// returned in batch-index order. Worker scanner IO is added to `stats.io`.
+fn gather_batches<T>(
+    nb: usize,
+    worker_out: Vec<Result<(Vec<(usize, T, RunStats)>, IoCounts)>>,
+    stats: &mut RunStats,
+) -> Result<Vec<T>> {
+    let mut slots: Vec<Option<(T, RunStats)>> = (0..nb).map(|_| None).collect();
+    for w in worker_out {
+        let (items, io) = w?;
+        stats.io.add(io);
+        for (b, payload, bs) in items {
+            debug_assert!(slots[b].is_none(), "batch {b} claimed twice");
+            slots[b] = Some((payload, bs));
+        }
+    }
+    let mut payloads = Vec::with_capacity(nb);
+    for slot in &mut slots {
+        let (payload, bs) = slot.take().expect("every claimed batch produced output");
+        stats.merge(&bs);
+        payloads.push(payload);
+    }
+    Ok(payloads)
+}
+
+/// Parallel twin of `crate::brs::two_phase` (shared by BRS-P and SRS-P).
+fn par_two_phase(
+    ctx: &mut EngineCtx<'_>,
+    table: &RecordFile,
+    query: &Query,
+    cache: &QueryDistCache,
+    order: Phase1Order,
+    threads: usize,
+    stats: &mut RunStats,
+) -> Result<Vec<RecordId>> {
+    let threads = threads.max(1);
+    let m = table.num_attrs();
+    let rec_bytes = table.record_bytes();
+    let dissim = ctx.dissim;
+    let shared_d = table.share(ctx.disk)?;
+
+    // --- Phase one: disjoint batches, claimed from an atomic counter ------
+    let t1 = Instant::now();
+    let cap1 = ctx.budget.phase1_records(rec_bytes);
+    let starts = flat_batch_starts(&shared_d, cap1);
+    let nb = starts.len();
+    let next = AtomicUsize::new(0);
+    let worker_out: Vec<Result<(Vec<(usize, RowBuf, RunStats)>, IoCounts)>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (shared_d, starts, next) = (&shared_d, &starts, &next);
+                    s.spawn(move || {
+                        let mut scanner = shared_d.scanner();
+                        let mut dqx = Vec::with_capacity(query.subset.len());
+                        let mut out = Vec::new();
+                        loop {
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            if b >= nb {
+                                break;
+                            }
+                            let mut batch = RowBuf::new(m);
+                            scanner.read_batch(starts[b], cap1, &mut batch)?;
+                            let mut bs = RunStats { phase1_batches: 1, ..Default::default() };
+                            let mut surv = RowBuf::new(m);
+                            for i in 0..batch.len() {
+                                if !find_pruner_in_batch(
+                                    dissim, &batch, i, query, cache, order, &mut dqx, &mut bs,
+                                ) {
+                                    surv.push_flat(batch.flat_row(i));
+                                }
+                            }
+                            out.push((b, surv, bs));
+                        }
+                        Ok((out, scanner.io_stats()))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("phase-1 worker panicked")).collect()
+        });
+    let survivors = gather_batches(nb, worker_out, stats)?;
+    let r_file = {
+        let mut writer = RecordWriter::new(RecordFile::create(ctx.disk, m)?);
+        for surv in &survivors {
+            writer.push_all(ctx.disk, surv)?;
+        }
+        writer.finish(ctx.disk)?
+    };
+    stats.phase1_time = t1.elapsed();
+    stats.phase1_survivors = r_file.len() as usize;
+
+    // --- Phase two: R-batches sharded the same way ------------------------
+    let t2 = Instant::now();
+    let shared_r = r_file.share(ctx.disk)?;
+    let cap2 = ctx.budget.phase2_records(rec_bytes);
+    let rstarts = flat_batch_starts(&shared_r, cap2);
+    let nrb = rstarts.len();
+    let next2 = AtomicUsize::new(0);
+    let subset = &query.subset;
+    let slen = subset.len();
+    let d_pages = shared_d.num_pages();
+    let worker_out: Vec<Result<(Vec<(usize, Vec<RecordId>, RunStats)>, IoCounts)>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (shared_d, shared_r, rstarts, next2) =
+                        (&shared_d, &shared_r, &rstarts, &next2);
+                    s.spawn(move || {
+                        let mut r_scanner = shared_r.scanner();
+                        let mut d_scanner = shared_d.scanner();
+                        let mut rbatch = RowBuf::new(m);
+                        let mut dpage = RowBuf::new(m);
+                        let mut dqx_rows: Vec<f64> = Vec::new();
+                        let mut row = Vec::with_capacity(slen);
+                        let mut out = Vec::new();
+                        loop {
+                            let b = next2.fetch_add(1, Ordering::Relaxed);
+                            if b >= nrb {
+                                break;
+                            }
+                            rbatch.clear();
+                            r_scanner.read_batch(rstarts[b], cap2, &mut rbatch)?;
+                            let mut bs = RunStats { phase2_batches: 1, ..Default::default() };
+                            dqx_rows.clear();
+                            for xi in 0..rbatch.len() {
+                                cache.center_dists_into(subset, rbatch.values(xi), &mut row);
+                                dqx_rows.extend_from_slice(&row);
+                            }
+                            let mut alive = vec![true; rbatch.len()];
+                            let mut alive_count = rbatch.len();
+                            for p in 0..d_pages {
+                                if alive_count == 0 {
+                                    break;
+                                }
+                                dpage.clear();
+                                d_scanner.read_page_rows(p, &mut dpage)?;
+                                for (xi, alive_flag) in alive.iter_mut().enumerate() {
+                                    if !*alive_flag {
+                                        continue;
+                                    }
+                                    let x = rbatch.values(xi);
+                                    let x_id = rbatch.id(xi);
+                                    let x_dqx = &dqx_rows[xi * slen..(xi + 1) * slen];
+                                    for yi in 0..dpage.len() {
+                                        if dpage.id(yi) == x_id {
+                                            continue;
+                                        }
+                                        bs.obj_comparisons += 1;
+                                        if prunes_with_center_dists(
+                                            dissim,
+                                            subset,
+                                            dpage.values(yi),
+                                            x,
+                                            x_dqx,
+                                            &mut bs.dist_checks,
+                                        ) {
+                                            *alive_flag = false;
+                                            alive_count -= 1;
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            let ids: Vec<RecordId> = alive
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, ok)| **ok)
+                                .map(|(xi, _)| rbatch.id(xi))
+                                .collect();
+                            out.push((b, ids, bs));
+                        }
+                        let mut io = r_scanner.io_stats();
+                        io.add(d_scanner.io_stats());
+                        Ok((out, io))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("phase-2 worker panicked")).collect()
+        });
+    let per_batch_ids = gather_batches(nrb, worker_out, stats)?;
+    stats.phase2_time = t2.elapsed();
+    Ok(per_batch_ids.into_iter().flatten().collect())
+}
+
+/// Sequentially-advancing batch loader for TRS: the mutex serializes batch
+/// composition (scanner position and batch index advance exactly like the
+/// sequential loop), while the tree walks run outside the lock.
+struct TreeLoader {
+    scanner: RecordScanner,
+    page: u64,
+    batch_idx: usize,
+}
+
+/// Claims and loads the next tree batch, or returns `None` at end of file.
+#[allow(clippy::too_many_arguments)]
+fn claim_tree_batch(
+    loader: &Mutex<TreeLoader>,
+    total_pages: u64,
+    tree_budget: u64,
+    order: &[usize],
+    tree: &mut AlTree,
+    pbuf: &mut RowBuf,
+    tvals: &mut [u32],
+) -> Result<Option<usize>> {
+    let mut ld = loader.lock().expect("tree loader poisoned");
+    if ld.page >= total_pages {
+        return Ok(None);
+    }
+    let b = ld.batch_idx;
+    ld.batch_idx += 1;
+    tree.clear();
+    let ld = &mut *ld;
+    trs::load_batch_into_tree_with(
+        |p, buf| ld.scanner.read_page_rows(p, buf).map(|_| ()),
+        order,
+        &mut ld.page,
+        total_pages,
+        tree_budget,
+        tree,
+        pbuf,
+        tvals,
+    )?;
+    Ok(Some(b))
+}
+
+/// Parallel twin of the TRS run body.
+fn par_trs(
+    ctx: &mut EngineCtx<'_>,
+    table: &RecordFile,
+    query: &Query,
+    cache: &QueryDistCache,
+    trs_cfg: &Trs,
+    threads: usize,
+    stats: &mut RunStats,
+) -> Result<Vec<RecordId>> {
+    let threads = threads.max(1);
+    let m = table.num_attrs();
+    let order = trs_cfg.attr_order();
+    let dissim = ctx.dissim;
+    let shared_d = table.share(ctx.disk)?;
+    let d_pages = shared_d.num_pages();
+
+    // --- Phase one: trees loaded under lock, walked concurrently ----------
+    let t1 = Instant::now();
+    let tree_budget = ctx.budget.phase1_tree_bytes();
+    let loader = Mutex::new(TreeLoader { scanner: shared_d.scanner(), page: 0, batch_idx: 0 });
+    let worker_out: Vec<Result<(Vec<(usize, RowBuf, RunStats)>, IoCounts)>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let loader = &loader;
+                    s.spawn(move || {
+                        let mut tree = AlTree::new(m);
+                        let mut pbuf = RowBuf::new(m);
+                        let mut tvals = vec![0u32; m];
+                        let mut c_schema_vals = vec![0u32; m];
+                        let mut flat = vec![0u32; m + 1];
+                        let mut stack = Vec::with_capacity(64);
+                        let mut out = Vec::new();
+                        while let Some(b) = claim_tree_batch(
+                            loader, d_pages, tree_budget, order, &mut tree, &mut pbuf, &mut tvals,
+                        )? {
+                            let mut bs = RunStats { phase1_batches: 1, ..Default::default() };
+                            if trs_cfg.opts.order_children_by_count {
+                                tree.order_children_for_search();
+                            }
+                            let mut surv = RowBuf::new(m);
+                            for leaf in trs::collect_leaves(&tree) {
+                                trs::leaf_schema_values(&tree, leaf, order, &mut c_schema_vals);
+                                let ids = tree.leaf_ids(leaf);
+                                bs.obj_comparisons += ids.len() as u64;
+                                if !trs::is_prunable_with_stack(
+                                    &tree,
+                                    dissim,
+                                    &query.subset,
+                                    order,
+                                    &c_schema_vals,
+                                    ids[0],
+                                    cache,
+                                    &mut bs,
+                                    &mut stack,
+                                ) {
+                                    flat[1..].copy_from_slice(&c_schema_vals);
+                                    for k in 0..tree.leaf_ids(leaf).len() {
+                                        flat[0] = tree.leaf_ids(leaf)[k];
+                                        surv.push_flat(&flat);
+                                    }
+                                }
+                            }
+                            out.push((b, surv, bs));
+                        }
+                        Ok((out, IoCounts::default()))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("TRS phase-1 worker panicked")).collect()
+        });
+    let nb = loader.lock().expect("tree loader poisoned").batch_idx;
+    stats.io.add(loader.into_inner().expect("tree loader poisoned").scanner.io_stats());
+    let survivors = gather_batches(nb, worker_out, stats)?;
+    let r_file = {
+        let mut writer = RecordWriter::new(RecordFile::create(ctx.disk, m)?);
+        for surv in &survivors {
+            writer.push_all(ctx.disk, surv)?;
+        }
+        writer.finish(ctx.disk)?
+    };
+    stats.phase1_time = t1.elapsed();
+    stats.phase1_survivors = r_file.len() as usize;
+
+    // --- Phase two: result trees per batch, database streamed per worker --
+    let t2 = Instant::now();
+    let tree_budget2 = ctx.budget.phase2_tree_bytes();
+    let shared_r = r_file.share(ctx.disk)?;
+    let r_pages = shared_r.num_pages();
+    let loader2 = Mutex::new(TreeLoader { scanner: shared_r.scanner(), page: 0, batch_idx: 0 });
+    let worker_out: Vec<Result<(Vec<(usize, Vec<RecordId>, RunStats)>, IoCounts)>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (loader2, shared_d) = (&loader2, &shared_d);
+                    s.spawn(move || {
+                        let mut tree = AlTree::new(m);
+                        let mut pbuf = RowBuf::new(m);
+                        let mut tvals = vec![0u32; m];
+                        let mut d_scanner = shared_d.scanner();
+                        let mut dpage = RowBuf::new(m);
+                        let mut stack = Vec::with_capacity(64);
+                        let mut out = Vec::new();
+                        while let Some(b) = claim_tree_batch(
+                            loader2, r_pages, tree_budget2, order, &mut tree, &mut pbuf,
+                            &mut tvals,
+                        )? {
+                            let mut bs = RunStats { phase2_batches: 1, ..Default::default() };
+                            for p in 0..d_pages {
+                                if tree.is_empty() {
+                                    break;
+                                }
+                                dpage.clear();
+                                d_scanner.read_page_rows(p, &mut dpage)?;
+                                for ei in 0..dpage.len() {
+                                    bs.obj_comparisons += 1;
+                                    trs::prune_with_stack(
+                                        &mut tree,
+                                        dissim,
+                                        &query.subset,
+                                        order,
+                                        dpage.values(ei),
+                                        dpage.id(ei),
+                                        cache,
+                                        &mut bs,
+                                        &mut stack,
+                                    );
+                                }
+                            }
+                            out.push((b, tree.collect_ids(), bs));
+                        }
+                        Ok((out, d_scanner.io_stats()))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("TRS phase-2 worker panicked")).collect()
+        });
+    let nrb = loader2.lock().expect("tree loader poisoned").batch_idx;
+    stats.io.add(loader2.into_inner().expect("tree loader poisoned").scanner.io_stats());
+    let per_batch_ids = gather_batches(nrb, worker_out, stats)?;
+    stats.phase2_time = t2.elapsed();
+    Ok(per_batch_ids.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::{load_dataset, prepare_table, Layout};
+    use crate::{Brs, Srs};
+    use rsky_storage::{Disk, MemoryBudget};
+
+    fn run_engine(
+        e: &dyn ReverseSkylineAlgo,
+        disk: &mut Disk,
+        ds: &rsky_core::dataset::Dataset,
+        table: &RecordFile,
+        q: &Query,
+        budget: MemoryBudget,
+    ) -> RsRun {
+        let mut ctx = EngineCtx { disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        e.run(&mut ctx, table, q).unwrap()
+    }
+
+    #[test]
+    fn paper_example_all_parallel_engines() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut disk = Disk::new_mem(16); // 1 object/page, the walkthrough setup
+        let raw = load_dataset(&mut disk, &ds).unwrap();
+        let budget = MemoryBudget::from_bytes(48, 16).unwrap();
+        let sorted =
+            prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+        for t in [1, 2, 7] {
+            let brs = run_engine(&ParBrs { threads: t }, &mut disk, &ds, &raw, &q, budget);
+            assert_eq!(brs.ids, vec![3, 6], "BRS-P t={t}");
+            let srs = run_engine(&ParSrs { threads: t }, &mut disk, &ds, &sorted.file, &q, budget);
+            assert_eq!(srs.ids, vec![3, 6], "SRS-P t={t}");
+            let trs = ParTrs::for_schema(&ds.schema, t);
+            let trs = run_engine(&trs, &mut disk, &ds, &sorted.file, &q, budget);
+            assert_eq!(trs.ids, vec![3, 6], "TRS-P t={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_brs_matches_sequential_counters() {
+        // Same batch composition ⇒ identical dist_checks/obj_comparisons,
+        // not just identical ids.
+        let (ds, q) = rsky_data::paper_example();
+        let mut disk = Disk::new_mem(16);
+        let raw = load_dataset(&mut disk, &ds).unwrap();
+        let budget = MemoryBudget::from_bytes(48, 16).unwrap();
+        let seq = run_engine(&Brs, &mut disk, &ds, &raw, &q, budget);
+        for t in [1, 2, 7] {
+            let par = run_engine(&ParBrs { threads: t }, &mut disk, &ds, &raw, &q, budget);
+            assert_eq!(par.ids, seq.ids);
+            assert_eq!(par.stats.dist_checks, seq.stats.dist_checks, "t={t}");
+            assert_eq!(par.stats.obj_comparisons, seq.stats.obj_comparisons, "t={t}");
+            assert_eq!(par.stats.phase1_batches, seq.stats.phase1_batches, "t={t}");
+            assert_eq!(par.stats.phase1_survivors, seq.stats.phase1_survivors, "t={t}");
+            assert_eq!(par.stats.phase2_batches, seq.stats.phase2_batches, "t={t}");
+        }
+    }
+
+    #[test]
+    fn flat_batch_starts_match_read_batch_loop() {
+        let mut disk = Disk::new_mem(64); // 4 records/page at m=3
+        let mut rf = RecordFile::create(&mut disk, 3).unwrap();
+        let mut rows = RowBuf::new(3);
+        for i in 0..23 {
+            rows.push(i, &[i % 3, i % 2, i % 3]);
+        }
+        rf.write_all(&mut disk, &rows).unwrap();
+        let shared = rf.share(&disk).unwrap();
+        for cap in [1, 3, 4, 9, 100] {
+            let starts = flat_batch_starts(&shared, cap);
+            // Replay the sequential loop and compare boundaries.
+            let mut expect = Vec::new();
+            let mut page = 0;
+            let total = rf.num_pages(&disk);
+            while page < total {
+                expect.push(page);
+                let mut buf = RowBuf::new(3);
+                let (pages, _) = rf.read_batch(&mut disk, page, cap, &mut buf).unwrap();
+                page += pages;
+            }
+            assert_eq!(starts, expect, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn srs_parallel_matches_sequential_on_sorted_layout() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(91);
+        let ds = rsky_data::synthetic::normal_dataset(3, 8, 250, &mut rng).unwrap();
+        let q = rsky_data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+        let mut disk = Disk::new_mem(128);
+        let raw = load_dataset(&mut disk, &ds).unwrap();
+        let budget = MemoryBudget::from_bytes(768, 128).unwrap();
+        let sorted =
+            prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+        let seq = run_engine(&Srs, &mut disk, &ds, &sorted.file, &q, budget);
+        for t in [2, 4] {
+            let par = run_engine(&ParSrs { threads: t }, &mut disk, &ds, &sorted.file, &q, budget);
+            assert_eq!(par.ids, seq.ids, "t={t}");
+            assert_eq!(par.stats.dist_checks, seq.stats.dist_checks, "t={t}");
+        }
+    }
+}

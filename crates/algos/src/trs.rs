@@ -105,7 +105,7 @@ impl Trs {
         &self.attr_order
     }
 
-    fn validate_order(&self, m: usize) -> Result<()> {
+    pub(crate) fn validate_order(&self, m: usize) -> Result<()> {
         if m > MAX_ATTRS {
             return Err(Error::InvalidConfig(format!(
                 "TRS supports up to {MAX_ATTRS} attributes, got {m}"
@@ -262,6 +262,33 @@ fn load_batch_into_tree(
     pbuf: &mut RowBuf,
     tvals: &mut [u32],
 ) -> Result<()> {
+    let disk = &mut *ctx.disk;
+    load_batch_into_tree_with(
+        |p, buf| file.read_page_rows(&mut *disk, p, buf).map(|_| ()),
+        order,
+        page,
+        total_pages,
+        tree_budget,
+        tree,
+        pbuf,
+        tvals,
+    )
+}
+
+/// [`load_batch_into_tree`] generic over the page source, so the parallel
+/// engines ([`crate::par`]) can load byte-identical batches from a shared
+/// snapshot scanner. The batch-boundary rule lives here, once.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn load_batch_into_tree_with(
+    mut read_page: impl FnMut(u64, &mut RowBuf) -> Result<()>,
+    order: &[usize],
+    page: &mut u64,
+    total_pages: u64,
+    tree_budget: u64,
+    tree: &mut AlTree,
+    pbuf: &mut RowBuf,
+    tvals: &mut [u32],
+) -> Result<()> {
     let mut loaded_any = false;
     // Batches of a sorted file arrive in tree order; the insert hint skips
     // child lookups along shared prefixes (correct for any order).
@@ -271,7 +298,7 @@ fn load_batch_into_tree(
             break;
         }
         pbuf.clear();
-        file.read_page_rows(ctx.disk, *page, pbuf)?;
+        read_page(*page, pbuf)?;
         *page += 1;
         loaded_any = true;
         for r in 0..pbuf.len() {
@@ -286,7 +313,7 @@ fn load_batch_into_tree(
 }
 
 /// Leaf node indices of `tree` in DFS order.
-fn collect_leaves(tree: &AlTree) -> Vec<NodeIdx> {
+pub(crate) fn collect_leaves(tree: &AlTree) -> Vec<NodeIdx> {
     let mut out = Vec::new();
     if tree.is_empty() {
         return out;
@@ -305,7 +332,7 @@ fn collect_leaves(tree: &AlTree) -> Vec<NodeIdx> {
 }
 
 /// Reconstructs the schema-order values of `leaf` by walking its path.
-fn leaf_schema_values(tree: &AlTree, leaf: NodeIdx, order: &[usize], out: &mut [u32]) {
+pub(crate) fn leaf_schema_values(tree: &AlTree, leaf: NodeIdx, order: &[usize], out: &mut [u32]) {
     let mut n = leaf;
     loop {
         let level = tree.level(n) as usize;
@@ -349,7 +376,7 @@ pub fn is_prunable(
 /// [`is_prunable`] with a caller-provided stack buffer, so tight loops over
 /// many candidates avoid one allocation per call.
 #[allow(clippy::too_many_arguments)]
-fn is_prunable_with_stack(
+pub(crate) fn is_prunable_with_stack(
     tree: &AlTree,
     dt: &DissimTable,
     subset: &AttrSubset,
@@ -427,7 +454,7 @@ pub fn prune_with(
 
 /// [`prune_with`] with a caller-provided stack buffer.
 #[allow(clippy::too_many_arguments)]
-fn prune_with_stack(
+pub(crate) fn prune_with_stack(
     tree: &mut AlTree,
     dt: &DissimTable,
     subset: &AttrSubset,

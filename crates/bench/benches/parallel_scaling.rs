@@ -1,0 +1,162 @@
+//! Parallel scaling: wall-clock vs `--threads` for the parallel reverse-
+//! skyline engines (BRS-P / SRS-P / TRS-P) against their sequential twins,
+//! on synthetic-normal data (default scale: 100 k objects, 5 attributes,
+//! 50 values — set `RSKY_SCALE` to change).
+//!
+//! Besides the usual stdout tables this bench writes `BENCH_parallel.json`
+//! at the repository root: sequential baseline, per-thread-count wall-clock
+//! and speedup for each engine, plus `host_cpus` so readers can judge the
+//! numbers (speedup > 1 is physically impossible on a 1-CPU host; the
+//! parallel engines then only pay their coordination overhead).
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_algos::prep::{load_dataset, prepare_table, Layout};
+use rsky_algos::{engine_by_name, EngineCtx, ReverseSkylineAlgo};
+use rsky_bench::{table::ms, BenchConfig, Table};
+use rsky_core::dataset::Dataset;
+use rsky_core::query::Query;
+use rsky_storage::{Disk, MemoryBudget};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct EnginePoint {
+    engine: &'static str,
+    seq: Duration,
+    /// `(threads, wall-clock, ids matched sequential)` per thread count.
+    par: Vec<(usize, Duration, bool)>,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Parallel scaling: threads vs wall-clock"));
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host CPUs: {host_cpus}");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n(1_000_000);
+    let ds = rsky_data::synthetic::normal_dataset(5, 50, n, &mut rng).unwrap();
+    let qs = rsky_data::random_queries(&ds.schema, cfg.queries, &mut rng).unwrap();
+    println!("n = {}, {} queries/point", ds.len(), qs.len());
+
+    let points: Vec<EnginePoint> = ["brs", "srs", "trs"]
+        .into_iter()
+        .map(|name| bench_engine(name, &ds, &qs, &cfg))
+        .collect();
+
+    let mut cols = vec!["engine", "sequential"];
+    let labels: Vec<String> = THREADS.iter().map(|t| format!("t={t}")).collect();
+    cols.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new("Wall-clock per query (mean)", &cols);
+    for p in &points {
+        let mut row = vec![p.engine.to_uppercase(), ms(p.seq)];
+        row.extend(p.par.iter().map(|&(_, d, _)| ms(d)));
+        t.row(row);
+    }
+    t.print();
+
+    let mut t = Table::new("Speedup vs sequential", &cols);
+    for p in &points {
+        let mut row = vec![p.engine.to_uppercase(), "1.00x".into()];
+        row.extend(p.par.iter().map(|&(_, d, _)| format!("{:.2}x", speedup(p.seq, d))));
+        t.row(row);
+    }
+    t.print();
+
+    for p in &points {
+        for &(th, _, ok) in &p.par {
+            assert!(ok, "{} t={th} returned different ids than sequential", p.engine);
+        }
+    }
+    println!("all parallel runs returned the sequential id set");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    std::fs::write(&path, render_json(&points, &ds, qs.len(), host_cpus)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+fn bench_engine(name: &'static str, ds: &Dataset, qs: &[Query], cfg: &BenchConfig) -> EnginePoint {
+    let mut disk = Disk::new_mem(cfg.page_size);
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), 10.0, cfg.page_size).unwrap();
+    let raw = load_dataset(&mut disk, ds).unwrap();
+    let layout = if name == "brs" { Layout::Original } else { Layout::MultiSort };
+    let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget).unwrap();
+
+    let mut time_of = |engine: &dyn ReverseSkylineAlgo| -> (Duration, Vec<Vec<u32>>) {
+        let mut total = Duration::ZERO;
+        let mut ids = Vec::new();
+        for q in qs {
+            let mut ctx =
+                EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            let t0 = Instant::now();
+            let run = engine.run(&mut ctx, &prepared.file, q).unwrap();
+            total += t0.elapsed();
+            ids.push(run.ids);
+        }
+        (total / qs.len().max(1) as u32, ids)
+    };
+
+    let seq_engine = engine_by_name(name, &ds.schema, 1).unwrap();
+    let (seq, seq_ids) = time_of(seq_engine.as_ref());
+    let par = THREADS
+        .iter()
+        .map(|&th| {
+            let engine = engine_by_name(name, &ds.schema, th.max(2)).unwrap();
+            // threads=1 still exercises the parallel code path: build the
+            // parallel engine explicitly rather than falling back to the
+            // sequential twin.
+            let engine: Box<dyn ReverseSkylineAlgo> = if th == 1 {
+                use rsky_algos::{ParBrs, ParSrs, ParTrs};
+                match name {
+                    "brs" => Box::new(ParBrs { threads: 1 }),
+                    "srs" => Box::new(ParSrs { threads: 1 }),
+                    _ => Box::new(ParTrs::for_schema(&ds.schema, 1)),
+                }
+            } else {
+                engine
+            };
+            let (d, ids) = time_of(engine.as_ref());
+            (th, d, ids == seq_ids)
+        })
+        .collect();
+    EnginePoint { engine: name, seq, par }
+}
+
+fn speedup(seq: Duration, par: Duration) -> f64 {
+    seq.as_secs_f64() / par.as_secs_f64().max(1e-9)
+}
+
+fn render_json(points: &[EnginePoint], ds: &Dataset, queries: usize, host_cpus: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"parallel_scaling\",\n");
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"synthetic-normal\", \"n\": {}, \"attrs\": {}, \"queries\": {queries}}},\n",
+        ds.len(),
+        ds.schema.num_attrs()
+    ));
+    s.push_str("  \"engines\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"sequential_ms\": {:.3}, \"parallel\": [",
+            p.engine,
+            p.seq.as_secs_f64() * 1e3
+        ));
+        for (j, &(th, d, ok)) in p.par.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"threads\": {th}, \"ms\": {:.3}, \"speedup\": {:.3}, \"ids_match\": {ok}}}",
+                d.as_secs_f64() * 1e3,
+                speedup(p.seq, d)
+            ));
+        }
+        s.push_str(if i + 1 < points.len() { "]},\n" } else { "]}\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsky_algos::InfluenceEngine;
+use rsky_algos::run_influence_parallel;
 use rsky_core::error::Result;
 
 use crate::args::Flags;
@@ -20,6 +20,7 @@ OPTIONS:
     --seed S          RNG seed for the workload                  [7]
     --memory PCT      working memory as % of dataset             [10]
     --page BYTES      page size                                  [4096]
+    --threads N       worker threads (queries are sharded)       [1]
     --top K           how many top entries to print              [10]";
 
 pub fn run(argv: &[String]) -> Result<()> {
@@ -30,14 +31,14 @@ pub fn run(argv: &[String]) -> Result<()> {
     let seed: u64 = flags.num("seed", 7)?;
     let mem_pct: f64 = flags.num("memory", 10.0)?;
     let page: usize = flags.num("page", 4096)?;
+    let threads: usize = flags.num("threads", 1)?;
     let top: usize = flags.num("top", 10)?;
 
     let mut rng = StdRng::seed_from_u64(seed);
     let workload = rsky_data::random_queries(&ds.schema, queries, &mut rng)?;
     let n = ds.len();
-    let mut engine = InfluenceEngine::new(ds, mem_pct, page)?;
     let t0 = std::time::Instant::now();
-    let report = engine.run(&workload, false)?;
+    let report = run_influence_parallel(&ds, &workload, mem_pct, page, threads, false)?;
     println!(
         "computed |RS| for {queries} queries over {n} records in {:.2?} ({} checks)\n",
         t0.elapsed(),

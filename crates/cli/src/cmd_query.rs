@@ -1,7 +1,7 @@
 //! `rsky query` — one reverse-skyline query against a dataset directory.
 
 use rsky_algos::prep::{load_dataset, prepare_table, Layout};
-use rsky_algos::{Brs, EngineCtx, Naive, ReverseSkylineAlgo, Srs, Trs};
+use rsky_algos::{engine_by_name, EngineCtx};
 use rsky_core::error::{Error, Result};
 use rsky_core::query::Query;
 use rsky_storage::{Disk, MemoryBudget};
@@ -17,6 +17,8 @@ OPTIONS:
     --data DIR        dataset directory from `rsky generate`     (required)
     --query V,V,…     query value ids, one per attribute         (required)
     --algo A          naive | brs | srs | trs | tsrs | ttrs      [trs]
+    --threads N       worker threads for brs/srs/trs/tsrs/ttrs   [1]
+                      (N > 1 uses the parallel engines; same results)
     --subset I,I,…    attribute indices to search on             [all]
     --memory PCT      working memory as % of dataset             [10]
     --page BYTES      page size                                  [4096]
@@ -38,10 +40,14 @@ pub fn run(argv: &[String]) -> Result<()> {
         None => Query::new(&ds.schema, values)?,
     };
     let algo = flags.get("algo").unwrap_or("trs");
+    let threads: usize = flags.num("threads", 1)?;
     let mem_pct: f64 = flags.num("memory", 10.0)?;
     let page: usize = flags.num("page", 4096)?;
     let tiles: u32 = flags.num("tiles", 4)?;
     let cache: usize = flags.num("cache", 0)?;
+    if algo == "naive" && threads > 1 {
+        return Err(Error::InvalidConfig("--algo naive has no parallel variant".into()));
+    }
 
     let mut disk = if flags.switch("file-backend") {
         let dir = std::env::temp_dir().join(format!("rsky-cli-{}", std::process::id()));
@@ -70,13 +76,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         );
     }
 
-    let trs = Trs::for_schema(&ds.schema);
-    let engine: &dyn ReverseSkylineAlgo = match algo {
-        "naive" => &Naive,
-        "brs" => &Brs,
-        "srs" | "tsrs" => &Srs,
-        _ => &trs,
-    };
+    let engine = engine_by_name(algo, &ds.schema, threads)?;
     let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
     let run = engine.run(&mut ctx, &prepared.file, &query)?;
 

@@ -81,6 +81,56 @@ fn generate_info_query_influence_round_trip() {
 }
 
 #[test]
+fn threaded_query_matches_sequential() {
+    let data = tmpdata("threads");
+    let (ok, t) = run(&[
+        "generate", "--kind", "normal", "--n", "400", "--attrs", "3", "--values", "6", "--out",
+        &data,
+    ]);
+    assert!(ok, "{t}");
+
+    for algo in ["brs", "srs", "trs", "tsrs", "ttrs"] {
+        let mut ids = Vec::new();
+        for threads in ["1", "2", "4"] {
+            let (ok, text) = run(&[
+                "query", "--data", &data, "--query", "2,2,2", "--algo", algo, "--threads", threads,
+            ]);
+            assert!(ok, "{algo} --threads {threads}: {text}");
+            ids.push(text.lines().find(|l| l.starts_with("ids:")).unwrap_or("ids:").to_string());
+        }
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "{algo} thread counts disagree: {ids:?}");
+    }
+
+    // The parallel engines announce themselves in the cost profile.
+    let (ok, text) =
+        run(&["query", "--data", &data, "--query", "2,2,2", "--algo", "trs", "--threads", "2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("TRS-P"), "{text}");
+
+    // naive has no parallel twin.
+    let (ok, text) =
+        run(&["query", "--data", &data, "--query", "2,2,2", "--algo", "naive", "--threads", "2"]);
+    assert!(!ok);
+    assert!(text.contains("no parallel variant"), "{text}");
+
+    // Influence sharding returns the same ranking for any thread count.
+    let mut rankings = Vec::new();
+    for threads in ["1", "3"] {
+        let (ok, text) = run(&[
+            "influence", "--data", &data, "--queries", "5", "--top", "3", "--threads", threads,
+        ]);
+        assert!(ok, "--threads {threads}: {text}");
+        let tail: Vec<String> =
+            text.lines().skip_while(|l| !l.starts_with("rank")).map(String::from).collect();
+        rankings.push(tail.join("\n"));
+    }
+    assert!(!rankings[0].is_empty(), "no ranking table printed");
+    assert_eq!(rankings[0], rankings[1], "influence rankings differ across thread counts");
+
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
 fn query_with_subset_and_cache() {
     let data = tmpdata("subset");
     let (ok, t) = run(&[

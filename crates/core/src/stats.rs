@@ -97,6 +97,45 @@ impl RunStats {
     pub fn all_checks(&self) -> u64 {
         self.dist_checks + self.query_dist_checks
     }
+
+    /// Folds another profile into this one by component-wise addition of
+    /// every field — counters, IO, batch/survivor tallies, result size, and
+    /// times. Addition is commutative and associative, so merging
+    /// thread-local stats of a parallel run (or per-query stats of a batch)
+    /// in any fixed shard order is deterministic.
+    ///
+    /// For parallel runs the summed `Duration`s measure *total work*, not
+    /// wall clock (shards overlap in time); coordinators that report elapsed
+    /// wall time overwrite the time fields after merging. The struct is
+    /// destructured exhaustively — adding a field to `RunStats` without
+    /// deciding its merge rule is a compile error, which is exactly the
+    /// point.
+    pub fn merge(&mut self, other: &RunStats) {
+        let RunStats {
+            dist_checks,
+            query_dist_checks,
+            obj_comparisons,
+            io,
+            phase1_survivors,
+            phase1_batches,
+            phase2_batches,
+            phase1_time,
+            phase2_time,
+            total_time,
+            result_size,
+        } = other;
+        self.dist_checks += dist_checks;
+        self.query_dist_checks += query_dist_checks;
+        self.obj_comparisons += obj_comparisons;
+        self.io.add(*io);
+        self.phase1_survivors += phase1_survivors;
+        self.phase1_batches += phase1_batches;
+        self.phase2_batches += phase2_batches;
+        self.phase1_time += *phase1_time;
+        self.phase2_time += *phase2_time;
+        self.total_time += *total_time;
+        self.result_size += result_size;
+    }
 }
 
 #[cfg(test)]
@@ -121,5 +160,83 @@ mod tests {
     fn run_stats_all_checks() {
         let s = RunStats { dist_checks: 30, query_dist_checks: 8, ..Default::default() };
         assert_eq!(s.all_checks(), 38);
+    }
+
+    /// Every field of RunStats participates in merge — built without `..`
+    /// so a new field must be added here (and to merge) to compile.
+    #[test]
+    fn merge_covers_every_field() {
+        let a = RunStats {
+            dist_checks: 10,
+            query_dist_checks: 3,
+            obj_comparisons: 7,
+            io: IoCounts { seq_reads: 1, rand_reads: 2, seq_writes: 3, rand_writes: 4 },
+            phase1_survivors: 5,
+            phase1_batches: 2,
+            phase2_batches: 1,
+            phase1_time: Duration::from_millis(10),
+            phase2_time: Duration::from_millis(40),
+            total_time: Duration::from_millis(60),
+            result_size: 4,
+        };
+        let b = RunStats {
+            dist_checks: 100,
+            query_dist_checks: 30,
+            obj_comparisons: 70,
+            io: IoCounts { seq_reads: 10, rand_reads: 20, seq_writes: 30, rand_writes: 40 },
+            phase1_survivors: 50,
+            phase1_batches: 20,
+            phase2_batches: 10,
+            phase1_time: Duration::from_millis(5),
+            phase2_time: Duration::from_millis(80),
+            total_time: Duration::from_millis(90),
+            result_size: 40,
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.dist_checks, 110);
+        assert_eq!(m.query_dist_checks, 33);
+        assert_eq!(m.obj_comparisons, 77);
+        assert_eq!(
+            m.io,
+            IoCounts { seq_reads: 11, rand_reads: 22, seq_writes: 33, rand_writes: 44 }
+        );
+        assert_eq!(m.phase1_survivors, 55);
+        assert_eq!(m.phase1_batches, 22);
+        assert_eq!(m.phase2_batches, 11);
+        assert_eq!(m.phase1_time, Duration::from_millis(15));
+        assert_eq!(m.phase2_time, Duration::from_millis(120));
+        assert_eq!(m.total_time, Duration::from_millis(150));
+        assert_eq!(m.result_size, 44);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity_on_counters() {
+        let a = RunStats {
+            dist_checks: 9,
+            query_dist_checks: 2,
+            obj_comparisons: 5,
+            io: IoCounts { seq_reads: 4, rand_reads: 3, seq_writes: 2, rand_writes: 1 },
+            phase1_survivors: 8,
+            phase1_batches: 3,
+            phase2_batches: 2,
+            phase1_time: Duration::from_millis(1),
+            phase2_time: Duration::from_millis(2),
+            total_time: Duration::from_millis(4),
+            result_size: 6,
+        };
+        let mut m = a.clone();
+        m.merge(&RunStats::default());
+        assert_eq!(m.dist_checks, a.dist_checks);
+        assert_eq!(m.query_dist_checks, a.query_dist_checks);
+        assert_eq!(m.obj_comparisons, a.obj_comparisons);
+        assert_eq!(m.io, a.io);
+        assert_eq!(m.phase1_survivors, a.phase1_survivors);
+        assert_eq!(m.phase1_batches, a.phase1_batches);
+        assert_eq!(m.phase2_batches, a.phase2_batches);
+        assert_eq!(m.phase1_time, a.phase1_time);
+        assert_eq!(m.phase2_time, a.phase2_time);
+        assert_eq!(m.total_time, a.total_time);
+        assert_eq!(m.result_size, a.result_size);
     }
 }

@@ -120,6 +120,12 @@ impl Disk {
         self.page_size
     }
 
+    /// Read-only view of the backend, for snapshotting (`shared` module).
+    #[inline]
+    pub(crate) fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
     /// Creates a new empty file and returns its handle.
     pub fn create_file(&mut self) -> Result<FileId> {
         let id = FileId(self.pages.len());

@@ -11,6 +11,23 @@ use rsky_core::record::{row, RowBuf};
 
 use crate::disk::{Disk, FileId};
 
+/// Decodes `count` fixed-width records from a raw page image into `out`
+/// (appended). Shared by [`RecordFile::read_page_rows`] and the concurrent
+/// scanners in [`crate::shared`] so both decode identically.
+pub(crate) fn decode_page_rows(buf: &[u8], m: usize, count: usize, out: &mut RowBuf) {
+    let w = row::width(m);
+    let mut rec = Vec::with_capacity(w);
+    for r in 0..count {
+        rec.clear();
+        let base = r * w * 4;
+        for k in 0..w {
+            let off = base + k * 4;
+            rec.push(u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]));
+        }
+        out.push_flat(&rec);
+    }
+}
+
 /// Handle to a file of fixed-width records.
 #[derive(Debug, Clone)]
 pub struct RecordFile {
@@ -102,23 +119,7 @@ impl RecordFile {
         let count = (self.n - start).min(rpp) as usize;
         let mut buf = vec![0u8; disk.page_size()];
         disk.read_page(self.file, page, &mut buf)?;
-        let w = row::width(self.m);
-        let mut flat = Vec::with_capacity(count * w);
-        for r in 0..count {
-            let base = r * self.record_bytes();
-            for k in 0..w {
-                let off = base + k * 4;
-                flat.push(u32::from_le_bytes([
-                    buf[off],
-                    buf[off + 1],
-                    buf[off + 2],
-                    buf[off + 3],
-                ]));
-            }
-        }
-        for row in flat.chunks_exact(w) {
-            out.push_flat(row);
-        }
+        decode_page_rows(&buf, self.m, count, out);
         Ok(count)
     }
 

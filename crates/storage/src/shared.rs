@@ -1,0 +1,440 @@
+//! Shared read-only page access for concurrent scans.
+//!
+//! The [`Disk`](crate::Disk) models a *single* head — that is the paper's
+//! cost model and the sequential engines keep it. The parallel execution
+//! layer instead gives every worker thread its own scanner over a read-only
+//! snapshot of a file: IO is still counted (per scanner, with the same
+//! sequential/random classification, each scanner owning its own head), and
+//! the snapshot guarantees workers can never observe a torn write.
+//!
+//! * For the in-memory backend, [`Disk::share_file`] copies the file's bytes
+//!   into an `Arc<[u8]>` — cheap at the scales the engines run at, and the
+//!   clone makes the snapshot semantics explicit.
+//! * For the directory backend, the snapshot is the path; every scanner
+//!   opens its own `File`, so no handle (or head) is shared across threads.
+//!
+//! [`SharedRecords`] mirrors [`RecordFile`]'s page/batch readers on top of a
+//! [`SharedFile`], byte-for-byte: batch boundaries computed by a
+//! [`RecordScanner`] are identical to the sequential reader's, which is what
+//! lets the parallel engines reproduce sequential batch composition exactly.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rsky_core::error::{Error, Result};
+use rsky_core::record::RowBuf;
+use rsky_core::stats::IoCounts;
+
+use crate::disk::{Backend, Disk, FileId};
+use crate::recfile::{decode_page_rows, RecordFile};
+
+/// Where a snapshot's pages live.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Immutable copy of the file's bytes, shared by reference count.
+    Mem(Arc<Vec<u8>>),
+    /// Path of the page file; each scanner opens it independently.
+    Dir(PathBuf),
+}
+
+/// A read-only snapshot of one disk file, cloneable and shareable across
+/// threads. Create scanners with [`SharedFile::scanner`] — one per thread.
+#[derive(Debug, Clone)]
+pub struct SharedFile {
+    backing: Backing,
+    page_size: usize,
+    num_pages: u64,
+}
+
+impl SharedFile {
+    /// Page size of the originating disk.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages in the snapshot.
+    #[inline]
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// A new independent scanner (own head, own IO counters, own file
+    /// handle for the directory backend).
+    pub fn scanner(&self) -> PageScanner {
+        PageScanner {
+            shared: self.clone(),
+            head: None,
+            stats: IoCounts::default(),
+            handle: None,
+        }
+    }
+}
+
+impl Disk {
+    /// Snapshots `file` for shared read-only access across threads.
+    ///
+    /// The snapshot reflects the file's contents *now*; later writes through
+    /// the disk are not seen by scanners over the in-memory backend (and
+    /// must not be interleaved with scans on the directory backend).
+    pub fn share_file(&self, file: FileId) -> Result<SharedFile> {
+        let num_pages = self.num_pages(file);
+        let backing = match self.backend() {
+            Backend::Mem(files) => Backing::Mem(Arc::new(files[file.0].clone())),
+            Backend::Dir { dir, .. } => Backing::Dir(dir.join(format!("f{}.pages", file.0))),
+        };
+        Ok(SharedFile { backing, page_size: self.page_size(), num_pages })
+    }
+}
+
+/// A per-thread reader over a [`SharedFile`]: sequential/random IO is
+/// classified against this scanner's own head, exactly like [`Disk`] does
+/// for its single head.
+#[derive(Debug)]
+pub struct PageScanner {
+    shared: SharedFile,
+    head: Option<u64>,
+    stats: IoCounts,
+    /// Lazily opened handle (directory backend only).
+    handle: Option<File>,
+}
+
+impl PageScanner {
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.shared.page_size
+    }
+
+    /// Number of pages in the underlying snapshot.
+    #[inline]
+    pub fn num_pages(&self) -> u64 {
+        self.shared.num_pages
+    }
+
+    /// IO counters accumulated by this scanner.
+    #[inline]
+    pub fn io_stats(&self) -> IoCounts {
+        self.stats
+    }
+
+    /// Reads page `page` into `buf` (must be `page_size` bytes).
+    pub fn read_page(&mut self, page: u64, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.shared.page_size);
+        if page >= self.shared.num_pages {
+            return Err(Error::Corrupt(format!(
+                "read of page {page} past end of shared file ({} pages)",
+                self.shared.num_pages
+            )));
+        }
+        let sequential = matches!(self.head, Some(p) if page == p || page == p + 1);
+        self.head = Some(page);
+        if sequential {
+            self.stats.seq_reads += 1;
+        } else {
+            self.stats.rand_reads += 1;
+        }
+        match &self.shared.backing {
+            Backing::Mem(bytes) => {
+                let off = page as usize * self.shared.page_size;
+                buf.copy_from_slice(&bytes[off..off + self.shared.page_size]);
+            }
+            Backing::Dir(path) => {
+                if self.handle.is_none() {
+                    self.handle = Some(File::open(path)?);
+                }
+                let f = self.handle.as_mut().expect("just opened");
+                f.seek(SeekFrom::Start(page * self.shared.page_size as u64))?;
+                f.read_exact(buf)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A read-only snapshot of a [`RecordFile`], shareable across threads.
+#[derive(Debug, Clone)]
+pub struct SharedRecords {
+    pages: SharedFile,
+    m: usize,
+    n: u64,
+}
+
+impl RecordFile {
+    /// Snapshots this record file for concurrent scans (see
+    /// [`Disk::share_file`] for the snapshot semantics).
+    pub fn share(&self, disk: &Disk) -> Result<SharedRecords> {
+        Ok(SharedRecords {
+            pages: disk.share_file(self.file_id())?,
+            m: self.num_attrs(),
+            n: self.len(),
+        })
+    }
+}
+
+impl SharedRecords {
+    /// Attributes per record.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.m
+    }
+
+    /// Total records.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the snapshot holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bytes one record occupies.
+    #[inline]
+    pub fn record_bytes(&self) -> usize {
+        (self.m + 1) * 4
+    }
+
+    /// Records that fit in one page.
+    #[inline]
+    pub fn records_per_page(&self) -> usize {
+        self.pages.page_size() / self.record_bytes()
+    }
+
+    /// Number of pages the records occupy.
+    pub fn num_pages(&self) -> u64 {
+        let rpp = self.records_per_page() as u64;
+        self.n.div_ceil(rpp)
+    }
+
+    /// A new independent record scanner for one thread.
+    pub fn scanner(&self) -> RecordScanner {
+        RecordScanner {
+            shared: self.clone(),
+            pages: self.pages.scanner(),
+            buf: vec![0u8; self.pages.page_size()],
+        }
+    }
+}
+
+/// Per-thread record reader mirroring [`RecordFile::read_page_rows`] and
+/// [`RecordFile::read_batch`] over a snapshot.
+#[derive(Debug)]
+pub struct RecordScanner {
+    shared: SharedRecords,
+    pages: PageScanner,
+    buf: Vec<u8>,
+}
+
+impl RecordScanner {
+    /// The snapshot this scanner reads.
+    #[inline]
+    pub fn records(&self) -> &SharedRecords {
+        &self.shared
+    }
+
+    /// IO counters accumulated by this scanner.
+    #[inline]
+    pub fn io_stats(&self) -> IoCounts {
+        self.pages.io_stats()
+    }
+
+    /// Decodes the records of page `page` into `out` (appended); returns the
+    /// record count. Identical semantics to [`RecordFile::read_page_rows`].
+    pub fn read_page_rows(&mut self, page: u64, out: &mut RowBuf) -> Result<usize> {
+        let rpp = self.shared.records_per_page() as u64;
+        let start = page * rpp;
+        if start >= self.shared.n {
+            return Err(Error::Corrupt(format!(
+                "page {page} past end of shared record file ({} records)",
+                self.shared.n
+            )));
+        }
+        let count = (self.shared.n - start).min(rpp) as usize;
+        self.pages.read_page(page, &mut self.buf)?;
+        decode_page_rows(&self.buf, self.shared.m, count, out);
+        Ok(count)
+    }
+
+    /// Reads pages from `first_page` until `max_records` records have been
+    /// decoded or the file ends; returns `(pages_read, records_read)`.
+    /// Identical batch boundaries to [`RecordFile::read_batch`].
+    pub fn read_batch(
+        &mut self,
+        first_page: u64,
+        max_records: usize,
+        out: &mut RowBuf,
+    ) -> Result<(u64, usize)> {
+        let mut pages = 0;
+        let mut records = 0;
+        let rpp = self.shared.records_per_page();
+        let total_pages = self.shared.num_pages();
+        let mut page = first_page;
+        while page < total_pages && records + rpp <= max_records.max(rpp) {
+            let got = self.read_page_rows(page, out)?;
+            records += got;
+            pages += 1;
+            page += 1;
+            if records >= max_records {
+                break;
+            }
+        }
+        Ok((pages, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(m: usize, n: usize) -> RowBuf {
+        let mut b = RowBuf::new(m);
+        for i in 0..n {
+            let vals: Vec<u32> = (0..m).map(|k| ((i * 13 + k * 5) % 89) as u32).collect();
+            b.push(i as u32, &vals);
+        }
+        b
+    }
+
+    #[test]
+    fn snapshot_matches_sequential_reader() {
+        let mut disk = Disk::new_mem(64);
+        let mut rf = RecordFile::create(&mut disk, 3).unwrap();
+        let data = rows(3, 23);
+        rf.write_all(&mut disk, &data).unwrap();
+        let shared = rf.share(&disk).unwrap();
+        assert_eq!(shared.len(), rf.len());
+        assert_eq!(shared.num_pages(), rf.num_pages(&disk));
+        let mut sc = shared.scanner();
+        let mut out = RowBuf::new(3);
+        for p in 0..shared.num_pages() {
+            sc.read_page_rows(p, &mut out).unwrap();
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut disk = Disk::new_mem(64);
+        let mut rf = RecordFile::create(&mut disk, 3).unwrap();
+        rf.write_all(&mut disk, &rows(3, 8)).unwrap();
+        let shared = rf.share(&disk).unwrap();
+        rf.write_all(&mut disk, &rows(3, 2)).unwrap(); // shrink after snapshot
+        let mut sc = shared.scanner();
+        let mut out = RowBuf::new(3);
+        for p in 0..shared.num_pages() {
+            sc.read_page_rows(p, &mut out).unwrap();
+        }
+        assert_eq!(out, rows(3, 8));
+    }
+
+    #[test]
+    fn batch_boundaries_match_record_file() {
+        let mut disk = Disk::new_mem(64);
+        let mut rf = RecordFile::create(&mut disk, 3).unwrap();
+        rf.write_all(&mut disk, &rows(3, 20)).unwrap(); // 4 rec/page, 5 pages
+        let shared = rf.share(&disk).unwrap();
+        for cap in [1, 4, 7, 10, 1000] {
+            let mut page = 0;
+            loop {
+                let mut a = RowBuf::new(3);
+                let mut b = RowBuf::new(3);
+                let seq = rf.read_batch(&mut disk, page, cap, &mut a).unwrap();
+                let par = shared.scanner().read_batch(page, cap, &mut b).unwrap();
+                assert_eq!(seq, par, "cap={cap} page={page}");
+                assert_eq!(a, b, "cap={cap} page={page}");
+                if seq.0 == 0 {
+                    break;
+                }
+                page += seq.0;
+            }
+        }
+    }
+
+    #[test]
+    fn scanner_counts_its_own_io() {
+        let mut disk = Disk::new_mem(64);
+        let mut rf = RecordFile::create(&mut disk, 3).unwrap();
+        rf.write_all(&mut disk, &rows(3, 16)).unwrap(); // 4 pages
+        let shared = rf.share(&disk).unwrap();
+        let disk_io_before = disk.io_stats();
+        let mut sc = shared.scanner();
+        let mut out = RowBuf::new(3);
+        for p in 0..4 {
+            sc.read_page_rows(p, &mut out).unwrap();
+        }
+        // First read seeks, the rest are sequential; the disk saw nothing.
+        assert_eq!(sc.io_stats().rand_reads, 1);
+        assert_eq!(sc.io_stats().seq_reads, 3);
+        assert_eq!(disk.io_stats(), disk_io_before);
+        // A second scanner starts with a fresh head.
+        let mut sc2 = shared.scanner();
+        let mut out2 = RowBuf::new(3);
+        sc2.read_page_rows(2, &mut out2).unwrap();
+        assert_eq!(sc2.io_stats().rand_reads, 1);
+    }
+
+    #[test]
+    fn scanners_work_across_threads() {
+        let mut disk = Disk::new_mem(128);
+        let mut rf = RecordFile::create(&mut disk, 4).unwrap();
+        let data = rows(4, 101);
+        rf.write_all(&mut disk, &data).unwrap();
+        let shared = rf.share(&disk).unwrap();
+        let chunks: Vec<RowBuf> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        let mut sc = shared.scanner();
+                        let mut out = RowBuf::new(4);
+                        let mut p = t as u64;
+                        while p < shared.num_pages() {
+                            sc.read_page_rows(p, &mut out).unwrap();
+                            p += 4;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, data.len());
+    }
+
+    #[test]
+    fn dir_backend_snapshot_round_trips() {
+        let dir = std::env::temp_dir().join(format!("rsky-shared-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut disk = Disk::new_dir(&dir, 256).unwrap();
+            let mut rf = RecordFile::create(&mut disk, 5).unwrap();
+            let data = rows(5, 77);
+            rf.write_all(&mut disk, &data).unwrap();
+            let shared = rf.share(&disk).unwrap();
+            let mut sc = shared.scanner();
+            let mut out = RowBuf::new(5);
+            for p in 0..shared.num_pages() {
+                sc.read_page_rows(p, &mut out).unwrap();
+            }
+            assert_eq!(out, data);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let mut disk = Disk::new_mem(64);
+        let mut rf = RecordFile::create(&mut disk, 3).unwrap();
+        rf.write_all(&mut disk, &rows(3, 4)).unwrap();
+        let shared = rf.share(&disk).unwrap();
+        let mut sc = shared.scanner();
+        let mut out = RowBuf::new(3);
+        assert!(sc.read_page_rows(5, &mut out).is_err());
+    }
+}

@@ -68,7 +68,10 @@ pub use rsky_storage as storage;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rsky_algos::prep::{load_dataset, prepare_table, Layout, PreparedTable};
-    pub use rsky_algos::{Brs, EngineCtx, Naive, ReverseSkylineAlgo, RsRun, Srs, Trs};
+    pub use rsky_algos::{
+        engine_by_name, Brs, EngineCtx, Naive, ParBrs, ParSrs, ParTrs, ReverseSkylineAlgo, RsRun,
+        Srs, Trs,
+    };
     pub use rsky_core::dataset::Dataset;
     pub use rsky_core::query::{AttrSubset, Query};
     pub use rsky_core::record::{RecordId, RowBuf, ValueId};
