@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI: the exact gates .github/workflows/ci.yml runs.
+#
+#   ./ci.sh          # tier-1 + full property sweep + clippy
+#   ./ci.sh tier1    # just the tier-1 build & test
+set -euo pipefail
+cd "$(dirname "$0")"
+
+tier1() {
+    echo "=== tier-1: release build + default test suite ==="
+    cargo build --release
+    cargo test -q
+}
+
+full() {
+    echo "=== full property sweep ==="
+    cargo test -q --features property-tests
+    echo "=== clippy (warnings are errors) ==="
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy --workspace --all-targets --features property-tests -- -D warnings
+}
+
+case "${1:-all}" in
+    tier1) tier1 ;;
+    all) tier1; full ;;
+    *) echo "usage: $0 [tier1|all]" >&2; exit 2 ;;
+esac
+echo "CI OK"

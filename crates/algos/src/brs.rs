@@ -23,7 +23,7 @@ use rsky_core::record::{RecordId, RowBuf};
 use rsky_core::stats::RunStats;
 use rsky_storage::{RecordFile, RecordWriter};
 
-use crate::engine::{run_with_scaffolding, EngineCtx, ReverseSkylineAlgo, RsRun};
+use crate::engine::{run_with_scaffolding, EngineCtx, ReverseSkylineAlgo, RsRun, RunObs};
 use crate::qcache::QueryDistCache;
 
 /// How phase one searches a batch for pruners of its members.
@@ -48,14 +48,15 @@ impl ReverseSkylineAlgo for Brs {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         crate::engine::validate_inputs(ctx, table, query)?;
-        run_with_scaffolding(ctx, query, |ctx, cache, stats| {
-            two_phase(ctx, table, query, cache, Phase1Order::Linear, stats)
+        run_with_scaffolding(ctx, query, "brs", |ctx, cache, stats, robs| {
+            two_phase(ctx, table, query, cache, Phase1Order::Linear, stats, robs)
         })
     }
 }
 
 /// Shared BRS/SRS body: batch-wise phase one into a write area, then the
 /// phase-two refinement scan. Returns unsorted result ids.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn two_phase(
     ctx: &mut EngineCtx<'_>,
     table: &RecordFile,
@@ -63,6 +64,7 @@ pub(crate) fn two_phase(
     cache: &QueryDistCache,
     order: Phase1Order,
     stats: &mut RunStats,
+    robs: &RunObs<'_>,
 ) -> Result<Vec<RecordId>> {
     let m = table.num_attrs();
     let subset = &query.subset;
@@ -71,6 +73,8 @@ pub(crate) fn two_phase(
 
     // --- Phase one --------------------------------------------------------
     let t1 = std::time::Instant::now();
+    let mut p1_span = robs.span("phase1");
+    let io_p1 = ctx.disk.io_stats();
     let r_file = {
         let cap1 = ctx.budget.phase1_records(rec_bytes);
         let mut writer = RecordWriter::new(RecordFile::create(ctx.disk, m)?);
@@ -78,6 +82,9 @@ pub(crate) fn two_phase(
         let mut batch = RowBuf::new(m);
         let mut dqx = Vec::with_capacity(subset.len());
         while page < total_pages {
+            let mut bspan = robs.span("phase1.batch");
+            let io_b = ctx.disk.io_stats();
+            let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);
             batch.clear();
             let (pages, _) = table.read_batch(ctx.disk, page, cap1, &mut batch)?;
             page += pages;
@@ -89,14 +96,32 @@ pub(crate) fn two_phase(
                     writer.push(ctx.disk, batch.flat_row(i))?;
                 }
             }
+            if bspan.is_recording() {
+                bspan
+                    .field("batch", (stats.phase1_batches - 1) as u64)
+                    .field("records", n as u64)
+                    .field("dist_checks", stats.dist_checks - dc0)
+                    .field("obj_comparisons", stats.obj_comparisons - oc0)
+                    .io_fields(ctx.disk.io_stats().delta_since(io_b));
+            }
+            bspan.close();
         }
         writer.finish(ctx.disk)?
     };
     stats.phase1_time = t1.elapsed();
     stats.phase1_survivors = r_file.len() as usize;
+    if p1_span.is_recording() {
+        p1_span
+            .field("batches", stats.phase1_batches as u64)
+            .field("survivors", stats.phase1_survivors as u64)
+            .io_fields(ctx.disk.io_stats().delta_since(io_p1));
+    }
+    p1_span.close();
 
     // --- Phase two --------------------------------------------------------
     let t2 = std::time::Instant::now();
+    let mut p2_span = robs.span("phase2");
+    let io_p2 = ctx.disk.io_stats();
     let result = {
         let cap2 = ctx.budget.phase2_records(rec_bytes);
         let r_pages = r_file.num_pages(ctx.disk);
@@ -108,6 +133,9 @@ pub(crate) fn two_phase(
         let mut dqx_rows: Vec<f64> = Vec::new();
         let mut row = Vec::with_capacity(slen);
         while rpage < r_pages {
+            let mut bspan = robs.span("phase2.batch");
+            let io_b = ctx.disk.io_stats();
+            let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);
             rbatch.clear();
             let (pages, _) = r_file.read_batch(ctx.disk, rpage, cap2, &mut rbatch)?;
             rpage += pages;
@@ -159,10 +187,25 @@ pub(crate) fn two_phase(
                     result.push(rbatch.id(xi));
                 }
             }
+            if bspan.is_recording() {
+                bspan
+                    .field("batch", (stats.phase2_batches - 1) as u64)
+                    .field("records", rbatch.len() as u64)
+                    .field("dist_checks", stats.dist_checks - dc0)
+                    .field("obj_comparisons", stats.obj_comparisons - oc0)
+                    .io_fields(ctx.disk.io_stats().delta_since(io_b));
+            }
+            bspan.close();
         }
         result
     };
     stats.phase2_time = t2.elapsed();
+    if p2_span.is_recording() {
+        p2_span
+            .field("batches", stats.phase2_batches as u64)
+            .io_fields(ctx.disk.io_stats().delta_since(io_p2));
+    }
+    p2_span.close();
     Ok(result)
 }
 

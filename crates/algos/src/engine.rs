@@ -4,6 +4,7 @@ use std::time::Instant;
 
 use rsky_core::dissim::DissimTable;
 use rsky_core::error::Result;
+use rsky_core::obs::{self, ObsHandle, Span};
 use rsky_core::query::{AttrSubset, Query};
 use rsky_core::record::{RecordId, ValueId};
 use rsky_core::schema::Schema;
@@ -11,6 +12,37 @@ use rsky_core::stats::RunStats;
 use rsky_storage::{Disk, MemoryBudget, RecordFile};
 
 use crate::qcache::QueryDistCache;
+
+/// Per-run observability context: the recorder handle captured once at run
+/// start (on the calling thread, where a scoped recorder is visible) plus
+/// the engine's span-name prefix. Shared by reference with worker threads,
+/// so parallel batches record through the same sink as sequential ones.
+pub(crate) struct RunObs<'a> {
+    handle: ObsHandle,
+    prefix: &'a str,
+}
+
+impl<'a> RunObs<'a> {
+    /// Captures the recorder in effect on the current thread.
+    pub fn capture(prefix: &'a str) -> Self {
+        Self { handle: obs::handle(), prefix }
+    }
+
+    /// Opens the span `{prefix}.{what}` (inert when no recorder is active).
+    pub fn span(&self, what: &str) -> Span {
+        self.handle.span(self.prefix, what)
+    }
+
+    /// Whether spans record anything — gates snapshotting work at call sites.
+    pub fn enabled(&self) -> bool {
+        self.handle.enabled()
+    }
+
+    /// The underlying recorder handle (for counters/histograms).
+    pub fn handle(&self) -> &ObsHandle {
+        &self.handle
+    }
+}
 
 /// Outcome of a reverse-skyline run: the result ids (ascending) plus the
 /// full cost profile.
@@ -135,22 +167,51 @@ pub(crate) fn validate_inputs(
 
 /// Shared run scaffolding: validates inputs, snapshots IO counters, builds
 /// the query cache, executes `body`, then fills the IO delta, totals and
-/// result size.
+/// result size. `prefix` names the engine in span names (`{prefix}.run`,
+/// `{prefix}.phase1.batch`, …); the closing run span carries the final
+/// `RunStats` totals so an external sink can reconcile them.
 pub(crate) fn run_with_scaffolding(
     ctx: &mut EngineCtx<'_>,
     query: &Query,
-    body: impl FnOnce(&mut EngineCtx<'_>, &QueryDistCache, &mut RunStats) -> Result<Vec<RecordId>>,
+    prefix: &str,
+    body: impl FnOnce(
+        &mut EngineCtx<'_>,
+        &QueryDistCache,
+        &mut RunStats,
+        &RunObs<'_>,
+    ) -> Result<Vec<RecordId>>,
 ) -> Result<RsRun> {
+    let robs = RunObs::capture(prefix);
     let io_before = ctx.disk.io_stats();
     let t0 = Instant::now();
+    let mut run_span = robs.span("run");
     let cache = QueryDistCache::new(ctx.dissim, ctx.schema, query);
+    robs.handle.counter_add("qcache.build_checks", cache.build_checks);
     let mut stats = RunStats { query_dist_checks: cache.build_checks, ..Default::default() };
-    let mut ids = body(ctx, &cache, &mut stats)?;
+    let mut ids = body(ctx, &cache, &mut stats, &robs)?;
     ids.sort_unstable();
     stats.total_time = t0.elapsed();
     stats.io = ctx.disk.io_stats().delta_since(io_before);
     stats.result_size = ids.len();
+    finish_run_span(&mut run_span, &stats);
+    run_span.close();
     Ok(RsRun { ids, stats })
+}
+
+/// Attaches the final `RunStats` totals to a closing run span. Shared with
+/// the parallel scaffolding so both emit the same field set.
+pub(crate) fn finish_run_span(span: &mut Span, stats: &RunStats) {
+    if !span.is_recording() {
+        return;
+    }
+    span.field("dist_checks", stats.dist_checks)
+        .field("query_dist_checks", stats.query_dist_checks)
+        .field("obj_comparisons", stats.obj_comparisons)
+        .field("phase1_batches", stats.phase1_batches as u64)
+        .field("phase1_survivors", stats.phase1_survivors as u64)
+        .field("phase2_batches", stats.phase2_batches as u64)
+        .field("result_size", stats.result_size as u64)
+        .io_fields(stats.io);
 }
 
 #[cfg(test)]

@@ -109,10 +109,15 @@ impl InfluenceEngine {
 
     /// Runs the workload, returning per-query influence. Set `keep_ids` to
     /// retain the result id lists (memory proportional to total influence).
+    ///
+    /// With a recorder active, each query closes one `influence.query` span
+    /// carrying the query index, its cardinality and the checks it cost.
     pub fn run(&mut self, queries: &[Query], keep_ids: bool) -> Result<InfluenceReport> {
+        let obs = rsky_core::obs::handle();
         let mut per_query = Vec::with_capacity(queries.len());
         let mut totals = RunStats::default();
         for (qi, q) in queries.iter().enumerate() {
+            let mut qspan = obs.span("influence", "query");
             let mut ctx = EngineCtx {
                 disk: &mut self.disk,
                 schema: &self.dataset.schema,
@@ -121,6 +126,15 @@ impl InfluenceEngine {
             };
             let run = self.trs.run(&mut ctx, &self.prepared.file, q)?;
             totals.merge(&run.stats);
+            if qspan.is_recording() {
+                qspan
+                    .field("query", qi as u64)
+                    .field("cardinality", run.ids.len() as u64)
+                    .field("dist_checks", run.stats.dist_checks)
+                    .field("obj_comparisons", run.stats.obj_comparisons)
+                    .io_fields(run.stats.io);
+            }
+            qspan.close();
             per_query.push(Influence {
                 query_index: qi,
                 cardinality: run.ids.len(),
@@ -157,21 +171,32 @@ pub fn run_influence_parallel(
         }
         c
     };
+    // Capture the caller's recorder (scoped recorders are thread-local) and
+    // re-install it inside each worker, so per-query spans from worker
+    // threads reach the same sink.
+    let obs = rsky_core::obs::handle();
     let results: Vec<Result<Vec<(usize, Influence, RunStats)>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
+                let obs = obs.clone();
                 scope.spawn(move || -> Result<Vec<(usize, Influence, RunStats)>> {
-                    let mut engine =
-                        InfluenceEngine::new(dataset.clone(), mem_pct, page_size)?;
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for (qi, q) in chunk {
-                        let report = engine.run(std::slice::from_ref(&q), keep_ids)?;
-                        let mut inf = report.per_query.into_iter().next().expect("one query in, one out");
-                        inf.query_index = qi;
-                        out.push((qi, inf, report.totals));
-                    }
-                    Ok(out)
+                    rsky_core::obs::with_recorder(obs, || {
+                        let mut engine =
+                            InfluenceEngine::new(dataset.clone(), mem_pct, page_size)?;
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for (qi, q) in chunk {
+                            let report = engine.run(std::slice::from_ref(&q), keep_ids)?;
+                            let mut inf = report
+                                .per_query
+                                .into_iter()
+                                .next()
+                                .expect("one query in, one out");
+                            inf.query_index = qi;
+                            out.push((qi, inf, report.totals));
+                        }
+                        Ok(out)
+                    })
                 })
             })
             .collect();

@@ -58,6 +58,6 @@ pub use par::{ParBrs, ParSrs, ParTrs};
 pub use prep::{prepare_table, Layout, PreparedTable};
 pub use qcache::QueryDistCache;
 pub use skyline_bnl::{dynamic_skyline_bnl, SkylineRun};
-pub use streaming::StreamingReverseSkyline;
+pub use streaming::{StreamStats, StreamingReverseSkyline};
 pub use srs::Srs;
 pub use trs::Trs;

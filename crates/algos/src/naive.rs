@@ -29,14 +29,21 @@ impl ReverseSkylineAlgo for Naive {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         crate::engine::validate_inputs(ctx, table, query)?;
-        run_with_scaffolding(ctx, query, |ctx, cache, stats| {
+        run_with_scaffolding(ctx, query, "naive", |ctx, cache, stats, robs| {
             let m = table.num_attrs();
             let subset = &query.subset;
             let total_pages = table.num_pages(ctx.disk);
             let mut result = Vec::new();
             let mut outer = RowBuf::new(m);
             let mut inner = RowBuf::new(m);
+            // The naive scan has no write area and no second phase: each
+            // outer page is one "batch" span, all under a single phase span.
+            let mut p1_span = robs.span("phase1");
+            let io_p1 = ctx.disk.io_stats();
             for op in 0..total_pages {
+                let mut bspan = robs.span("phase1.batch");
+                let io_b = ctx.disk.io_stats();
+                let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);
                 outer.clear();
                 table.read_page_rows(ctx.disk, op, &mut outer)?;
                 // Iterate X over the page; inner scan restarts at page 0 and
@@ -70,8 +77,23 @@ impl ReverseSkylineAlgo for Naive {
                         result.push(x_id);
                     }
                 }
+                if bspan.is_recording() {
+                    bspan
+                        .field("batch", op)
+                        .field("records", outer.len() as u64)
+                        .field("dist_checks", stats.dist_checks - dc0)
+                        .field("obj_comparisons", stats.obj_comparisons - oc0)
+                        .io_fields(ctx.disk.io_stats().delta_since(io_b));
+                }
+                bspan.close();
             }
             stats.phase1_batches = total_pages as usize;
+            if p1_span.is_recording() {
+                p1_span
+                    .field("batches", stats.phase1_batches as u64)
+                    .io_fields(ctx.disk.io_stats().delta_since(io_p1));
+            }
+            p1_span.close();
             Ok(result)
         })
     }

@@ -51,7 +51,7 @@ use rsky_core::stats::{IoCounts, RunStats};
 use rsky_storage::{RecordFile, RecordScanner, RecordWriter, SharedRecords};
 
 use crate::brs::{find_pruner_in_batch, Phase1Order};
-use crate::engine::{validate_inputs, EngineCtx, ReverseSkylineAlgo, RsRun};
+use crate::engine::{finish_run_span, validate_inputs, EngineCtx, ReverseSkylineAlgo, RsRun, RunObs};
 use crate::qcache::QueryDistCache;
 use crate::trs::{self, Trs};
 
@@ -95,8 +95,8 @@ impl ReverseSkylineAlgo for ParBrs {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         validate_inputs(ctx, table, query)?;
-        run_par_scaffolding(ctx, query, |ctx, cache, stats| {
-            par_two_phase(ctx, table, query, cache, Phase1Order::Linear, self.threads, stats)
+        run_par_scaffolding(ctx, query, "brs-p", |ctx, cache, stats, robs| {
+            par_two_phase(ctx, table, query, cache, Phase1Order::Linear, self.threads, stats, robs)
         })
     }
 }
@@ -108,8 +108,10 @@ impl ReverseSkylineAlgo for ParSrs {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         validate_inputs(ctx, table, query)?;
-        run_par_scaffolding(ctx, query, |ctx, cache, stats| {
-            par_two_phase(ctx, table, query, cache, Phase1Order::Radiating, self.threads, stats)
+        run_par_scaffolding(ctx, query, "srs-p", |ctx, cache, stats, robs| {
+            par_two_phase(
+                ctx, table, query, cache, Phase1Order::Radiating, self.threads, stats, robs,
+            )
         })
     }
 }
@@ -122,28 +124,42 @@ impl ReverseSkylineAlgo for ParTrs {
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         validate_inputs(ctx, table, query)?;
         self.trs.validate_order(table.num_attrs())?;
-        run_par_scaffolding(ctx, query, |ctx, cache, stats| {
-            par_trs(ctx, table, query, cache, &self.trs, self.threads, stats)
+        run_par_scaffolding(ctx, query, "trs-p", |ctx, cache, stats, robs| {
+            par_trs(ctx, table, query, cache, &self.trs, self.threads, stats, robs)
         })
     }
 }
 
 /// Like `run_with_scaffolding`, but the body *adds* worker-scanner IO into
 /// `stats.io` as it goes, so the disk delta is added rather than assigned.
+/// The recorder handle is captured here — on the calling thread — and shared
+/// with workers through [`RunObs`], so batch spans from worker threads land
+/// in the same sink a scoped test recorder installed.
 fn run_par_scaffolding(
     ctx: &mut EngineCtx<'_>,
     query: &Query,
-    body: impl FnOnce(&mut EngineCtx<'_>, &QueryDistCache, &mut RunStats) -> Result<Vec<RecordId>>,
+    prefix: &str,
+    body: impl FnOnce(
+        &mut EngineCtx<'_>,
+        &QueryDistCache,
+        &mut RunStats,
+        &RunObs<'_>,
+    ) -> Result<Vec<RecordId>>,
 ) -> Result<RsRun> {
+    let robs = RunObs::capture(prefix);
     let io_before = ctx.disk.io_stats();
     let t0 = Instant::now();
+    let mut run_span = robs.span("run");
     let cache = QueryDistCache::new(ctx.dissim, ctx.schema, query);
+    robs.handle().counter_add("qcache.build_checks", cache.build_checks);
     let mut stats = RunStats { query_dist_checks: cache.build_checks, ..Default::default() };
-    let mut ids = body(ctx, &cache, &mut stats)?;
+    let mut ids = body(ctx, &cache, &mut stats, &robs)?;
     ids.sort_unstable();
     stats.total_time = t0.elapsed();
     stats.io.add(ctx.disk.io_stats().delta_since(io_before));
     stats.result_size = ids.len();
+    finish_run_span(&mut run_span, &stats);
+    run_span.close();
     Ok(RsRun { ids, stats })
 }
 
@@ -172,13 +188,13 @@ fn flat_batch_starts(file: &SharedRecords, cap: usize) -> Vec<u64> {
     starts
 }
 
+/// One worker's output: `(batch_idx, payload, per-batch stats)` triples plus
+/// the worker's own scanner IO.
+type WorkerOut<T> = Vec<Result<(Vec<(usize, T, RunStats)>, IoCounts)>>;
+
 /// Merges per-batch outputs: stats folded in batch-index order, payloads
 /// returned in batch-index order. Worker scanner IO is added to `stats.io`.
-fn gather_batches<T>(
-    nb: usize,
-    worker_out: Vec<Result<(Vec<(usize, T, RunStats)>, IoCounts)>>,
-    stats: &mut RunStats,
-) -> Result<Vec<T>> {
+fn gather_batches<T>(nb: usize, worker_out: WorkerOut<T>, stats: &mut RunStats) -> Result<Vec<T>> {
     let mut slots: Vec<Option<(T, RunStats)>> = (0..nb).map(|_| None).collect();
     for w in worker_out {
         let (items, io) = w?;
@@ -198,6 +214,7 @@ fn gather_batches<T>(
 }
 
 /// Parallel twin of `crate::brs::two_phase` (shared by BRS-P and SRS-P).
+#[allow(clippy::too_many_arguments)]
 fn par_two_phase(
     ctx: &mut EngineCtx<'_>,
     table: &RecordFile,
@@ -206,6 +223,7 @@ fn par_two_phase(
     order: Phase1Order,
     threads: usize,
     stats: &mut RunStats,
+    robs: &RunObs<'_>,
 ) -> Result<Vec<RecordId>> {
     let threads = threads.max(1);
     let m = table.num_attrs();
@@ -215,11 +233,14 @@ fn par_two_phase(
 
     // --- Phase one: disjoint batches, claimed from an atomic counter ------
     let t1 = Instant::now();
+    let mut p1_span = robs.span("phase1");
+    let io_disk1 = ctx.disk.io_stats();
+    let io_stats1 = stats.io;
     let cap1 = ctx.budget.phase1_records(rec_bytes);
     let starts = flat_batch_starts(&shared_d, cap1);
     let nb = starts.len();
     let next = AtomicUsize::new(0);
-    let worker_out: Vec<Result<(Vec<(usize, RowBuf, RunStats)>, IoCounts)>> =
+    let worker_out: WorkerOut<RowBuf> =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -233,6 +254,8 @@ fn par_two_phase(
                             if b >= nb {
                                 break;
                             }
+                            let mut bspan = robs.span("phase1.batch");
+                            let io_b = scanner.io_stats();
                             let mut batch = RowBuf::new(m);
                             scanner.read_batch(starts[b], cap1, &mut batch)?;
                             let mut bs = RunStats { phase1_batches: 1, ..Default::default() };
@@ -244,6 +267,15 @@ fn par_two_phase(
                                     surv.push_flat(batch.flat_row(i));
                                 }
                             }
+                            if bspan.is_recording() {
+                                bspan
+                                    .field("batch", b as u64)
+                                    .field("records", batch.len() as u64)
+                                    .field("dist_checks", bs.dist_checks)
+                                    .field("obj_comparisons", bs.obj_comparisons)
+                                    .io_fields(scanner.io_stats().delta_since(io_b));
+                            }
+                            bspan.close();
                             out.push((b, surv, bs));
                         }
                         Ok((out, scanner.io_stats()))
@@ -262,9 +294,23 @@ fn par_two_phase(
     };
     stats.phase1_time = t1.elapsed();
     stats.phase1_survivors = r_file.len() as usize;
+    if p1_span.is_recording() {
+        // Phase IO = worker-scanner IO gathered into stats.io this phase,
+        // plus the coordinator's own disk traffic (the R-file writes).
+        let mut pio = stats.io.delta_since(io_stats1);
+        pio.add(ctx.disk.io_stats().delta_since(io_disk1));
+        p1_span
+            .field("batches", stats.phase1_batches as u64)
+            .field("survivors", stats.phase1_survivors as u64)
+            .io_fields(pio);
+    }
+    p1_span.close();
 
     // --- Phase two: R-batches sharded the same way ------------------------
     let t2 = Instant::now();
+    let mut p2_span = robs.span("phase2");
+    let io_disk2 = ctx.disk.io_stats();
+    let io_stats2 = stats.io;
     let shared_r = r_file.share(ctx.disk)?;
     let cap2 = ctx.budget.phase2_records(rec_bytes);
     let rstarts = flat_batch_starts(&shared_r, cap2);
@@ -273,7 +319,7 @@ fn par_two_phase(
     let subset = &query.subset;
     let slen = subset.len();
     let d_pages = shared_d.num_pages();
-    let worker_out: Vec<Result<(Vec<(usize, Vec<RecordId>, RunStats)>, IoCounts)>> =
+    let worker_out: WorkerOut<Vec<RecordId>> =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -292,6 +338,12 @@ fn par_two_phase(
                             if b >= nrb {
                                 break;
                             }
+                            let mut bspan = robs.span("phase2.batch");
+                            let io_b = {
+                                let mut io = r_scanner.io_stats();
+                                io.add(d_scanner.io_stats());
+                                io
+                            };
                             rbatch.clear();
                             r_scanner.read_batch(rstarts[b], cap2, &mut rbatch)?;
                             let mut bs = RunStats { phase2_batches: 1, ..Default::default() };
@@ -341,6 +393,17 @@ fn par_two_phase(
                                 .filter(|(_, ok)| **ok)
                                 .map(|(xi, _)| rbatch.id(xi))
                                 .collect();
+                            if bspan.is_recording() {
+                                let mut io = r_scanner.io_stats();
+                                io.add(d_scanner.io_stats());
+                                bspan
+                                    .field("batch", b as u64)
+                                    .field("records", rbatch.len() as u64)
+                                    .field("dist_checks", bs.dist_checks)
+                                    .field("obj_comparisons", bs.obj_comparisons)
+                                    .io_fields(io.delta_since(io_b));
+                            }
+                            bspan.close();
                             out.push((b, ids, bs));
                         }
                         let mut io = r_scanner.io_stats();
@@ -353,6 +416,12 @@ fn par_two_phase(
         });
     let per_batch_ids = gather_batches(nrb, worker_out, stats)?;
     stats.phase2_time = t2.elapsed();
+    if p2_span.is_recording() {
+        let mut pio = stats.io.delta_since(io_stats2);
+        pio.add(ctx.disk.io_stats().delta_since(io_disk2));
+        p2_span.field("batches", stats.phase2_batches as u64).io_fields(pio);
+    }
+    p2_span.close();
     Ok(per_batch_ids.into_iter().flatten().collect())
 }
 
@@ -366,6 +435,9 @@ struct TreeLoader {
 }
 
 /// Claims and loads the next tree batch, or returns `None` at end of file.
+/// When a recorder is active, the time spent *waiting* for the loader lock
+/// is recorded into the `par.batch.wait_us` histogram — the contention cost
+/// of serializing TRS batch composition.
 #[allow(clippy::too_many_arguments)]
 fn claim_tree_batch(
     loader: &Mutex<TreeLoader>,
@@ -375,8 +447,13 @@ fn claim_tree_batch(
     tree: &mut AlTree,
     pbuf: &mut RowBuf,
     tvals: &mut [u32],
+    robs: &RunObs<'_>,
 ) -> Result<Option<usize>> {
+    let wait0 = robs.enabled().then(Instant::now);
     let mut ld = loader.lock().expect("tree loader poisoned");
+    if let Some(t0) = wait0 {
+        robs.handle().histogram_record("par.batch.wait_us", t0.elapsed().as_micros() as u64);
+    }
     if ld.page >= total_pages {
         return Ok(None);
     }
@@ -398,6 +475,7 @@ fn claim_tree_batch(
 }
 
 /// Parallel twin of the TRS run body.
+#[allow(clippy::too_many_arguments)]
 fn par_trs(
     ctx: &mut EngineCtx<'_>,
     table: &RecordFile,
@@ -406,6 +484,7 @@ fn par_trs(
     trs_cfg: &Trs,
     threads: usize,
     stats: &mut RunStats,
+    robs: &RunObs<'_>,
 ) -> Result<Vec<RecordId>> {
     let threads = threads.max(1);
     let m = table.num_attrs();
@@ -416,9 +495,12 @@ fn par_trs(
 
     // --- Phase one: trees loaded under lock, walked concurrently ----------
     let t1 = Instant::now();
+    let mut p1_span = robs.span("phase1");
+    let io_disk1 = ctx.disk.io_stats();
+    let io_stats1 = stats.io;
     let tree_budget = ctx.budget.phase1_tree_bytes();
     let loader = Mutex::new(TreeLoader { scanner: shared_d.scanner(), page: 0, batch_idx: 0 });
-    let worker_out: Vec<Result<(Vec<(usize, RowBuf, RunStats)>, IoCounts)>> =
+    let worker_out: WorkerOut<RowBuf> =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -433,7 +515,9 @@ fn par_trs(
                         let mut out = Vec::new();
                         while let Some(b) = claim_tree_batch(
                             loader, d_pages, tree_budget, order, &mut tree, &mut pbuf, &mut tvals,
+                            robs,
                         )? {
+                            let mut bspan = robs.span("phase1.batch");
                             let mut bs = RunStats { phase1_batches: 1, ..Default::default() };
                             if trs_cfg.opts.order_children_by_count {
                                 tree.order_children_for_search();
@@ -461,6 +545,13 @@ fn par_trs(
                                     }
                                 }
                             }
+                            if bspan.is_recording() {
+                                bspan
+                                    .field("batch", b as u64)
+                                    .field("dist_checks", bs.dist_checks)
+                                    .field("obj_comparisons", bs.obj_comparisons);
+                            }
+                            bspan.close();
                             out.push((b, surv, bs));
                         }
                         Ok((out, IoCounts::default()))
@@ -481,14 +572,26 @@ fn par_trs(
     };
     stats.phase1_time = t1.elapsed();
     stats.phase1_survivors = r_file.len() as usize;
+    if p1_span.is_recording() {
+        let mut pio = stats.io.delta_since(io_stats1);
+        pio.add(ctx.disk.io_stats().delta_since(io_disk1));
+        p1_span
+            .field("batches", stats.phase1_batches as u64)
+            .field("survivors", stats.phase1_survivors as u64)
+            .io_fields(pio);
+    }
+    p1_span.close();
 
     // --- Phase two: result trees per batch, database streamed per worker --
     let t2 = Instant::now();
+    let mut p2_span = robs.span("phase2");
+    let io_disk2 = ctx.disk.io_stats();
+    let io_stats2 = stats.io;
     let tree_budget2 = ctx.budget.phase2_tree_bytes();
     let shared_r = r_file.share(ctx.disk)?;
     let r_pages = shared_r.num_pages();
     let loader2 = Mutex::new(TreeLoader { scanner: shared_r.scanner(), page: 0, batch_idx: 0 });
-    let worker_out: Vec<Result<(Vec<(usize, Vec<RecordId>, RunStats)>, IoCounts)>> =
+    let worker_out: WorkerOut<Vec<RecordId>> =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -503,8 +606,10 @@ fn par_trs(
                         let mut out = Vec::new();
                         while let Some(b) = claim_tree_batch(
                             loader2, r_pages, tree_budget2, order, &mut tree, &mut pbuf,
-                            &mut tvals,
+                            &mut tvals, robs,
                         )? {
+                            let mut bspan = robs.span("phase2.batch");
+                            let io_b = d_scanner.io_stats();
                             let mut bs = RunStats { phase2_batches: 1, ..Default::default() };
                             for p in 0..d_pages {
                                 if tree.is_empty() {
@@ -527,6 +632,14 @@ fn par_trs(
                                     );
                                 }
                             }
+                            if bspan.is_recording() {
+                                bspan
+                                    .field("batch", b as u64)
+                                    .field("dist_checks", bs.dist_checks)
+                                    .field("obj_comparisons", bs.obj_comparisons)
+                                    .io_fields(d_scanner.io_stats().delta_since(io_b));
+                            }
+                            bspan.close();
                             out.push((b, tree.collect_ids(), bs));
                         }
                         Ok((out, d_scanner.io_stats()))
@@ -539,6 +652,12 @@ fn par_trs(
     stats.io.add(loader2.into_inner().expect("tree loader poisoned").scanner.io_stats());
     let per_batch_ids = gather_batches(nrb, worker_out, stats)?;
     stats.phase2_time = t2.elapsed();
+    if p2_span.is_recording() {
+        let mut pio = stats.io.delta_since(io_stats2);
+        pio.add(ctx.disk.io_stats().delta_since(io_disk2));
+        p2_span.field("batches", stats.phase2_batches as u64).io_fields(pio);
+    }
+    p2_span.close();
     Ok(per_batch_ids.into_iter().flatten().collect())
 }
 

@@ -37,6 +37,27 @@ struct Entry {
     pruner_count: u32,
 }
 
+/// Point-in-time cost/state snapshot of a [`StreamingReverseSkyline`].
+///
+/// `checks`, `inserts` and `expirations` are cumulative over the stream's
+/// lifetime, so across any sequence of snapshots they are monotonically
+/// non-decreasing — the property the observability contract tests assert.
+/// `window_len`/`result_len` describe the current state (`result_len ≤
+/// window_len` always holds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Attribute-level distance checks spent so far (cumulative).
+    pub checks: u64,
+    /// Objects inserted so far (cumulative).
+    pub inserts: u64,
+    /// Objects expired so far, by capacity or explicitly (cumulative).
+    pub expirations: u64,
+    /// Current window occupancy.
+    pub window_len: usize,
+    /// Current reverse-skyline cardinality.
+    pub result_len: usize,
+}
+
 /// Sliding-window reverse skyline for a fixed query.
 ///
 /// ```
@@ -60,6 +81,8 @@ pub struct StreamingReverseSkyline {
     window: VecDeque<Entry>,
     /// Attribute-level distance checks spent so far.
     pub checks: u64,
+    inserts: u64,
+    expirations: u64,
 }
 
 impl StreamingReverseSkyline {
@@ -83,6 +106,8 @@ impl StreamingReverseSkyline {
             capacity,
             window: VecDeque::with_capacity(capacity),
             checks: 0,
+            inserts: 0,
+            expirations: 0,
         })
     }
 
@@ -122,6 +147,7 @@ impl StreamingReverseSkyline {
             }
         }
         self.window.push_back(incoming);
+        self.inserts += 1;
         Ok(expired)
     }
 
@@ -137,6 +163,7 @@ impl StreamingReverseSkyline {
                 e.pruner_count -= 1;
             }
         }
+        self.expirations += 1;
         Some(leaving.id)
     }
 
@@ -151,6 +178,18 @@ impl StreamingReverseSkyline {
     /// Current result cardinality without materializing the ids.
     pub fn current_len(&self) -> usize {
         self.window.iter().filter(|e| e.pruner_count == 0).count()
+    }
+
+    /// Cost/state snapshot at this instant. Cumulative fields never decrease
+    /// between consecutive snapshots of the same stream.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            checks: self.checks,
+            inserts: self.inserts,
+            expirations: self.expirations,
+            window_len: self.window.len(),
+            result_len: self.current_len(),
+        }
     }
 
     /// Snapshot of the window as a [`Dataset`] (for cross-checking against

@@ -140,7 +140,7 @@ impl ReverseSkylineAlgo for Trs {
         crate::engine::validate_inputs(ctx, table, query)?;
         let m = table.num_attrs();
         self.validate_order(m)?;
-        run_with_scaffolding(ctx, query, |ctx, cache, stats| {
+        run_with_scaffolding(ctx, query, "trs", |ctx, cache, stats, robs| {
             let order = &self.attr_order;
             let total_pages = table.num_pages(ctx.disk);
             let mut tree = AlTree::new(m);
@@ -148,6 +148,8 @@ impl ReverseSkylineAlgo for Trs {
 
             // --- Phase one: batch trees, IsPrunable per loaded object ------
             let t1 = std::time::Instant::now();
+            let mut p1_span = robs.span("phase1");
+            let io_p1 = ctx.disk.io_stats();
             let r_file = {
                 let tree_budget = ctx.budget.phase1_tree_bytes();
                 let mut writer = RecordWriter::new(RecordFile::create(ctx.disk, m)?);
@@ -155,6 +157,9 @@ impl ReverseSkylineAlgo for Trs {
                 let mut pbuf = RowBuf::new(m);
                 let mut flat = vec![0u32; m + 1];
                 while page < total_pages {
+                    let mut bspan = robs.span("phase1.batch");
+                    let io_b = ctx.disk.io_stats();
+                    let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);
                     tree.clear();
                     load_batch_into_tree(
                         ctx, table, order, &mut page, total_pages, tree_budget, &mut tree,
@@ -193,14 +198,31 @@ impl ReverseSkylineAlgo for Trs {
                             }
                         }
                     }
+                    if bspan.is_recording() {
+                        bspan
+                            .field("batch", (stats.phase1_batches - 1) as u64)
+                            .field("dist_checks", stats.dist_checks - dc0)
+                            .field("obj_comparisons", stats.obj_comparisons - oc0)
+                            .io_fields(ctx.disk.io_stats().delta_since(io_b));
+                    }
+                    bspan.close();
                 }
                 writer.finish(ctx.disk)?
             };
             stats.phase1_time = t1.elapsed();
             stats.phase1_survivors = r_file.len() as usize;
+            if p1_span.is_recording() {
+                p1_span
+                    .field("batches", stats.phase1_batches as u64)
+                    .field("survivors", stats.phase1_survivors as u64)
+                    .io_fields(ctx.disk.io_stats().delta_since(io_p1));
+            }
+            p1_span.close();
 
             // --- Phase two: result trees, Prune per scanned object ---------
             let t2 = std::time::Instant::now();
+            let mut p2_span = robs.span("phase2");
+            let io_p2 = ctx.disk.io_stats();
             let result = {
                 let tree_budget = ctx.budget.phase2_tree_bytes();
                 let r_pages = r_file.num_pages(ctx.disk);
@@ -208,6 +230,9 @@ impl ReverseSkylineAlgo for Trs {
                 let mut rpage = 0;
                 let mut pbuf = RowBuf::new(m);
                 while rpage < r_pages {
+                    let mut bspan = robs.span("phase2.batch");
+                    let io_b = ctx.disk.io_stats();
+                    let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);
                     tree.clear();
                     load_batch_into_tree(
                         ctx, &r_file, order, &mut rpage, r_pages, tree_budget, &mut tree,
@@ -238,10 +263,24 @@ impl ReverseSkylineAlgo for Trs {
                         }
                     }
                     result.extend(tree.collect_ids());
+                    if bspan.is_recording() {
+                        bspan
+                            .field("batch", (stats.phase2_batches - 1) as u64)
+                            .field("dist_checks", stats.dist_checks - dc0)
+                            .field("obj_comparisons", stats.obj_comparisons - oc0)
+                            .io_fields(ctx.disk.io_stats().delta_since(io_b));
+                    }
+                    bspan.close();
                 }
                 result
             };
             stats.phase2_time = t2.elapsed();
+            if p2_span.is_recording() {
+                p2_span
+                    .field("batches", stats.phase2_batches as u64)
+                    .io_fields(ctx.disk.io_stats().delta_since(io_p2));
+            }
+            p2_span.close();
             Ok(result)
         })
     }

@@ -8,6 +8,12 @@
 //! and speedup for each engine, plus `host_cpus` so readers can judge the
 //! numbers (speedup > 1 is physically impossible on a 1-CPU host; the
 //! parallel engines then only pay their coordination overhead).
+//!
+//! Each engine entry also carries a `metrics` object: the full
+//! [`rsky_core::obs`] registry snapshot (per-phase IO, per-batch counter
+//! folds, `qcache.build_checks`, the TRS-P loader-wait histogram) from ONE
+//! instrumented run. The timing runs stay on the no-op recorder, so the
+//! measured wall-clocks do not include recording overhead.
 
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -28,6 +34,8 @@ struct EnginePoint {
     seq: Duration,
     /// `(threads, wall-clock, ids matched sequential)` per thread count.
     par: Vec<(usize, Duration, bool)>,
+    /// Registry snapshot (JSON) from one instrumented parallel run.
+    metrics: String,
 }
 
 fn main() {
@@ -122,7 +130,29 @@ fn bench_engine(name: &'static str, ds: &Dataset, qs: &[Query], cfg: &BenchConfi
             (th, d, ids == seq_ids)
         })
         .collect();
-    EnginePoint { engine: name, seq, par }
+
+    // One instrumented run (4 threads, first query) through a scoped
+    // registry sink; the timed loops above all ran on the no-op recorder.
+    let metrics = match qs.first() {
+        Some(q) => {
+            use rsky_algos::{ParBrs, ParSrs, ParTrs};
+            use rsky_core::obs::{self, RegistrySink};
+            let engine: Box<dyn ReverseSkylineAlgo> = match name {
+                "brs" => Box::new(ParBrs { threads: 4 }),
+                "srs" => Box::new(ParSrs { threads: 4 }),
+                _ => Box::new(ParTrs::for_schema(&ds.schema, 4)),
+            };
+            let (registry, handle) = RegistrySink::fresh();
+            obs::with_recorder(handle, || {
+                let mut ctx =
+                    EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+                engine.run(&mut ctx, &prepared.file, q).unwrap();
+            });
+            registry.to_json()
+        }
+        None => "{}".to_string(),
+    };
+    EnginePoint { engine: name, seq, par, metrics }
 }
 
 fn speedup(seq: Duration, par: Duration) -> f64 {
@@ -155,7 +185,8 @@ fn render_json(points: &[EnginePoint], ds: &Dataset, queries: usize, host_cpus: 
                 speedup(p.seq, d)
             ));
         }
-        s.push_str(if i + 1 < points.len() { "]},\n" } else { "]}\n" });
+        s.push_str(&format!("], \"metrics\": {}", p.metrics));
+        s.push_str(if i + 1 < points.len() { "},\n" } else { "}\n" });
     }
     s.push_str("  ]\n}\n");
     s

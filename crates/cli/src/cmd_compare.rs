@@ -5,6 +5,7 @@ use rand::SeedableRng;
 use rsky_core::error::Result;
 
 use crate::args::Flags;
+use crate::obs_setup::{CliObs, StatsFormat};
 
 pub const HELP: &str = "\
 rsky compare --data <DIR> [OPTIONS]
@@ -19,10 +20,13 @@ OPTIONS:
     --seed S          workload seed                              [7]
     --memory PCT      working memory as % of dataset             [10]
     --page BYTES      page size                                  [4096]
-    --naive BOOL      include the O(n²)-scan baseline (slow)     [false]";
+    --naive BOOL      include the O(n²)-scan baseline (slow)     [false]
+    --stats-format F  table as human | json                      [human]
+    --trace-out FILE  stream span/counter events to FILE as JSONL";
 
 pub fn run(argv: &[String]) -> Result<()> {
     let flags = Flags::parse(argv)?;
+    let obs = CliObs::install(&flags)?;
     let ds = rsky_data::csv::load_dataset_dir(flags.require("data")?)?;
     let queries: usize = flags.num("queries", 3)?;
     let seed: u64 = flags.num("seed", 7)?;
@@ -32,6 +36,42 @@ pub fn run(argv: &[String]) -> Result<()> {
 
     let mut rng = StdRng::seed_from_u64(seed);
     let workload = rsky_data::random_queries(&ds.schema, queries, &mut rng)?;
+
+    if obs.format == StatsFormat::Json {
+        use std::fmt::Write;
+        let mut algos = vec![
+            rsky_bench_kind::Kind::Brs,
+            rsky_bench_kind::Kind::Srs,
+            rsky_bench_kind::Kind::Trs,
+            rsky_bench_kind::Kind::TSrs,
+            rsky_bench_kind::Kind::TTrs,
+        ];
+        if include_naive {
+            algos.insert(0, rsky_bench_kind::Kind::Naive);
+        }
+        let mut out = String::from("{\"rows\":[");
+        for (i, kind) in algos.into_iter().enumerate() {
+            let r = rsky_bench_kind::run(&ds, &workload, kind, mem_pct, page)?;
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"algo\":\"{}\",\"mean_ms\":{},\"mean_checks\":{},\"seq_io\":{},\
+                 \"rand_io\":{},\"mean_rs\":{}}}",
+                kind.name(),
+                r.mean_ms,
+                r.mean_checks,
+                r.seq_io,
+                r.rand_io,
+                r.mean_rs
+            );
+        }
+        let _ = write!(out, "],\"metrics\":{}}}", obs.metrics_json());
+        println!("{out}");
+        obs.finish()?;
+        return Ok(());
+    }
 
     println!(
         "{} — {} records, {} queries, {mem_pct}% memory, {page}-byte pages\n",
@@ -65,6 +105,7 @@ pub fn run(argv: &[String]) -> Result<()> {
             r.mean_rs
         );
     }
+    obs.finish()?;
     Ok(())
 }
 

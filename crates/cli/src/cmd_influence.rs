@@ -6,6 +6,7 @@ use rsky_algos::run_influence_parallel;
 use rsky_core::error::Result;
 
 use crate::args::Flags;
+use crate::obs_setup::{CliObs, StatsFormat};
 
 pub const HELP: &str = "\
 rsky influence --data <DIR> [OPTIONS]
@@ -21,10 +22,13 @@ OPTIONS:
     --memory PCT      working memory as % of dataset             [10]
     --page BYTES      page size                                  [4096]
     --threads N       worker threads (queries are sharded)       [1]
-    --top K           how many top entries to print              [10]";
+    --top K           how many top entries to print              [10]
+    --stats-format F  report as human | json                     [human]
+    --trace-out FILE  stream span/counter events to FILE as JSONL";
 
 pub fn run(argv: &[String]) -> Result<()> {
     let flags = Flags::parse(argv)?;
+    let obs = CliObs::install(&flags)?;
     let dir = flags.require("data")?;
     let ds = rsky_data::csv::load_dataset_dir(dir)?;
     let queries: usize = flags.num("queries", 20)?;
@@ -39,6 +43,30 @@ pub fn run(argv: &[String]) -> Result<()> {
     let n = ds.len();
     let t0 = std::time::Instant::now();
     let report = run_influence_parallel(&ds, &workload, mem_pct, page, threads, false)?;
+    if obs.format == StatsFormat::Json {
+        use std::fmt::Write;
+        let mut out = String::from("{\"queries\":");
+        let _ = write!(
+            out,
+            "{queries},\"records\":{n},\"total_dist_checks\":{},\"total_influence\":{},\"ranking\":[",
+            report.totals.dist_checks,
+            report.total_influence()
+        );
+        for (rank, &qi) in report.ranking().iter().take(top).enumerate() {
+            if rank > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"query\":{qi},\"cardinality\":{}}}",
+                report.per_query[qi].cardinality
+            );
+        }
+        let _ = write!(out, "],\"metrics\":{}}}", obs.metrics_json());
+        println!("{out}");
+        obs.finish()?;
+        return Ok(());
+    }
     println!(
         "computed |RS| for {queries} queries over {n} records in {:.2?} ({} checks)\n",
         t0.elapsed(),
@@ -54,5 +82,6 @@ pub fn run(argv: &[String]) -> Result<()> {
         top.min(queries),
         100.0 * report.top_k_share(top)
     );
+    obs.finish()?;
     Ok(())
 }

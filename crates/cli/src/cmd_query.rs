@@ -7,6 +7,7 @@ use rsky_core::query::Query;
 use rsky_storage::{Disk, MemoryBudget};
 
 use crate::args::Flags;
+use crate::obs_setup::{CliObs, StatsFormat};
 
 pub const HELP: &str = "\
 rsky query --data <DIR> --query <v1,v2,…> [OPTIONS]
@@ -25,11 +26,14 @@ OPTIONS:
     --cache PAGES     enable an LRU buffer pool of that many pages [off]
     --tiles T         tiles per attribute for tsrs/ttrs          [4]
     --file-backend    store pages in real files (response-time mode)
+    --stats-format F  cost profile as human | json               [human]
+    --trace-out FILE  stream span/counter events to FILE as JSONL
     --explain         list a pruner witness for each excluded object near
                       the result (slow: O(n²) over the dataset)";
 
 pub fn run(argv: &[String]) -> Result<()> {
     let flags = Flags::parse(argv)?;
+    let obs = CliObs::install(&flags)?;
     let dir = flags.require("data")?;
     let ds = rsky_data::csv::load_dataset_dir(dir)?;
     let values = flags
@@ -80,6 +84,12 @@ pub fn run(argv: &[String]) -> Result<()> {
     let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
     let run = engine.run(&mut ctx, &prepared.file, &query)?;
 
+    if obs.format == StatsFormat::Json {
+        println!("{}", render_json(engine.name(), &run, &obs));
+        obs.finish()?;
+        return Ok(());
+    }
+
     println!("\nreverse skyline: {} object(s)", run.ids.len());
     let shown: Vec<String> = run.ids.iter().take(50).map(|id| id.to_string()).collect();
     println!("ids: {}{}", shown.join(","), if run.ids.len() > 50 { ",…" } else { "" });
@@ -112,5 +122,40 @@ pub fn run(argv: &[String]) -> Result<()> {
             }
         }
     }
+    obs.finish()?;
     Ok(())
+}
+
+/// Renders the run outcome as one JSON object: ids, the `RunStats` totals,
+/// and the metrics-registry snapshot (so trace consumers can reconcile the
+/// JSONL span stream against the printed totals).
+fn render_json(algo: &str, run: &rsky_algos::RsRun, obs: &CliObs) -> String {
+    use std::fmt::Write;
+    let s = &run.stats;
+    let mut out = String::from("{\"algo\":\"");
+    out.push_str(algo);
+    let _ = write!(out, "\",\"result_size\":{},\"ids\":[", run.ids.len());
+    for (i, id) in run.ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{id}");
+    }
+    let _ = write!(
+        out,
+        "],\"stats\":{{\"dist_checks\":{},\"query_dist_checks\":{},\"obj_comparisons\":{},\
+         \"seq_io\":{},\"rand_io\":{},\"phase1_batches\":{},\"phase1_survivors\":{},\
+         \"phase2_batches\":{},\"total_us\":{}}},\"metrics\":{}}}",
+        s.dist_checks,
+        s.query_dist_checks,
+        s.obj_comparisons,
+        s.io.sequential(),
+        s.io.random(),
+        s.phase1_batches,
+        s.phase1_survivors,
+        s.phase2_batches,
+        s.total_time.as_micros(),
+        obs.metrics_json()
+    );
+    out
 }

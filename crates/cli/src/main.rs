@@ -20,6 +20,7 @@ mod cmd_influence;
 mod cmd_info;
 mod cmd_query;
 mod cmd_skyline;
+mod obs_setup;
 
 use std::process::ExitCode;
 

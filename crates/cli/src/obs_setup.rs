@@ -1,0 +1,86 @@
+//! CLI observability wiring shared by `query`, `influence` and `compare`:
+//! `--stats-format json` routes events into a [`MetricsRegistry`] and prints
+//! the cost profile as one JSON object; `--trace-out FILE` streams every
+//! span/counter event as JSONL. Either flag installs the process-global
+//! recorder (the engines themselves stay recorder-agnostic).
+
+use std::sync::Arc;
+
+use rsky_core::error::{Error, Result};
+use rsky_core::obs::{self, JsonlSink, MetricsRegistry, ObsHandle, RegistrySink};
+
+use crate::args::Flags;
+
+/// Stats output format selected by `--stats-format`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// The default aligned text profile.
+    Human,
+    /// One JSON object on stdout (machine-readable).
+    Json,
+}
+
+/// Observability sinks installed for this CLI invocation.
+pub struct CliObs {
+    /// Output format for the cost profile.
+    pub format: StatsFormat,
+    /// Registry accumulating spans/counters — `Some` whenever recording is on.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    trace: Option<(Arc<JsonlSink>, String)>,
+}
+
+impl CliObs {
+    /// Parses `--stats-format human|json` and `--trace-out FILE`; when either
+    /// requests recording, installs the global recorder (a registry sink,
+    /// teed with the JSONL sink when tracing).
+    pub fn install(flags: &Flags) -> Result<Self> {
+        let format = match flags.get("stats-format") {
+            None | Some("human") => StatsFormat::Human,
+            Some("json") => StatsFormat::Json,
+            Some(other) => {
+                return Err(Error::InvalidConfig(format!(
+                    "--stats-format: unknown format {other:?} (human|json)"
+                )))
+            }
+        };
+        let trace_path = flags.get("trace-out");
+        if format == StatsFormat::Human && trace_path.is_none() {
+            return Ok(Self { format, registry: None, trace: None });
+        }
+        let (registry, reg_handle) = RegistrySink::fresh();
+        let mut handles = vec![reg_handle];
+        let trace = match trace_path {
+            Some(p) => {
+                let sink = JsonlSink::create(std::path::Path::new(p))?;
+                handles.push(sink.handle());
+                Some((sink, p.to_string()))
+            }
+            None => None,
+        };
+        let handle = if handles.len() == 1 {
+            handles.pop().expect("one handle")
+        } else {
+            ObsHandle::tee(handles)
+        };
+        obs::set_global(handle);
+        Ok(Self { format, registry: Some(registry), trace })
+    }
+
+    /// The registry's JSON rendering (empty object when recording is off).
+    pub fn metrics_json(&self) -> String {
+        match &self.registry {
+            Some(reg) => reg.to_json(),
+            None => "{}".to_string(),
+        }
+    }
+
+    /// Flushes the trace file (if any) and reports it on stderr — stderr so
+    /// `--stats-format json` output on stdout stays parseable.
+    pub fn finish(&self) -> Result<()> {
+        if let Some((sink, path)) = &self.trace {
+            sink.flush()?;
+            eprintln!("trace: {} event(s) written to {path}", sink.lines_written());
+        }
+        Ok(())
+    }
+}

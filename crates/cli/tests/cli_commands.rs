@@ -146,6 +146,96 @@ fn query_with_subset_and_cache() {
     let _ = std::fs::remove_dir_all(&data);
 }
 
+/// First integer after `"key":` in a JSON fragment (no quoting ambiguity in
+/// the CLI's machine output, so substring search suffices).
+fn extract_u64(text: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let i = text.find(&pat).unwrap_or_else(|| panic!("{key:?} not found in {text}"));
+    let rest = &text[i + pat.len()..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or_else(|_| panic!("{key:?} not numeric in {text}"))
+}
+
+#[test]
+fn stats_json_and_trace_jsonl_reconcile() {
+    let data = tmpdata("obs");
+    let (ok, t) = run(&[
+        "generate", "--kind", "normal", "--n", "600", "--attrs", "3", "--values", "6", "--out",
+        &data,
+    ]);
+    assert!(ok, "{t}");
+
+    // Sequential and parallel engines: the printed JSON stats, the run-span
+    // totals in the trace, and the per-batch span deltas must all agree.
+    for (algo, threads, prefix) in [("brs", "1", "brs"), ("trs", "1", "trs"), ("srs", "2", "srs-p")]
+    {
+        let trace = std::env::temp_dir()
+            .join(format!("rsky-clitest-trace-{}-{algo}-{threads}.jsonl", std::process::id()));
+        let (ok, text) = run(&[
+            "query", "--data", &data, "--query", "2,2,2", "--algo", algo, "--threads", threads,
+            "--stats-format", "json", "--trace-out", trace.to_str().unwrap(),
+        ]);
+        assert!(ok, "{algo}: {text}");
+        let json = text.lines().find(|l| l.starts_with('{')).expect("one JSON object on stdout");
+        let stats = &json[json.find("\"stats\":").unwrap()..];
+        let printed_checks = extract_u64(stats, "dist_checks");
+        assert!(printed_checks > 0, "{json}");
+
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        for line in trace_text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON line: {line}");
+        }
+        let run_line = trace_text
+            .lines()
+            .find(|l| l.contains(&format!("\"name\":\"{prefix}.run\"")))
+            .unwrap_or_else(|| panic!("no {prefix}.run span in trace:\n{trace_text}"));
+        assert_eq!(extract_u64(run_line, "dist_checks"), printed_checks, "{algo}");
+        assert_eq!(
+            extract_u64(run_line, "result_size"),
+            extract_u64(json, "result_size"),
+            "{algo}"
+        );
+        let batch_sum: u64 = trace_text
+            .lines()
+            .filter(|l| {
+                l.contains(&format!("\"name\":\"{prefix}.phase1.batch\""))
+                    || l.contains(&format!("\"name\":\"{prefix}.phase2.batch\""))
+            })
+            .map(|l| extract_u64(l, "dist_checks"))
+            .sum();
+        assert_eq!(batch_sum, printed_checks, "{algo}: batch deltas must tile the total");
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    // influence --stats-format json: ranking plus folded per-query metrics.
+    let (ok, text) =
+        run(&["influence", "--data", &data, "--queries", "3", "--stats-format", "json"]);
+    assert!(ok, "{text}");
+    let line = text.lines().find(|l| l.starts_with('{')).expect("influence JSON");
+    assert!(line.contains("\"ranking\":[{\"query\":"), "{line}");
+    assert!(line.contains("\"influence.query.dist_checks\""), "{line}");
+    assert_eq!(
+        extract_u64(line, "total_dist_checks"),
+        extract_u64(line, "influence.query.dist_checks"),
+        "registry fold of influence.query spans must match the report totals"
+    );
+
+    // compare --stats-format json: one row per engine.
+    let (ok, text) = run(&["compare", "--data", &data, "--queries", "2", "--stats-format", "json"]);
+    assert!(ok, "{text}");
+    let line = text.lines().find(|l| l.starts_with('{')).expect("compare JSON");
+    assert!(line.contains("\"rows\":[{\"algo\":\"BRS\""), "{line}");
+    assert!(line.contains("\"algo\":\"T-TRS\""), "{line}");
+
+    // Unknown format is rejected up front.
+    let (ok, text) =
+        run(&["query", "--data", &data, "--query", "2,2,2", "--stats-format", "xml"]);
+    assert!(!ok);
+    assert!(text.contains("human|json"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&data);
+}
+
 #[test]
 fn helpful_errors() {
     let (ok, text) = run(&["frobnicate"]);

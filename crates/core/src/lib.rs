@@ -16,7 +16,11 @@
 //! * [`skyline`] — dynamic skylines and the *definitional* reverse-skyline
 //!   oracle used to validate every optimized algorithm;
 //! * [`stats`] — cost counters (attribute-level distance checks, page IOs,
-//!   phase metrics).
+//!   phase metrics);
+//! * [`obs`] — structured tracing and metrics: spans with counter deltas,
+//!   pluggable [`Recorder`] sinks (no-op / in-memory / JSONL) and a
+//!   [`MetricsRegistry`], making the paper's cost model observable *during*
+//!   a run and testable after it.
 //!
 //! ## The problem in one paragraph
 //!
@@ -39,6 +43,8 @@
 //! [`DissimTable`]: dissim::DissimTable
 //! [`Query`]: query::Query
 //! [`AttrSubset`]: query::AttrSubset
+//! [`Recorder`]: obs::Recorder
+//! [`MetricsRegistry`]: obs::MetricsRegistry
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -47,6 +53,7 @@ pub mod dataset;
 pub mod dissim;
 pub mod dominate;
 pub mod error;
+pub mod obs;
 pub mod query;
 pub mod record;
 pub mod schema;
@@ -57,6 +64,7 @@ pub use dataset::Dataset;
 pub use dissim::{AttrDissim, DissimTable};
 pub use dominate::{prunes, prunes_with_center_dists, query_center_dists};
 pub use error::{Error, Result};
+pub use obs::{JsonlSink, MemorySink, MetricsRegistry, ObsHandle, Recorder, RegistrySink, Span};
 pub use query::{AttrSubset, Query};
 pub use record::{RecordId, RowBuf, ValueId};
 pub use schema::{AttrMeta, Schema};

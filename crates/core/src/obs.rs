@@ -1,0 +1,879 @@
+//! Structured tracing and metrics.
+//!
+//! The paper's entire evaluation is stated in counters — sequential vs.
+//! random page accesses and attribute-level distance checks — and
+//! [`RunStats`](crate::stats::RunStats) carries their end-of-run totals.
+//! This module makes the *trajectory* observable: engines open a [`Span`]
+//! per phase and per batch, attach the counter deltas that accrued inside
+//! it, and a pluggable [`Recorder`] decides what happens on span close.
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`NoopRecorder`] — the default; spans are inert (`enabled()` is
+//!   `false`, so instrumentation sites skip clock reads and allocations);
+//! * [`MemorySink`] — buffers every [`SpanEvent`] for tests to assert
+//!   against (the *stats contract*: per-batch span deltas must sum to the
+//!   `RunStats` an engine returns);
+//! * [`JsonlSink`] — one JSON object per line per event, for offline
+//!   analysis (`rsky query --trace-out FILE`).
+//!
+//! A [`MetricsRegistry`] aggregates named counters / gauges / histograms;
+//! [`RegistrySink`] routes span fields into it (`brs.phase1.rand_reads`
+//! style names), which is what the CLI's `--stats-format json` summary is
+//! built from.
+//!
+//! ## Installation
+//!
+//! Recorders are *scoped*, not hard-wired: [`with_recorder`] installs a
+//! handle for the current thread for the duration of a closure (tests, the
+//! bench harness), and [`set_global`] installs a process-wide fallback (the
+//! CLI). Engines grab [`handle()`] once per run on the calling thread and
+//! pass the cloned handle to any worker threads they spawn, so parallel
+//! engines trace through the same sink as sequential ones.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::stats::IoCounts;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// A closed span: name, wall-clock, and the counter deltas that accrued
+/// between enter and exit. Field keys are static strings (they name
+/// counters, not data), values are plain `u64`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Dotted span name, e.g. `brs.phase1.batch`.
+    pub name: String,
+    /// Wall-clock between span enter and close, in microseconds.
+    pub wall_us: u64,
+    /// Counter deltas attached to the span, in attachment order.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+impl SpanEvent {
+    /// The value of field `key`, if attached.
+    pub fn field(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder trait + handle
+// ---------------------------------------------------------------------------
+
+/// A sink for spans and metrics. Implementations must be thread-safe: the
+/// parallel engines close spans from worker threads concurrently.
+pub trait Recorder: Send + Sync {
+    /// Whether instrumentation sites should spend work on this recorder.
+    /// `false` turns [`ObsHandle::span`] into a no-op that takes no
+    /// timestamp and allocates nothing.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Called once per span close.
+    fn span_close(&self, event: &SpanEvent);
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    /// Sets the named gauge to `value`.
+    fn gauge_set(&self, _name: &str, _value: f64) {}
+
+    /// Records one observation into the named histogram.
+    fn histogram_record(&self, _name: &str, _value: u64) {}
+}
+
+/// Cheaply cloneable handle to a [`Recorder`] (engines clone it into worker
+/// threads; all clones share the sink).
+#[derive(Clone)]
+pub struct ObsHandle {
+    rec: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHandle").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl ObsHandle {
+    /// Wraps a recorder.
+    pub fn new(rec: Arc<dyn Recorder>) -> Self {
+        Self { rec }
+    }
+
+    /// The inert handle: all operations are no-ops.
+    pub fn noop() -> Self {
+        static NOOP: OnceLock<Arc<NoopRecorder>> = OnceLock::new();
+        Self { rec: NOOP.get_or_init(|| Arc::new(NoopRecorder)).clone() }
+    }
+
+    /// Fans every event out to all `handles` (e.g. registry + JSONL).
+    pub fn tee(handles: Vec<ObsHandle>) -> Self {
+        Self { rec: Arc::new(Tee { handles }) }
+    }
+
+    /// Whether spans opened through this handle record anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.rec.enabled()
+    }
+
+    /// Opens a span named `{prefix}.{what}` (prefix typically identifies
+    /// the engine, `what` the phase or batch). Inert when disabled.
+    pub fn span(&self, prefix: &str, what: &str) -> Span {
+        if !self.enabled() {
+            return Span { inner: None };
+        }
+        Span {
+            inner: Some(SpanInner {
+                rec: self.rec.clone(),
+                name: format!("{prefix}.{what}"),
+                start: Instant::now(),
+                fields: Vec::with_capacity(8),
+            }),
+        }
+    }
+
+    /// Adds to a named counter (skipped when disabled).
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if self.enabled() {
+            self.rec.counter_add(name, delta);
+        }
+    }
+
+    /// Sets a named gauge (skipped when disabled).
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if self.enabled() {
+            self.rec.gauge_set(name, value);
+        }
+    }
+
+    /// Records a histogram observation (skipped when disabled).
+    #[inline]
+    pub fn histogram_record(&self, name: &str, value: u64) {
+        if self.enabled() {
+            self.rec.histogram_record(name, value);
+        }
+    }
+}
+
+struct Tee {
+    handles: Vec<ObsHandle>,
+}
+
+impl Recorder for Tee {
+    fn enabled(&self) -> bool {
+        self.handles.iter().any(|h| h.enabled())
+    }
+
+    fn span_close(&self, event: &SpanEvent) {
+        for h in &self.handles {
+            if h.enabled() {
+                h.rec.span_close(event);
+            }
+        }
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        for h in &self.handles {
+            if h.enabled() {
+                h.rec.counter_add(name, delta);
+            }
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        for h in &self.handles {
+            if h.enabled() {
+                h.rec.gauge_set(name, value);
+            }
+        }
+    }
+
+    fn histogram_record(&self, name: &str, value: u64) {
+        for h in &self.handles {
+            if h.enabled() {
+                h.rec.histogram_record(name, value);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+struct SpanInner {
+    rec: Arc<dyn Recorder>,
+    name: String,
+    start: Instant,
+    fields: Vec<(&'static str, u64)>,
+}
+
+/// An open span. Closing (drop or [`Span::close`]) emits one [`SpanEvent`]
+/// carrying the wall-clock since open plus every attached field. A span
+/// opened through a disabled handle holds nothing and does nothing.
+#[must_use = "a span records its wall-clock when dropped; bind it to a variable"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("recording", &self.is_recording()).finish()
+    }
+}
+
+impl Span {
+    /// Whether this span will emit an event (false under [`NoopRecorder`]).
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches a counter delta. Repeated keys are summed on the consumer
+    /// side by [`SpanEvent::field`]-style lookups taking the first match,
+    /// so attach each key once.
+    #[inline]
+    pub fn field(&mut self, key: &'static str, value: u64) -> &mut Self {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value));
+        }
+        self
+    }
+
+    /// Attaches the four IO counters of `io` as fields (`seq_reads`,
+    /// `rand_reads`, `seq_writes`, `rand_writes`).
+    pub fn io_fields(&mut self, io: IoCounts) -> &mut Self {
+        self.field("seq_reads", io.seq_reads)
+            .field("rand_reads", io.rand_reads)
+            .field("seq_writes", io.seq_writes)
+            .field("rand_writes", io.rand_writes)
+    }
+
+    /// Closes the span now (otherwise it closes on drop).
+    pub fn close(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let event = SpanEvent {
+                wall_us: inner.start.elapsed().as_micros() as u64,
+                name: inner.name,
+                fields: inner.fields,
+            };
+            inner.rec.span_close(&event);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// The default recorder: reports `enabled() == false`, so instrumentation
+/// sites skip clock reads and allocations entirely.
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span_close(&self, _event: &SpanEvent) {}
+}
+
+/// In-memory sink: buffers every event for later inspection. This is the
+/// test-facing sink behind the *stats contract* — per-batch span deltas
+/// must sum exactly to the `RunStats` an engine returns.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<SpanEvent>>,
+    registry: MetricsRegistry,
+}
+
+impl MemorySink {
+    /// A fresh shared sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A handle recording into this sink.
+    pub fn handle(self: &Arc<Self>) -> ObsHandle {
+        ObsHandle::new(self.clone())
+    }
+
+    /// All span events recorded so far, in close order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Discards all recorded events and metrics.
+    pub fn clear(&self) {
+        self.events.lock().expect("memory sink poisoned").clear();
+        self.registry.clear();
+    }
+
+    /// The metrics accumulated through this sink.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Events whose name ends with `suffix`.
+    pub fn spans_ending_with(&self, suffix: &str) -> Vec<SpanEvent> {
+        self.events().into_iter().filter(|e| e.name.ends_with(suffix)).collect()
+    }
+
+    /// Sum of field `key` over every span whose name ends with `suffix`
+    /// (missing fields count as zero).
+    pub fn sum_field(&self, suffix: &str, key: &str) -> u64 {
+        self.spans_ending_with(suffix).iter().filter_map(|e| e.field(key)).sum()
+    }
+
+    /// Number of spans whose name ends with `suffix`.
+    pub fn span_count(&self, suffix: &str) -> usize {
+        self.spans_ending_with(suffix).len()
+    }
+}
+
+impl Recorder for MemorySink {
+    fn span_close(&self, event: &SpanEvent) {
+        self.events.lock().expect("memory sink poisoned").push(event.clone());
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.registry.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.registry.gauge_set(name, value);
+    }
+
+    fn histogram_record(&self, name: &str, value: u64) {
+        self.registry.histogram_record(name, value);
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal. Span and metric
+/// names are plain ASCII identifiers, but correctness is cheap.
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSONL sink: one JSON object per line per event. Span lines look like
+///
+/// ```json
+/// {"type":"span","name":"brs.phase1.batch","wall_us":42,"fields":{"dist_checks":180,"seq_reads":3}}
+/// ```
+///
+/// counter / gauge / histogram updates are emitted as
+/// `{"type":"counter","name":…,"value":…}` lines.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    lines: Mutex<u64>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and streams events to it.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Arc<Self>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::from_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Streams events to an arbitrary writer.
+    pub fn from_writer(w: Box<dyn Write + Send>) -> Arc<Self> {
+        Arc::new(Self { out: Mutex::new(w), lines: Mutex::new(0) })
+    }
+
+    /// A handle recording into this sink.
+    pub fn handle(self: &Arc<Self>) -> ObsHandle {
+        ObsHandle::new(self.clone())
+    }
+
+    /// Lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        *self.lines.lock().expect("jsonl sink poisoned")
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("jsonl sink poisoned").flush()
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // Trace IO failures must not take the engines down mid-run.
+        let _ = writeln!(out, "{line}");
+        drop(out);
+        *self.lines.lock().expect("jsonl sink poisoned") += 1;
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn span_close(&self, event: &SpanEvent) {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"type\":\"span\",\"name\":\"");
+        json_escape(&event.name, &mut line);
+        let _ = write!(line, "\",\"wall_us\":{},\"fields\":{{", event.wall_us);
+        for (i, (k, v)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            json_escape(k, &mut line);
+            let _ = write!(line, "\":{v}");
+        }
+        line.push_str("}}");
+        self.write_line(&line);
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"counter\",\"name\":\"");
+        json_escape(name, &mut line);
+        let _ = write!(line, "\",\"value\":{delta}}}");
+        self.write_line(&line);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"gauge\",\"name\":\"");
+        json_escape(name, &mut line);
+        let _ = write!(line, "\",\"value\":{value}}}");
+        self.write_line(&line);
+    }
+
+    fn histogram_record(&self, name: &str, value: u64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"histogram\",\"name\":\"");
+        json_escape(name, &mut line);
+        let _ = write!(line, "\",\"value\":{value}}}");
+        self.write_line(&line);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Summary statistics of one histogram (exact values are not retained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    fn record(&mut self, value: u64) {
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Named counters, gauges and histograms. Thread-safe; a process-wide
+/// instance is available via [`MetricsRegistry::global`], and per-run
+/// instances can be created freely (the bench harness uses one per engine
+/// point).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, HistogramSummary>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Adds `delta` to counter `name` (created at zero on first touch).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut c = self.counters.lock().expect("registry poisoned");
+        match c.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                c.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.gauges.lock().expect("registry poisoned").insert(name.to_string(), value);
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn histogram_record(&self, name: &str, value: u64) {
+        self.histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().expect("registry poisoned").get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.lock().expect("registry poisoned").get(name).copied()
+    }
+
+    /// Summary of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms.lock().expect("registry poisoned").get(name).copied()
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().expect("registry poisoned").clone()
+    }
+
+    /// Snapshot of all gauges, sorted by name.
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        self.gauges.lock().expect("registry poisoned").clone()
+    }
+
+    /// Snapshot of all histogram summaries, sorted by name.
+    pub fn histograms(&self) -> BTreeMap<String, HistogramSummary> {
+        self.histograms.lock().expect("registry poisoned").clone()
+    }
+
+    /// Drops every metric.
+    pub fn clear(&self) {
+        self.counters.lock().expect("registry poisoned").clear();
+        self.gauges.lock().expect("registry poisoned").clear();
+        self.histograms.lock().expect("registry poisoned").clear();
+    }
+
+    /// Renders the whole registry as one JSON object
+    /// (`{"counters":{…},"gauges":{…},"histograms":{…}}`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            json_escape(k, &mut s);
+            let _ = write!(s, "\":{v}");
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            json_escape(k, &mut s);
+            let _ = write!(s, "\":{v}");
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            json_escape(k, &mut s);
+            let _ = write!(
+                s,
+                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                h.count, h.sum, h.min, h.max
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// A recorder that folds events into a [`MetricsRegistry`]: span fields
+/// become counters named `{span}.{field}`, span wall-clocks become
+/// `{span}.wall_us` histograms, and direct counter/gauge/histogram calls
+/// pass through.
+pub struct RegistrySink {
+    registry: Arc<MetricsRegistry>,
+}
+
+impl RegistrySink {
+    /// A sink feeding `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Arc<Self> {
+        Arc::new(Self { registry })
+    }
+
+    /// A handle recording into a fresh registry; returns both.
+    pub fn fresh() -> (Arc<MetricsRegistry>, ObsHandle) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = Self::new(registry.clone());
+        (registry, ObsHandle::new(sink))
+    }
+
+    /// A handle recording into this sink.
+    pub fn handle(self: &Arc<Self>) -> ObsHandle {
+        ObsHandle::new(self.clone())
+    }
+}
+
+impl Recorder for RegistrySink {
+    fn span_close(&self, event: &SpanEvent) {
+        for (k, v) in &event.fields {
+            self.registry.counter_add(&format!("{}.{k}", event.name), *v);
+        }
+        self.registry.histogram_record(&format!("{}.wall_us", event.name), event.wall_us);
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.registry.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.registry.gauge_set(name, value);
+    }
+
+    fn histogram_record(&self, name: &str, value: u64) {
+        self.registry.histogram_record(name, value);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Installation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static SCOPED: RefCell<Vec<ObsHandle>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL_HANDLE: OnceLock<ObsHandle> = OnceLock::new();
+
+/// Installs `handle` process-wide (used by the CLI). First call wins;
+/// returns whether the installation took effect. Scoped handles installed
+/// with [`with_recorder`] shadow the global one on their thread.
+pub fn set_global(handle: ObsHandle) -> bool {
+    GLOBAL_HANDLE.set(handle).is_ok()
+}
+
+/// Runs `f` with `handle` installed for the current thread, restoring the
+/// previous state afterwards (panic-safe via an RAII guard). Nested scopes
+/// shadow outer ones.
+pub fn with_recorder<T>(handle: ObsHandle, f: impl FnOnce() -> T) -> T {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SCOPED.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    SCOPED.with(|s| s.borrow_mut().push(handle));
+    let _guard = Guard;
+    f()
+}
+
+/// The recorder handle in effect on this thread: the innermost
+/// [`with_recorder`] scope, else the [`set_global`] handle, else noop.
+pub fn handle() -> ObsHandle {
+    if let Some(h) = SCOPED.with(|s| s.borrow().last().cloned()) {
+        return h;
+    }
+    GLOBAL_HANDLE.get().cloned().unwrap_or_else(ObsHandle::noop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing_cheaply() {
+        let h = ObsHandle::noop();
+        assert!(!h.enabled());
+        let mut sp = h.span("x", "y");
+        assert!(!sp.is_recording());
+        sp.field("k", 1);
+        sp.close();
+        h.counter_add("c", 5);
+        h.gauge_set("g", 1.0);
+        h.histogram_record("h", 2);
+    }
+
+    #[test]
+    fn memory_sink_captures_spans_and_fields() {
+        let sink = MemorySink::new();
+        let h = sink.handle();
+        assert!(h.enabled());
+        {
+            let mut sp = h.span("brs", "phase1.batch");
+            sp.field("dist_checks", 10).field("batch", 0);
+            sp.io_fields(IoCounts { seq_reads: 3, rand_reads: 1, seq_writes: 2, rand_writes: 0 });
+        }
+        {
+            let mut sp = h.span("brs", "phase1.batch");
+            sp.field("dist_checks", 32);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "brs.phase1.batch");
+        assert_eq!(events[0].field("dist_checks"), Some(10));
+        assert_eq!(events[0].field("seq_reads"), Some(3));
+        assert_eq!(events[0].field("missing"), None);
+        assert_eq!(sink.sum_field(".phase1.batch", "dist_checks"), 42);
+        assert_eq!(sink.span_count(".phase1.batch"), 2);
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn memory_sink_accumulates_metrics() {
+        let sink = MemorySink::new();
+        let h = sink.handle();
+        h.counter_add("qcache.build_checks", 7);
+        h.counter_add("qcache.build_checks", 3);
+        h.gauge_set("qcache.entries", 12.0);
+        h.histogram_record("par.batch.wait_us", 4);
+        h.histogram_record("par.batch.wait_us", 8);
+        assert_eq!(sink.registry().counter("qcache.build_checks"), 10);
+        assert_eq!(sink.registry().gauge("qcache.entries"), Some(12.0));
+        let hist = sink.registry().histogram("par.batch.wait_us").unwrap();
+        assert_eq!((hist.count, hist.sum, hist.min, hist.max), (2, 12, 4, 8));
+        assert!((hist.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_line_per_event() {
+        use std::sync::OnceLock;
+        static BUF: OnceLock<Arc<Mutex<Vec<u8>>>> = OnceLock::new();
+        let buf = BUF.get_or_init(|| Arc::new(Mutex::new(Vec::new()))).clone();
+
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = JsonlSink::from_writer(Box::new(SharedBuf(buf.clone())));
+        let h = sink.handle();
+        {
+            let mut sp = h.span("trs", "phase2");
+            sp.field("dist_checks", 99);
+        }
+        h.counter_add("qcache.build_checks", 8);
+        sink.flush().unwrap();
+        assert_eq!(sink.lines_written(), 2);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"span\",\"name\":\"trs.phase2\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"dist_checks\":99"), "{}", lines[0]);
+        assert_eq!(lines[1], "{\"type\":\"counter\",\"name\":\"qcache.build_checks\",\"value\":8}");
+    }
+
+    #[test]
+    fn registry_sink_folds_span_fields_into_counters() {
+        let (registry, h) = RegistrySink::fresh();
+        for checks in [5u64, 7] {
+            let mut sp = h.span("srs", "phase1.batch");
+            sp.field("dist_checks", checks);
+        }
+        assert_eq!(registry.counter("srs.phase1.batch.dist_checks"), 12);
+        let hist = registry.histogram("srs.phase1.batch.wall_us").unwrap();
+        assert_eq!(hist.count, 2);
+        let json = registry.to_json();
+        assert!(json.contains("\"srs.phase1.batch.dist_checks\":12"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn tee_fans_out_and_tracks_enablement() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let teed = ObsHandle::tee(vec![a.handle(), ObsHandle::noop(), b.handle()]);
+        assert!(teed.enabled());
+        {
+            let mut sp = teed.span("x", "y");
+            sp.field("v", 1);
+        }
+        assert_eq!(a.span_count(".y"), 1);
+        assert_eq!(b.span_count(".y"), 1);
+        assert!(!ObsHandle::tee(vec![ObsHandle::noop()]).enabled());
+    }
+
+    #[test]
+    fn scoped_recorder_shadows_and_restores() {
+        assert!(!handle().enabled(), "no recorder installed by default");
+        let sink = MemorySink::new();
+        with_recorder(sink.handle(), || {
+            assert!(handle().enabled());
+            let inner = MemorySink::new();
+            with_recorder(inner.handle(), || {
+                let _sp = handle().span("a", "b");
+            });
+            assert_eq!(inner.span_count(".b"), 1);
+            assert_eq!(sink.span_count(".b"), 0, "inner scope shadowed the outer sink");
+        });
+        assert!(!handle().enabled(), "scope restored on exit");
+    }
+
+    #[test]
+    fn json_escaping_handles_special_chars() {
+        let mut out = String::new();
+        json_escape("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -319,13 +319,16 @@ pub mod bool {
 pub struct ProptestConfig {
     /// Number of cases generated per property.
     pub cases: u32,
+    /// Accepted for source compatibility with upstream configs; the shim
+    /// does no shrinking, so the bound is never consulted.
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
         // Upstream default is 256; keep a lighter default suited to running
         // the whole suite under `--features property-tests`.
-        ProptestConfig { cases: 64 }
+        ProptestConfig { cases: 64, max_shrink_iters: 1024 }
     }
 }
 

@@ -24,6 +24,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use rsky_core::error::{Error, Result};
+use rsky_core::obs::{self, ObsHandle, Span};
 use rsky_core::record::RowBuf;
 use rsky_core::stats::IoCounts;
 
@@ -46,6 +47,9 @@ pub struct SharedFile {
     backing: Backing,
     page_size: usize,
     num_pages: u64,
+    /// Recorder in effect when the snapshot was taken (on the coordinator
+    /// thread); scanners created on worker threads record through it.
+    obs: ObsHandle,
 }
 
 impl SharedFile {
@@ -64,11 +68,13 @@ impl SharedFile {
     /// A new independent scanner (own head, own IO counters, own file
     /// handle for the directory backend).
     pub fn scanner(&self) -> PageScanner {
+        let span = self.obs.span("storage", "scanner");
         PageScanner {
             shared: self.clone(),
             head: None,
             stats: IoCounts::default(),
             handle: None,
+            span,
         }
     }
 }
@@ -85,7 +91,7 @@ impl Disk {
             Backend::Mem(files) => Backing::Mem(Arc::new(files[file.0].clone())),
             Backend::Dir { dir, .. } => Backing::Dir(dir.join(format!("f{}.pages", file.0))),
         };
-        Ok(SharedFile { backing, page_size: self.page_size(), num_pages })
+        Ok(SharedFile { backing, page_size: self.page_size(), num_pages, obs: obs::handle() })
     }
 }
 
@@ -99,6 +105,17 @@ pub struct PageScanner {
     stats: IoCounts,
     /// Lazily opened handle (directory backend only).
     handle: Option<File>,
+    /// `storage.scanner` span covering the scanner's lifetime; its close
+    /// (on drop) carries this scanner's final IO counters.
+    span: Span,
+}
+
+impl Drop for PageScanner {
+    fn drop(&mut self) {
+        if self.span.is_recording() {
+            self.span.io_fields(self.stats);
+        }
+    }
 }
 
 impl PageScanner {

@@ -1,0 +1,214 @@
+//! The observability *stats contract*: for every engine, the span stream an
+//! in-memory sink records during a run must reconcile **exactly** with the
+//! `RunStats` the engine returns —
+//!
+//! * Σ `dist_checks` / `obj_comparisons` over the per-batch spans equals the
+//!   run totals (batch spans carry the deltas; phase spans deliberately
+//!   don't, so nothing double-counts);
+//! * the number of `*.phase{1,2}.batch` spans equals
+//!   `phase1_batches`/`phase2_batches`;
+//! * the two phase spans' IO fields tile `RunStats::io` component-wise;
+//! * the closing `*.run` span repeats the final totals verbatim;
+//! * the `qcache.build_checks` counter equals `query_dist_checks`.
+//!
+//! Sequential engines and their parallel twins are held to the identical
+//! contract: worker-thread spans must reach the same sink the coordinator
+//! captured at run start.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky::core::obs;
+use rsky::prelude::*;
+
+/// Runs `engine` under a fresh in-memory sink and checks every clause of the
+/// contract against the returned stats.
+#[allow(clippy::too_many_arguments)]
+fn assert_contract(
+    engine: &dyn ReverseSkylineAlgo,
+    prefix: &str,
+    ds: &Dataset,
+    table: &RecordFile,
+    q: &Query,
+    disk: &mut Disk,
+    budget: MemoryBudget,
+    expect_scanners: bool,
+) -> RsRun {
+    let sink = MemorySink::new();
+    let run = obs::with_recorder(sink.handle(), || {
+        let mut ctx = EngineCtx { disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        engine.run(&mut ctx, table, q).unwrap()
+    });
+    let s = &run.stats;
+    let ctx = format!("{prefix} on {}", ds.label);
+
+    // 1. Batch-span deltas sum to the run totals.
+    let p1b = format!("{prefix}.phase1.batch");
+    let p2b = format!("{prefix}.phase2.batch");
+    assert_eq!(
+        sink.sum_field(&p1b, "dist_checks") + sink.sum_field(&p2b, "dist_checks"),
+        s.dist_checks,
+        "batch dist_checks don't tile the total ({ctx})"
+    );
+    assert_eq!(
+        sink.sum_field(&p1b, "obj_comparisons") + sink.sum_field(&p2b, "obj_comparisons"),
+        s.obj_comparisons,
+        "batch obj_comparisons don't tile the total ({ctx})"
+    );
+
+    // 2. One batch span per counted batch.
+    assert_eq!(sink.span_count(&p1b), s.phase1_batches, "phase-1 batch spans ({ctx})");
+    assert_eq!(sink.span_count(&p2b), s.phase2_batches, "phase-2 batch spans ({ctx})");
+
+    // 3. Phase-span IO tiles RunStats::io component-wise.
+    let p1 = format!("{prefix}.phase1");
+    let p2 = format!("{prefix}.phase2");
+    let io = [
+        ("seq_reads", s.io.seq_reads),
+        ("rand_reads", s.io.rand_reads),
+        ("seq_writes", s.io.seq_writes),
+        ("rand_writes", s.io.rand_writes),
+    ];
+    for (key, total) in io {
+        assert_eq!(
+            sink.sum_field(&p1, key) + sink.sum_field(&p2, key),
+            total,
+            "phase {key} don't tile the run IO ({ctx})"
+        );
+    }
+    let phase1_spans = sink.spans_ending_with(&p1);
+    assert_eq!(phase1_spans.len(), 1, "exactly one phase-1 span ({ctx})");
+    assert_eq!(
+        phase1_spans[0].field("batches"),
+        Some(s.phase1_batches as u64),
+        "phase-1 span batches ({ctx})"
+    );
+    // Naive has no survivor set, so its phase-1 span omits the field.
+    assert_eq!(
+        phase1_spans[0].field("survivors").unwrap_or(0),
+        s.phase1_survivors as u64,
+        "phase-1 span survivors ({ctx})"
+    );
+
+    // 4. The closing run span repeats the final totals.
+    let runs = sink.spans_ending_with(&format!("{prefix}.run"));
+    assert_eq!(runs.len(), 1, "exactly one run span ({ctx})");
+    let r = &runs[0];
+    assert_eq!(r.field("dist_checks"), Some(s.dist_checks), "run span dist_checks ({ctx})");
+    assert_eq!(
+        r.field("query_dist_checks"),
+        Some(s.query_dist_checks),
+        "run span query_dist_checks ({ctx})"
+    );
+    assert_eq!(
+        r.field("obj_comparisons"),
+        Some(s.obj_comparisons),
+        "run span obj_comparisons ({ctx})"
+    );
+    assert_eq!(
+        r.field("phase1_batches"),
+        Some(s.phase1_batches as u64),
+        "run span phase1_batches ({ctx})"
+    );
+    assert_eq!(
+        r.field("phase2_batches"),
+        Some(s.phase2_batches as u64),
+        "run span phase2_batches ({ctx})"
+    );
+    assert_eq!(r.field("result_size"), Some(run.ids.len() as u64), "run span result_size ({ctx})");
+    assert_eq!(r.field("seq_reads"), Some(s.io.seq_reads), "run span seq_reads ({ctx})");
+    assert_eq!(r.field("rand_reads"), Some(s.io.rand_reads), "run span rand_reads ({ctx})");
+
+    // 5. The query-side cache reports its build cost as a counter.
+    assert_eq!(
+        sink.registry().counter("qcache.build_checks"),
+        s.query_dist_checks,
+        "qcache.build_checks counter ({ctx})"
+    );
+
+    // 6. Parallel engines route worker-side scanner spans into the same sink.
+    let scanners = sink.span_count("storage.scanner");
+    if expect_scanners {
+        assert!(scanners > 0, "no storage.scanner spans from workers ({ctx})");
+    } else {
+        assert_eq!(scanners, 0, "sequential engine opened shared scanners ({ctx})");
+    }
+    run
+}
+
+/// All engines over one dataset (small pages + tight memory ⇒ several
+/// batches per phase, so the tiling claims are non-trivial).
+fn exercise_dataset(ds: &Dataset, page: usize, mem_pct: f64) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let mut disk = Disk::new_mem(page);
+    let raw = load_dataset(&mut disk, ds).unwrap();
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), mem_pct, page).unwrap();
+    let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+    let trs = Trs::for_schema(&ds.schema);
+
+    let mut ids = Vec::new();
+    let seq: [(&dyn ReverseSkylineAlgo, &str, &RecordFile); 4] = [
+        (&Naive, "naive", &raw),
+        (&Brs, "brs", &raw),
+        (&Srs, "srs", &sorted.file),
+        (&trs, "trs", &sorted.file),
+    ];
+    for (engine, prefix, table) in seq {
+        let run = assert_contract(engine, prefix, ds, table, &q, &mut disk, budget, false);
+        ids.push(run.ids);
+    }
+    for t in [2usize, 5] {
+        let par_brs = ParBrs { threads: t };
+        let par_srs = ParSrs { threads: t };
+        let par_trs = ParTrs::for_schema(&ds.schema, t);
+        let par: [(&dyn ReverseSkylineAlgo, &str, &RecordFile); 3] = [
+            (&par_brs, "brs-p", &raw),
+            (&par_srs, "srs-p", &sorted.file),
+            (&par_trs, "trs-p", &sorted.file),
+        ];
+        for (engine, prefix, table) in par {
+            let run = assert_contract(engine, prefix, ds, table, &q, &mut disk, budget, true);
+            ids.push(run.ids);
+        }
+    }
+    assert!(ids.windows(2).all(|w| w[0] == w[1]), "engines disagree on {}: {ids:?}", ds.label);
+}
+
+#[test]
+fn contract_holds_on_normal_data() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 160, &mut rng).unwrap();
+    exercise_dataset(&ds, 128, 6.0);
+}
+
+#[test]
+fn contract_holds_on_uniform_data() {
+    // Uniform data prunes weakly ⇒ many phase-1 survivors and phase-2 work.
+    let mut rng = StdRng::seed_from_u64(1002);
+    let ds = rsky::data::synthetic::uniform_dataset(4, 5, 140, &mut rng).unwrap();
+    exercise_dataset(&ds, 64, 8.0);
+}
+
+#[test]
+fn contract_holds_with_whole_db_in_memory() {
+    // One batch per phase: the degenerate tiling still has to be exact.
+    let mut rng = StdRng::seed_from_u64(1003);
+    let ds = rsky::data::synthetic::normal_dataset(3, 8, 90, &mut rng).unwrap();
+    exercise_dataset(&ds, 4096, 100.0);
+}
+
+#[test]
+fn noop_recorder_records_nothing() {
+    // Without an installed recorder a run must leave a fresh sink untouched —
+    // the inert path the <3% overhead bound relies on.
+    let (ds, q) = rsky::data::paper_example();
+    let sink = MemorySink::new();
+    let mut disk = Disk::default_mem();
+    let raw = load_dataset(&mut disk, &ds).unwrap();
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), 50.0, disk.page_size()).unwrap();
+    let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+    let run = Brs.run(&mut ctx, &raw, &q).unwrap();
+    assert_eq!(run.ids, vec![3, 6]);
+    assert!(sink.events().is_empty(), "events recorded without an installed recorder");
+    assert_eq!(sink.registry().counter("qcache.build_checks"), 0);
+}

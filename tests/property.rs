@@ -1,7 +1,14 @@
 //! Property-based tests (proptest) over the whole stack.
+//!
+//! The suite always runs: the default `cargo test` tier gets a fast smoke
+//! subset, while `--features property-tests` runs the full case count.
 
 use proptest::prelude::*;
 use rsky::prelude::*;
+
+/// Cases per property: the full sweep behind `--features property-tests`, a
+/// smoke subset (same strategies, same shrinking) otherwise.
+const CASES: u32 = if cfg!(feature = "property-tests") { 48 } else { 8 };
 
 /// Strategy: a small random instance — schema, symmetric-but-arbitrary
 /// dissimilarity matrices, rows, and a query.
@@ -60,7 +67,7 @@ fn instance() -> impl Strategy<Value = (Dataset, Query)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: CASES, ..ProptestConfig::default() })]
 
     /// Every engine equals the definitional oracle on arbitrary instances.
     #[test]

@@ -1,0 +1,92 @@
+//! Differential coverage for the streaming engine: the sliding-window
+//! reverse skyline must agree with the batch engines run over a snapshot of
+//! the same window, and its [`StreamStats`] snapshots must stay internally
+//! consistent (cumulative fields monotone, occupancy = inserts − expirations).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsky::algos::{StreamStats, StreamingReverseSkyline};
+use rsky::prelude::*;
+
+/// Runs a batch engine over the stream's current window snapshot.
+fn batch_ids(engine: &dyn ReverseSkylineAlgo, s: &StreamingReverseSkyline) -> Vec<RecordId> {
+    let snap = s.snapshot();
+    let mut disk = Disk::new_mem(128);
+    let raw = load_dataset(&mut disk, &snap).unwrap();
+    let budget = MemoryBudget::from_percent(snap.data_bytes().max(1), 10.0, 128).unwrap();
+    let sorted = prepare_table(&mut disk, &snap.schema, &raw, Layout::MultiSort, &budget).unwrap();
+    let table = if engine.name() == "BRS" || engine.name() == "BRS-P" { &raw } else { &sorted.file };
+    let mut ctx = EngineCtx { disk: &mut disk, schema: &snap.schema, dissim: &snap.dissim, budget };
+    engine.run(&mut ctx, table, s.query()).unwrap().ids
+}
+
+#[test]
+fn streaming_agrees_with_batch_engines() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 120, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let mut s =
+        StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 120).unwrap();
+    for i in 0..ds.rows.len() {
+        s.insert(ds.rows.id(i), ds.rows.values(i)).unwrap();
+    }
+    let trs = Trs::for_schema(&ds.schema);
+    let streaming = s.current();
+    assert_eq!(streaming, batch_ids(&Brs, &s), "streaming vs BRS");
+    assert_eq!(streaming, batch_ids(&Srs, &s), "streaming vs SRS");
+    assert_eq!(streaming, batch_ids(&trs, &s), "streaming vs TRS");
+    assert_eq!(streaming, batch_ids(&ParBrs { threads: 3 }, &s), "streaming vs BRS-P");
+}
+
+#[test]
+fn streaming_agrees_with_batch_engines_under_expiration() {
+    // A capacity-limited window: every prefix state (with evictions in play)
+    // must still match a batch run over the surviving objects.
+    let mut rng = StdRng::seed_from_u64(2025);
+    let ds = rsky::data::synthetic::uniform_dataset(3, 5, 90, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let mut s = StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 30).unwrap();
+    let trs = Trs::for_schema(&ds.schema);
+    for i in 0..ds.rows.len() {
+        s.insert(ds.rows.id(i), ds.rows.values(i)).unwrap();
+        if i % 17 == 0 {
+            assert_eq!(s.current(), batch_ids(&trs, &s), "step {i}");
+        }
+    }
+    assert_eq!(s.current(), batch_ids(&Brs, &s), "final window");
+}
+
+#[test]
+fn stream_stats_snapshots_are_monotone_and_consistent() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let ds = rsky::data::synthetic::normal_dataset(3, 5, 1, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let mut s = StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 20).unwrap();
+    let mut prev = s.stats();
+    assert_eq!(prev, StreamStats { checks: 0, inserts: 0, expirations: 0, window_len: 0, result_len: 0 });
+    for step in 0..300u32 {
+        if rng.gen_bool(0.75) || s.is_empty() {
+            let vals: Vec<u32> =
+                (0..3).map(|i| rng.gen_range(0..ds.schema.cardinality(i))).collect();
+            s.insert(step, &vals).unwrap();
+        } else {
+            s.expire_oldest();
+        }
+        let now = s.stats();
+        // Cumulative fields never decrease between snapshots.
+        assert!(now.checks >= prev.checks, "checks regressed at step {step}");
+        assert!(now.inserts >= prev.inserts, "inserts regressed at step {step}");
+        assert!(now.expirations >= prev.expirations, "expirations regressed at step {step}");
+        // State fields describe the current window exactly.
+        assert_eq!(now.window_len, s.len(), "window_len at step {step}");
+        assert_eq!(now.result_len, s.current().len(), "result_len at step {step}");
+        assert_eq!(
+            now.inserts - now.expirations,
+            now.window_len as u64,
+            "occupancy bookkeeping at step {step}"
+        );
+        assert!(now.result_len <= now.window_len, "result exceeds window at step {step}");
+        prev = now;
+    }
+    assert!(prev.checks > 0 && prev.inserts > 0 && prev.expirations > 0);
+}
