@@ -10,6 +10,10 @@ tier1() {
     echo "=== tier-1: release build + default test suite ==="
     cargo build --release
     cargo test -q
+    echo "=== tier-1: server e2e (hard timeout) ==="
+    # Re-run the socket suite under a hard wall-clock cap: a wedged
+    # accept/drain path must fail CI, not hang it.
+    timeout 300 cargo test -q --test server_e2e
 }
 
 full() {

@@ -82,6 +82,7 @@ pub(crate) fn two_phase(
         let mut batch = RowBuf::new(m);
         let mut dqx = Vec::with_capacity(subset.len());
         while page < total_pages {
+            robs.check_cancelled()?;
             let mut bspan = robs.span("phase1.batch");
             let io_b = ctx.disk.io_stats();
             let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);
@@ -133,6 +134,7 @@ pub(crate) fn two_phase(
         let mut dqx_rows: Vec<f64> = Vec::new();
         let mut row = Vec::with_capacity(slen);
         while rpage < r_pages {
+            robs.check_cancelled()?;
             let mut bspan = robs.span("phase2.batch");
             let io_b = ctx.disk.io_stats();
             let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);

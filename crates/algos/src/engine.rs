@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use rsky_core::cancel::{self, CancelToken};
 use rsky_core::dissim::DissimTable;
 use rsky_core::error::Result;
 use rsky_core::obs::{self, ObsHandle, Span};
@@ -13,19 +14,30 @@ use rsky_storage::{Disk, MemoryBudget, RecordFile};
 
 use crate::qcache::QueryDistCache;
 
-/// Per-run observability context: the recorder handle captured once at run
-/// start (on the calling thread, where a scoped recorder is visible) plus
-/// the engine's span-name prefix. Shared by reference with worker threads,
-/// so parallel batches record through the same sink as sequential ones.
+/// Per-run observability context: the recorder handle and cancellation
+/// token captured once at run start (on the calling thread, where scoped
+/// installations are visible) plus the engine's span-name prefix. Shared by
+/// reference with worker threads, so parallel batches record through the
+/// same sink — and poll the same token — as sequential ones.
 pub(crate) struct RunObs<'a> {
     handle: ObsHandle,
+    cancel: CancelToken,
     prefix: &'a str,
 }
 
 impl<'a> RunObs<'a> {
-    /// Captures the recorder in effect on the current thread.
+    /// Captures the recorder and cancel token in effect on the current
+    /// thread.
     pub fn capture(prefix: &'a str) -> Self {
-        Self { handle: obs::handle(), prefix }
+        Self { handle: obs::handle(), cancel: cancel::current(), prefix }
+    }
+
+    /// Errors with `Error::Cancelled` once the run's token has fired.
+    /// Engines call this at batch boundaries — one atomic load per batch
+    /// when no deadline is set, so the uncancellable path stays free.
+    #[inline]
+    pub fn check_cancelled(&self) -> Result<()> {
+        self.cancel.check()
     }
 
     /// Opens the span `{prefix}.{what}` (inert when no recorder is active).

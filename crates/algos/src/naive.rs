@@ -41,6 +41,7 @@ impl ReverseSkylineAlgo for Naive {
             let mut p1_span = robs.span("phase1");
             let io_p1 = ctx.disk.io_stats();
             for op in 0..total_pages {
+                robs.check_cancelled()?;
                 let mut bspan = robs.span("phase1.batch");
                 let io_b = ctx.disk.io_stats();
                 let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);

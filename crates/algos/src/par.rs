@@ -254,6 +254,7 @@ fn par_two_phase(
                             if b >= nb {
                                 break;
                             }
+                            robs.check_cancelled()?;
                             let mut bspan = robs.span("phase1.batch");
                             let io_b = scanner.io_stats();
                             let mut batch = RowBuf::new(m);
@@ -338,6 +339,7 @@ fn par_two_phase(
                             if b >= nrb {
                                 break;
                             }
+                            robs.check_cancelled()?;
                             let mut bspan = robs.span("phase2.batch");
                             let io_b = {
                                 let mut io = r_scanner.io_stats();
@@ -449,6 +451,7 @@ fn claim_tree_batch(
     tvals: &mut [u32],
     robs: &RunObs<'_>,
 ) -> Result<Option<usize>> {
+    robs.check_cancelled()?;
     let wait0 = robs.enabled().then(Instant::now);
     let mut ld = loader.lock().expect("tree loader poisoned");
     if let Some(t0) = wait0 {

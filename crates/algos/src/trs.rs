@@ -157,6 +157,7 @@ impl ReverseSkylineAlgo for Trs {
                 let mut pbuf = RowBuf::new(m);
                 let mut flat = vec![0u32; m + 1];
                 while page < total_pages {
+                    robs.check_cancelled()?;
                     let mut bspan = robs.span("phase1.batch");
                     let io_b = ctx.disk.io_stats();
                     let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);
@@ -230,6 +231,7 @@ impl ReverseSkylineAlgo for Trs {
                 let mut rpage = 0;
                 let mut pbuf = RowBuf::new(m);
                 while rpage < r_pages {
+                    robs.check_cancelled()?;
                     let mut bspan = robs.span("phase2.batch");
                     let io_b = ctx.disk.io_stats();
                     let (dc0, oc0) = (stats.dist_checks, stats.obj_comparisons);

@@ -1,0 +1,293 @@
+//! Server throughput: a closed-loop load generator against the serving
+//! subsystem (`rsky-server`) over real TCP sockets.
+//!
+//! Spawns an in-process server on an ephemeral port, then `RSKY_CLIENTS`
+//! (default 8) concurrent client connections each issuing
+//! `RSKY_REQUESTS` (default 40) reverse-skyline queries drawn from a small
+//! query pool, so repeats exercise the result cache. A second probe phase
+//! sends a few requests with a 1 ms deadline to show the timeout path.
+//!
+//! Besides the stdout tables this bench writes `BENCH_server.json` at the
+//! repository root: client-observed p50/p90/p99 latency, throughput,
+//! shed rate, cache hit rate, and the server's full metrics-registry
+//! snapshot so the numbers can be reconciled with the server's own view.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_bench::{BenchConfig, Table};
+use rsky_server::{Client, Server, ServerConfig};
+
+/// Outcome counts as observed by the clients.
+#[derive(Debug, Default, Clone, Copy)]
+struct Outcomes {
+    ok: u64,
+    cached: u64,
+    overloaded: u64,
+    timeout: u64,
+    other: u64,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Server throughput: closed-loop TCP load"));
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let clients = env_usize("RSKY_CLIENTS", 8);
+    let requests = env_usize("RSKY_REQUESTS", 40);
+    println!("host CPUs: {host_cpus}, {clients} clients x {requests} requests");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n(50_000);
+    let ds = rsky_data::synthetic::normal_dataset(4, 12, n, &mut rng).unwrap();
+    let pool = rsky_data::random_queries(&ds.schema, 12, &mut rng).unwrap();
+    let probes = rsky_data::random_queries(&ds.schema, 4, &mut rng).unwrap();
+    println!("n = {}, query pool = {}", ds.len(), pool.len());
+
+    let server_cfg = ServerConfig {
+        workers: host_cpus.min(4),
+        queue_cap: clients.max(2) / 2, // tight on purpose: show load shedding
+        cache_cap: 64,
+        page: cfg.page_size,
+        ..ServerConfig::default()
+    };
+    let workers = server_cfg.workers;
+    let queue_cap = server_cfg.queue_cap;
+    let handle = Server::start(server_cfg, ds.clone()).unwrap();
+    let addr = handle.local_addr();
+
+    // Warm-up: one request per pool entry, so the load phase measures
+    // steady-state workers (layouts prepared) rather than first-touch cost.
+    {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_timeout(Duration::from_secs(120)).unwrap();
+        for q in &pool {
+            let _ = c.send(&query_line(&q.values, None)).unwrap();
+        }
+    }
+
+    // Load phase: closed loop, each client waits for its response before
+    // sending the next request.
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<Duration>, Outcomes)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|ci| {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.set_timeout(Duration::from_secs(120)).unwrap();
+                    let mut lat = Vec::with_capacity(requests);
+                    let mut out = Outcomes::default();
+                    for ri in 0..requests {
+                        let q = &pool[(ci + ri) % pool.len()];
+                        let line = query_line(&q.values, None);
+                        let t = Instant::now();
+                        let reply = c.send(&line).unwrap();
+                        lat.push(t.elapsed());
+                        tally(&reply, &mut out);
+                    }
+                    (lat, out)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = t0.elapsed();
+
+    // Deadline probe: cache-missing queries with a 1 ms budget.
+    let mut probe_out = Outcomes::default();
+    {
+        let mut c = Client::connect(addr).unwrap();
+        c.set_timeout(Duration::from_secs(120)).unwrap();
+        for q in &probes {
+            let reply = c.send(&query_line(&q.values, Some(1))).unwrap();
+            tally(&reply, &mut probe_out);
+        }
+    }
+
+    let registry = handle.registry();
+    let served = registry.counter("server.served");
+    let shed = registry.counter("server.shed");
+    let timeouts = registry.counter("server.timeout");
+    let cache_hits = registry.counter("server.cache.hit");
+    let cache_misses = registry.counter("server.cache.miss");
+    let metrics = registry.to_json();
+    handle.shutdown();
+    handle.join();
+
+    let mut lat: Vec<Duration> = Vec::new();
+    let mut load = Outcomes::default();
+    for (l, o) in &per_client {
+        lat.extend_from_slice(l);
+        load.ok += o.ok;
+        load.cached += o.cached;
+        load.overloaded += o.overloaded;
+        load.timeout += o.timeout;
+        load.other += o.other;
+    }
+    lat.sort_unstable();
+    let sent = (clients * requests) as u64;
+    assert_eq!(load.ok + load.overloaded + load.timeout + load.other, sent);
+    assert_eq!(load.other, 0, "unexpected error kinds during the load phase");
+    let throughput = load.ok as f64 / wall.as_secs_f64().max(1e-9);
+    let shed_rate = shed as f64 / (served + shed).max(1) as f64;
+    let hit_rate = cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64;
+
+    let mut t = Table::new(
+        "Client-observed latency (successful + shed responses)",
+        &["p50", "p90", "p99", "max", "throughput (ok/s)"],
+    );
+    t.row(vec![
+        us(percentile(&lat, 50.0)),
+        us(percentile(&lat, 90.0)),
+        us(percentile(&lat, 99.0)),
+        us(*lat.last().unwrap()),
+        format!("{throughput:.0}"),
+    ]);
+    t.print();
+
+    let mut t = Table::new(
+        "Server counters",
+        &["served", "shed", "shed rate", "timeouts", "cache hits", "hit rate"],
+    );
+    t.row(vec![
+        served.to_string(),
+        shed.to_string(),
+        format!("{:.1}%", shed_rate * 100.0),
+        timeouts.to_string(),
+        cache_hits.to_string(),
+        format!("{:.1}%", hit_rate * 100.0),
+    ]);
+    t.print();
+    println!(
+        "\nload phase: {} ok ({} cached) / {} overloaded / {} timeout; \
+         deadline probe: {} timeout of {}",
+        load.ok,
+        load.cached,
+        load.overloaded,
+        load.timeout,
+        probe_out.timeout,
+        probes.len()
+    );
+
+    let json = render_json(&RenderArgs {
+        host_cpus,
+        n: ds.len(),
+        attrs: ds.schema.num_attrs(),
+        clients,
+        requests,
+        workers,
+        queue_cap,
+        wall,
+        lat: &lat,
+        throughput,
+        load,
+        probe_out,
+        shed_rate,
+        hit_rate,
+        metrics: &metrics,
+    });
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_server.json");
+    std::fs::write(&path, json).unwrap();
+    println!("wrote {}", path.display());
+}
+
+fn query_line(values: &[u32], deadline_ms: Option<u64>) -> String {
+    let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    match deadline_ms {
+        Some(d) => format!(
+            r#"{{"op":"query","engine":"trs","values":[{}],"deadline_ms":{d}}}"#,
+            vals.join(",")
+        ),
+        None => format!(r#"{{"op":"query","engine":"trs","values":[{}]}}"#, vals.join(",")),
+    }
+}
+
+fn tally(reply: &str, out: &mut Outcomes) {
+    if reply.contains(r#""ok":true"#) {
+        out.ok += 1;
+        if reply.contains(r#""cached":true"#) {
+            out.cached += 1;
+        }
+    } else if reply.contains(r#""error":"overloaded""#) {
+        out.overloaded += 1;
+    } else if reply.contains(r#""error":"timeout""#) {
+        out.timeout += 1;
+    } else {
+        out.other += 1;
+    }
+}
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    let idx = ((sorted.len() as f64 * pct / 100.0).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn us(d: Duration) -> String {
+    format!("{} us", d.as_micros())
+}
+
+struct RenderArgs<'a> {
+    host_cpus: usize,
+    n: usize,
+    attrs: usize,
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    queue_cap: usize,
+    wall: Duration,
+    lat: &'a [Duration],
+    throughput: f64,
+    load: Outcomes,
+    probe_out: Outcomes,
+    shed_rate: f64,
+    hit_rate: f64,
+    metrics: &'a str,
+}
+
+fn render_json(a: &RenderArgs) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"server_throughput\",\n");
+    s.push_str(&format!("  \"host_cpus\": {},\n", a.host_cpus));
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"synthetic-normal\", \"n\": {}, \"attrs\": {}}},\n",
+        a.n, a.attrs
+    ));
+    s.push_str(&format!(
+        "  \"config\": {{\"clients\": {}, \"requests_per_client\": {}, \"workers\": {}, \"queue_cap\": {}}},\n",
+        a.clients, a.requests, a.workers, a.queue_cap
+    ));
+    s.push_str(&format!(
+        "  \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n",
+        percentile(a.lat, 50.0).as_micros(),
+        percentile(a.lat, 90.0).as_micros(),
+        percentile(a.lat, 99.0).as_micros(),
+        a.lat.last().map(|d| d.as_micros()).unwrap_or(0)
+    ));
+    s.push_str(&format!(
+        "  \"load\": {{\"wall_ms\": {:.1}, \"throughput_ok_per_s\": {:.1}, \"ok\": {}, \"cached\": {}, \"overloaded\": {}, \"timeout\": {}}},\n",
+        a.wall.as_secs_f64() * 1e3,
+        a.throughput,
+        a.load.ok,
+        a.load.cached,
+        a.load.overloaded,
+        a.load.timeout
+    ));
+    s.push_str(&format!(
+        "  \"deadline_probe\": {{\"sent\": {}, \"timeout\": {}, \"ok\": {}}},\n",
+        a.probe_out.ok + a.probe_out.timeout + a.probe_out.overloaded + a.probe_out.other,
+        a.probe_out.timeout,
+        a.probe_out.ok
+    ));
+    s.push_str(&format!(
+        "  \"shed_rate\": {:.4},\n  \"cache_hit_rate\": {:.4},\n",
+        a.shed_rate, a.hit_rate
+    ));
+    s.push_str(&format!("  \"metrics\": {}\n}}\n", a.metrics));
+    s
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

@@ -12,7 +12,7 @@ pub struct Flags {
 }
 
 /// Flag names that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["explain", "file-backend", "keep-ids"];
+const SWITCHES: &[&str] = &["explain", "file-backend", "keep-ids", "test-ops"];
 
 impl Flags {
     /// Parses `--key value` pairs and bare switches.

@@ -21,7 +21,8 @@ OPTIONS:
     --seed S          RNG seed for the workload                  [7]
     --memory PCT      working memory as % of dataset             [10]
     --page BYTES      page size                                  [4096]
-    --threads N       worker threads (queries are sharded)       [1]
+    --threads N       worker threads (queries are sharded;
+                      0 = one per core)                          [1]
     --top K           how many top entries to print              [10]
     --stats-format F  report as human | json                     [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL";
@@ -35,7 +36,7 @@ pub fn run(argv: &[String]) -> Result<()> {
     let seed: u64 = flags.num("seed", 7)?;
     let mem_pct: f64 = flags.num("memory", 10.0)?;
     let page: usize = flags.num("page", 4096)?;
-    let threads: usize = flags.num("threads", 1)?;
+    let threads = rsky_server::resolve_threads(flags.num("threads", 1)?);
     let top: usize = flags.num("top", 10)?;
 
     let mut rng = StdRng::seed_from_u64(seed);

@@ -19,7 +19,8 @@ OPTIONS:
     --query V,V,…     query value ids, one per attribute         (required)
     --algo A          naive | brs | srs | trs | tsrs | ttrs      [trs]
     --threads N       worker threads for brs/srs/trs/tsrs/ttrs   [1]
-                      (N > 1 uses the parallel engines; same results)
+                      (0 = one per core; N > 1 uses the parallel
+                      engines; same results either way)
     --subset I,I,…    attribute indices to search on             [all]
     --memory PCT      working memory as % of dataset             [10]
     --page BYTES      page size                                  [4096]
@@ -44,14 +45,17 @@ pub fn run(argv: &[String]) -> Result<()> {
         None => Query::new(&ds.schema, values)?,
     };
     let algo = flags.get("algo").unwrap_or("trs");
-    let threads: usize = flags.num("threads", 1)?;
+    let requested_threads: usize = flags.num("threads", 1)?;
     let mem_pct: f64 = flags.num("memory", 10.0)?;
     let page: usize = flags.num("page", 4096)?;
     let tiles: u32 = flags.num("tiles", 4)?;
     let cache: usize = flags.num("cache", 0)?;
-    if algo == "naive" && threads > 1 {
+    if algo == "naive" && requested_threads > 1 {
         return Err(Error::InvalidConfig("--algo naive has no parallel variant".into()));
     }
+    // `--threads 0` = one per core; naive stays sequential either way.
+    let threads =
+        if algo == "naive" { 1 } else { rsky_server::resolve_threads(requested_threads) };
 
     let mut disk = if flags.switch("file-backend") {
         let dir = std::env::temp_dir().join(format!("rsky-cli-{}", std::process::id()));

@@ -19,6 +19,7 @@ mod cmd_generate;
 mod cmd_influence;
 mod cmd_info;
 mod cmd_query;
+mod cmd_serve;
 mod cmd_skyline;
 mod obs_setup;
 
@@ -38,6 +39,7 @@ COMMANDS:
     skyline     run a forward (dynamic) skyline query via block-nested-loops
     influence   rank a workload of random queries by |RS| (influence)
     compare     compare the engines over random queries on one dataset
+    serve       serve queries over TCP (admission control, deadlines, cache)
     help        show this message, or details for one command
 
 Run `rsky help <command>` for per-command options.";
@@ -57,6 +59,7 @@ fn main() -> ExitCode {
         "skyline" => cmd_skyline::run(rest),
         "influence" => cmd_influence::run(rest),
         "compare" => cmd_compare::run(rest),
+        "serve" => cmd_serve::run(rest),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("generate") => println!("{}", cmd_generate::HELP),
@@ -65,6 +68,7 @@ fn main() -> ExitCode {
                 Some("info") => println!("{}", cmd_info::HELP),
                 Some("skyline") => println!("{}", cmd_skyline::HELP),
                 Some("compare") => println!("{}", cmd_compare::HELP),
+                Some("serve") => println!("{}", cmd_serve::HELP),
                 Some("demo") => println!("{}", cmd_demo::HELP),
                 _ => println!("{USAGE}"),
             }

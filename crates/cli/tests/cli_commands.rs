@@ -131,6 +131,104 @@ fn threaded_query_matches_sequential() {
 }
 
 #[test]
+fn threads_zero_auto_detects_cores() {
+    let data = tmpdata("autothreads");
+    let (ok, t) = run(&[
+        "generate", "--kind", "normal", "--n", "300", "--attrs", "3", "--values", "6", "--out",
+        &data,
+    ]);
+    assert!(ok, "{t}");
+
+    // `--threads 0` resolves to available_parallelism and returns the same
+    // ids as an explicit thread count.
+    let mut ids = Vec::new();
+    for threads in ["1", "0"] {
+        let (ok, text) = run(&[
+            "query", "--data", &data, "--query", "2,2,2", "--algo", "trs", "--threads", threads,
+        ]);
+        assert!(ok, "--threads {threads}: {text}");
+        ids.push(text.lines().find(|l| l.starts_with("ids:")).unwrap_or("ids:").to_string());
+    }
+    assert_eq!(ids[0], ids[1], "--threads 0 must not change results");
+
+    // naive has no parallel twin but still accepts the auto knob (resolves
+    // to its sequential run instead of erroring like an explicit N > 1).
+    let (ok, text) = run(&[
+        "query", "--data", &data, "--query", "2,2,2", "--algo", "naive", "--threads", "0",
+    ]);
+    assert!(ok, "{text}");
+
+    // influence sharding under auto-detect keeps the ranking.
+    let mut rankings = Vec::new();
+    for threads in ["1", "0"] {
+        let (ok, text) = run(&[
+            "influence", "--data", &data, "--queries", "4", "--top", "2", "--threads", threads,
+        ]);
+        assert!(ok, "--threads {threads}: {text}");
+        let tail: Vec<String> =
+            text.lines().skip_while(|l| !l.starts_with("rank")).map(String::from).collect();
+        rankings.push(tail.join("\n"));
+    }
+    assert!(!rankings[0].is_empty(), "no ranking table printed");
+    assert_eq!(rankings[0], rankings[1], "--threads 0 changed the influence ranking");
+
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn serve_round_trip_over_tcp() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let data = tmpdata("serve");
+    let (ok, t) = run(&[
+        "generate", "--kind", "normal", "--n", "200", "--attrs", "3", "--values", "6", "--out",
+        &data,
+    ]);
+    assert!(ok, "{t}");
+
+    let mut child = Command::new(bin())
+        .args(["serve", "--data", &data, "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn rsky serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read listening banner");
+    assert!(banner.starts_with("listening on "), "{banner}");
+    let addr = banner
+        .trim_start_matches("listening on ")
+        .split_whitespace()
+        .next()
+        .expect("address in banner")
+        .to_string();
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to served port");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |req: &str, reader: &mut BufReader<std::net::TcpStream>| -> String {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim().to_string()
+    };
+    let health = send(r#"{"op":"health"}"#, &mut reader);
+    assert!(health.contains("\"ok\":true") && health.contains("\"workers\":2"), "{health}");
+    let reply = send(r#"{"op":"query","engine":"trs","values":[2,2,2]}"#, &mut reader);
+    assert!(reply.contains("\"ok\":true") && reply.contains("\"ids\":["), "{reply}");
+    let bye = send(r#"{"op":"shutdown"}"#, &mut reader);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+
+    let status = child.wait().expect("serve exits after shutdown op");
+    assert!(status.success(), "serve exit: {status:?}");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("server drained"), "{rest}");
+
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
 fn query_with_subset_and_cache() {
     let data = tmpdata("subset");
     let (ok, t) = run(&[

@@ -1,0 +1,222 @@
+//! Cooperative cancellation for long-running engine work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag that work loops poll at
+//! natural stopping points — the engines check it **once per batch**, which
+//! bounds both the polling overhead (one atomic load per batch) and the
+//! cancellation latency (at most one batch of extra work after the token
+//! fires). Three things can fire a token:
+//!
+//! * an explicit [`CancelToken::cancel`] call (a client disconnected, the
+//!   server is shutting down);
+//! * a wall-clock **deadline** ([`CancelToken::with_deadline`]) — how the
+//!   serving layer enforces per-request timeouts;
+//! * a poll-count budget ([`CancelToken::after_checks`]) — deterministic
+//!   mid-run cancellation for tests, independent of machine speed.
+//!
+//! ## Installation
+//!
+//! Like [`crate::obs`] recorders, tokens are *scoped*, not threaded through
+//! every signature: [`with_token`] installs one for the current thread for
+//! the duration of a closure, and engines capture [`current`] once at run
+//! start (on the calling thread) and share the captured token with any
+//! worker threads they spawn. With no token installed, [`current`] returns
+//! an inert token whose checks compile down to one atomic load.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Wall-clock deadline, if any.
+    deadline: Option<Instant>,
+    /// Remaining poll budget before auto-cancel (`u64::MAX` = unlimited).
+    checks_left: AtomicU64,
+    /// Human-readable reason attached to cancellation errors.
+    reason: &'static str,
+}
+
+/// A cloneable cancellation flag; all clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    fn build(deadline: Option<Instant>, checks: u64, reason: &'static str) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                checks_left: AtomicU64::new(checks),
+                reason,
+            }),
+        }
+    }
+
+    /// A token that only fires on an explicit [`cancel`](Self::cancel) call.
+    pub fn new() -> Self {
+        Self::build(None, u64::MAX, "cancelled")
+    }
+
+    /// A token that fires once `timeout` has elapsed (measured from now).
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::build(Instant::now().checked_add(timeout), u64::MAX, "deadline exceeded")
+    }
+
+    /// A token that fires on the `n`-th [`check`](Self::check) /
+    /// [`is_cancelled`](Self::is_cancelled) poll — deterministic mid-run
+    /// cancellation for tests (`n = 0` fires on the first poll).
+    pub fn after_checks(n: u64) -> Self {
+        Self::build(None, n, "check budget exhausted")
+    }
+
+    /// Fires the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired (explicitly, by deadline, or by poll
+    /// budget). Polling counts against an [`after_checks`](Self::after_checks)
+    /// budget.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if matches!(self.inner.deadline, Some(d) if Instant::now() >= d) {
+            self.cancel();
+            return true;
+        }
+        // Unlimited budgets skip the countdown RMW — one relaxed load is all
+        // an inert token costs per batch.
+        if self.inner.checks_left.load(Ordering::Relaxed) == u64::MAX {
+            return false;
+        }
+        // Saturating countdown: fetch_update never wraps below zero.
+        let exhausted = self
+            .inner
+            .checks_left
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |left| left.checked_sub(1))
+            .is_err();
+        if exhausted {
+            self.cancel();
+        }
+        exhausted
+    }
+
+    /// Errors with [`Error::Cancelled`] once the token has fired. Engines
+    /// call this at batch boundaries; the error unwinds the run, leaving
+    /// partial stats behind in whatever spans already closed.
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(Error::Cancelled(self.inner.reason))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Time left until the deadline (`None` when the token has no deadline).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+thread_local! {
+    static SCOPED: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with `token` installed for the current thread, restoring the
+/// previous state afterwards (panic-safe via an RAII guard). Nested scopes
+/// shadow outer ones.
+pub fn with_token<T>(token: CancelToken, f: impl FnOnce() -> T) -> T {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SCOPED.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    SCOPED.with(|s| s.borrow_mut().push(token));
+    let _guard = Guard;
+    f()
+}
+
+/// The token in effect on this thread: the innermost [`with_token`] scope,
+/// else an inert token that never fires.
+pub fn current() -> CancelToken {
+    if let Some(t) = SCOPED.with(|s| s.borrow().last().cloned()) {
+        return t;
+    }
+    // One shared inert token: no allocation on the common (uncancellable)
+    // path, and its u64::MAX poll budget never runs out in practice.
+    static INERT: std::sync::OnceLock<CancelToken> = std::sync::OnceLock::new();
+    INERT.get_or_init(CancelToken::new).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_fires_for_all_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(t.check().is_ok());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(matches!(t.check(), Err(Error::Cancelled(_))));
+    }
+
+    #[test]
+    fn deadline_token_fires_after_timeout() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn check_budget_counts_down_deterministically() {
+        let t = CancelToken::after_checks(3);
+        assert!(t.check().is_ok());
+        assert!(t.check().is_ok());
+        assert!(t.check().is_ok());
+        assert!(t.check().is_err(), "4th poll must fire");
+        assert!(t.check().is_err(), "stays fired");
+    }
+
+    #[test]
+    fn scoped_token_shadows_and_restores() {
+        assert!(!current().is_cancelled(), "inert token by default");
+        let t = CancelToken::new();
+        t.cancel();
+        with_token(t, || {
+            assert!(current().is_cancelled());
+            with_token(CancelToken::new(), || {
+                assert!(!current().is_cancelled(), "inner scope shadows");
+            });
+            assert!(current().is_cancelled(), "restored on inner exit");
+        });
+        assert!(!current().is_cancelled(), "outer scope restored");
+    }
+
+    #[test]
+    fn cancelled_error_formats() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        let e = t.check().unwrap_err();
+        assert!(e.to_string().contains("deadline exceeded"), "{e}");
+    }
+}

@@ -27,6 +27,10 @@ pub enum Error {
     Corrupt(String),
     /// Invalid caller-supplied configuration.
     InvalidConfig(String),
+    /// A run was cancelled cooperatively (deadline, shutdown, or explicit
+    /// cancel via [`crate::cancel::CancelToken`]). Work completed before the
+    /// cancellation point is already reflected in any closed spans.
+    Cancelled(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -41,6 +45,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "io error: {e}"),
             Error::Corrupt(m) => write!(f, "corrupt storage: {m}"),
             Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod dataset;
 pub mod dissim;
 pub mod dominate;
@@ -60,6 +61,7 @@ pub mod schema;
 pub mod skyline;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use dataset::Dataset;
 pub use dissim::{AttrDissim, DissimTable};
 pub use dominate::{prunes, prunes_with_center_dists, query_center_dists};

@@ -40,6 +40,41 @@ use std::time::Instant;
 
 use crate::stats::IoCounts;
 
+/// Canonical span and counter names emitted by the serving layer
+/// (`rsky-server`). Centralized here — next to the engine span grammar the
+/// sinks already understand — so dashboards, the stats-contract tests and
+/// the server agree on one vocabulary.
+pub mod server_names {
+    /// Span prefix for all serving-layer spans (`server.<what>`).
+    pub const PREFIX: &str = "server";
+    /// Span: one accepted connection's lifetime.
+    pub const SPAN_CONN: &str = "conn";
+    /// Span: one request from parse to response write. Carries a
+    /// `queue_wait_us` field (time spent in the admission queue) and a
+    /// `cache_hit` field (0/1) for query requests.
+    pub const SPAN_REQUEST: &str = "request";
+    /// Span: the shutdown drain (open from stop-accepting to queue empty).
+    pub const SPAN_DRAIN: &str = "drain";
+    /// Counter: connections accepted.
+    pub const CTR_ACCEPTED: &str = "server.accepted";
+    /// Counter: requests answered successfully.
+    pub const CTR_SERVED: &str = "server.served";
+    /// Counter: requests shed because the admission queue was full.
+    pub const CTR_SHED: &str = "server.shed";
+    /// Counter: requests that hit their deadline mid-run.
+    pub const CTR_TIMEOUT: &str = "server.timeout";
+    /// Counter: malformed or invalid requests.
+    pub const CTR_BAD_REQUEST: &str = "server.bad_request";
+    /// Counter: query results answered from the result cache.
+    pub const CTR_CACHE_HIT: &str = "server.cache.hit";
+    /// Counter: query results computed by an engine run.
+    pub const CTR_CACHE_MISS: &str = "server.cache.miss";
+    /// Histogram: time a request waited in the admission queue (µs).
+    pub const HIST_QUEUE_WAIT: &str = "server.queue.wait_us";
+    /// Gauge: current admission-queue depth, sampled at enqueue.
+    pub const GAUGE_QUEUE_DEPTH: &str = "server.queue.depth";
+}
+
 // ---------------------------------------------------------------------------
 // Events
 // ---------------------------------------------------------------------------

@@ -1,0 +1,369 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line with an `"op"` member;
+//! every response is one JSON object on one line with an `"ok"` member.
+//! Failures carry a stable machine-readable `"error"` kind (`overloaded`,
+//! `timeout`, `bad_request`, `shutting_down`, `internal`) plus a
+//! human-readable `"detail"`.
+
+use std::fmt::Write as _;
+
+use rsky_core::record::{RecordId, ValueId};
+
+use crate::json::{self, JsonValue};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Reverse-skyline query: `{"op":"query","engine":"trs","values":[..]}`
+    /// with optional `"subset"` (attribute indices) and `"deadline_ms"`.
+    Query {
+        /// Engine name (`naive | brs | srs | trs | tsrs | ttrs`).
+        engine: String,
+        /// Query value ids, one per schema attribute.
+        values: Vec<ValueId>,
+        /// Attribute subset to search on (`None` = all attributes).
+        subset: Option<Vec<usize>>,
+        /// Per-request deadline; `None` uses the server default.
+        deadline_ms: Option<u64>,
+    },
+    /// Influence ranking over a seeded random workload:
+    /// `{"op":"influence","queries":20,"seed":7,"top":10}`.
+    Influence {
+        /// Number of random query objects to draw.
+        queries: usize,
+        /// Workload RNG seed.
+        seed: u64,
+        /// How many top entries to return.
+        top: usize,
+        /// Per-request deadline; `None` uses the server default.
+        deadline_ms: Option<u64>,
+    },
+    /// Adds a record: `{"op":"insert","id":42,"values":[..]}`. Bumps the
+    /// dataset generation, invalidating cached results.
+    Insert {
+        /// New record id (must be unused).
+        id: RecordId,
+        /// Attribute values, one per schema attribute.
+        values: Vec<ValueId>,
+    },
+    /// Removes a record by id: `{"op":"expire","id":42}`.
+    Expire {
+        /// Record id to remove.
+        id: RecordId,
+    },
+    /// Liveness + load probe: `{"op":"health"}`.
+    Health,
+    /// Metrics-registry snapshot: `{"op":"metrics"}`.
+    Metrics,
+    /// Graceful shutdown: stop accepting, drain in-flight, exit.
+    Shutdown,
+    /// Test-only: occupies a worker for `ms` (rejected unless the server
+    /// was started with `enable_test_ops`). Lets tests fill the queue
+    /// deterministically.
+    Sleep {
+        /// How long to hold the worker.
+        ms: u64,
+    },
+}
+
+impl Request {
+    /// Parses one request line. The error string is a human-readable
+    /// `bad_request` detail.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = json::parse(line).map_err(|e| format!("invalid json: {e}"))?;
+        let op = v.get("op").and_then(JsonValue::as_str).ok_or("missing string member \"op\"")?;
+        match op {
+            "query" => {
+                let engine = v
+                    .get("engine")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("trs")
+                    .to_string();
+                let values = v
+                    .get("values")
+                    .and_then(JsonValue::as_u32_list)
+                    .ok_or("query needs \"values\": an array of non-negative integers")?;
+                let subset = match v.get("subset") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(s) => Some(
+                        s.as_u32_list()
+                            .ok_or("\"subset\" must be an array of attribute indices")?
+                            .into_iter()
+                            .map(|i| i as usize)
+                            .collect(),
+                    ),
+                };
+                Ok(Request::Query { engine, values, subset, deadline_ms: deadline(&v)? })
+            }
+            "influence" => Ok(Request::Influence {
+                queries: req_u64(&v, "queries")?.unwrap_or(20) as usize,
+                seed: req_u64(&v, "seed")?.unwrap_or(7),
+                top: req_u64(&v, "top")?.unwrap_or(10) as usize,
+                deadline_ms: deadline(&v)?,
+            }),
+            "insert" => Ok(Request::Insert {
+                id: req_u64(&v, "id")?.ok_or("insert needs \"id\"")? as RecordId,
+                values: v
+                    .get("values")
+                    .and_then(JsonValue::as_u32_list)
+                    .ok_or("insert needs \"values\": an array of non-negative integers")?,
+            }),
+            "expire" => Ok(Request::Expire {
+                id: req_u64(&v, "id")?.ok_or("expire needs \"id\"")? as RecordId,
+            }),
+            "health" => Ok(Request::Health),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            "sleep" => Ok(Request::Sleep { ms: req_u64(&v, "ms")?.unwrap_or(0) }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Whether this request runs on the worker pool (true) or is answered
+    /// inline by the connection thread (false).
+    pub fn is_pooled(&self) -> bool {
+        matches!(self, Request::Query { .. } | Request::Influence { .. } | Request::Sleep { .. })
+    }
+
+    /// The op name, for spans and error messages.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Query { .. } => "query",
+            Request::Influence { .. } => "influence",
+            Request::Insert { .. } => "insert",
+            Request::Expire { .. } => "expire",
+            Request::Health => "health",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+            Request::Sleep { .. } => "sleep",
+        }
+    }
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(m) => m
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn deadline(v: &JsonValue) -> Result<Option<u64>, String> {
+    req_u64(v, "deadline_ms")
+}
+
+/// Stable error kinds carried in the `"error"` member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrKind {
+    /// The bounded request queue was full — load was shed.
+    Overloaded,
+    /// The request's deadline fired before (or while) it ran.
+    Timeout,
+    /// Malformed or invalid request.
+    BadRequest,
+    /// The server is draining and no longer takes work.
+    ShuttingDown,
+    /// An engine/storage error surfaced mid-request.
+    Internal,
+}
+
+impl ErrKind {
+    /// The wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrKind::Overloaded => "overloaded",
+            ErrKind::Timeout => "timeout",
+            ErrKind::BadRequest => "bad_request",
+            ErrKind::ShuttingDown => "shutting_down",
+            ErrKind::Internal => "internal",
+        }
+    }
+}
+
+/// Renders an error response line.
+pub fn err_line(kind: ErrKind, detail: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":\"");
+    out.push_str(kind.as_str());
+    out.push_str("\",\"detail\":\"");
+    json::escape(detail, &mut out);
+    out.push_str("\"}");
+    out
+}
+
+/// Renders a successful query response.
+pub fn ok_query(
+    engine: &str,
+    generation: u64,
+    ids: &[RecordId],
+    cached: bool,
+    elapsed_us: u128,
+) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"query\",\"engine\":\"");
+    json::escape(engine, &mut out);
+    let _ = write!(
+        out,
+        "\",\"generation\":{generation},\"cached\":{cached},\"elapsed_us\":{elapsed_us},\"result_size\":{},\"ids\":[",
+        ids.len()
+    );
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{id}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a successful influence response: `ranking` is
+/// `(query_index, cardinality)` pairs, most influential first.
+pub fn ok_influence(generation: u64, ranking: &[(usize, usize)], elapsed_us: u128) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"influence\"");
+    let _ = write!(out, ",\"generation\":{generation},\"elapsed_us\":{elapsed_us},\"ranking\":[");
+    for (i, (qi, card)) in ranking.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"query\":{qi},\"cardinality\":{card}}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a health response.
+pub fn ok_health(
+    accepting: bool,
+    generation: u64,
+    records: usize,
+    queue_depth: usize,
+    workers: usize,
+) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"health\",\"accepting\":{accepting},\"generation\":{generation},\
+         \"records\":{records},\"queue_depth\":{queue_depth},\"workers\":{workers}}}"
+    )
+}
+
+/// Renders a metrics response; `metrics_json` is the registry snapshot
+/// (already valid JSON).
+pub fn ok_metrics(metrics_json: &str) -> String {
+    format!("{{\"ok\":true,\"op\":\"metrics\",\"metrics\":{metrics_json}}}")
+}
+
+/// Renders the acknowledgement for a dataset mutation (`insert`/`expire`).
+pub fn ok_mutation(op: &str, id: RecordId, generation: u64, records: usize) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"{op}\",\"id\":{id},\"generation\":{generation},\"records\":{records}}}"
+    )
+}
+
+/// Renders the shutdown acknowledgement.
+pub fn ok_shutdown() -> String {
+    "{\"ok\":true,\"op\":\"shutdown\",\"draining\":true}".to_string()
+}
+
+/// Renders the sleep acknowledgement.
+pub fn ok_sleep(ms: u64) -> String {
+    format!("{{\"ok\":true,\"op\":\"sleep\",\"ms\":{ms}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_with_defaults_and_options() {
+        let q = Request::parse(r#"{"op":"query","values":[1,2,3]}"#).unwrap();
+        assert_eq!(
+            q,
+            Request::Query {
+                engine: "trs".into(),
+                values: vec![1, 2, 3],
+                subset: None,
+                deadline_ms: None
+            }
+        );
+        let q = Request::parse(
+            r#"{"op":"query","engine":"brs","values":[4],"subset":[0,2],"deadline_ms":50}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Request::Query {
+                engine: "brs".into(),
+                values: vec![4],
+                subset: Some(vec![0, 2]),
+                deadline_ms: Some(50)
+            }
+        );
+        assert!(q.is_pooled());
+        assert_eq!(q.op(), "query");
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        assert_eq!(Request::parse(r#"{"op":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(Request::parse(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
+        assert_eq!(Request::parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert!(!Request::Health.is_pooled());
+        assert_eq!(
+            Request::parse(r#"{"op":"insert","id":9,"values":[0,1]}"#).unwrap(),
+            Request::Insert { id: 9, values: vec![0, 1] }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"expire","id":9}"#).unwrap(),
+            Request::Expire { id: 9 }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"influence","queries":3,"seed":1}"#).unwrap(),
+            Request::Influence { queries: 3, seed: 1, top: 10, deadline_ms: None }
+        );
+        assert_eq!(Request::parse(r#"{"op":"sleep","ms":5}"#).unwrap(), Request::Sleep { ms: 5 });
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_details() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"query"}"#,
+            r#"{"op":"query","values":[1.5]}"#,
+            r#"{"op":"insert","values":[1]}"#,
+            r#"{"op":"query","values":[1],"deadline_ms":-2}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let lines = [
+            ok_query("trs", 1, &[3, 6], false, 120),
+            ok_influence(1, &[(2, 9), (0, 4)], 999),
+            ok_health(true, 1, 14, 0, 4),
+            ok_metrics("{}"),
+            ok_mutation("insert", 42, 2, 15),
+            ok_shutdown(),
+            ok_sleep(5),
+            err_line(ErrKind::Overloaded, "queue full"),
+            err_line(ErrKind::Timeout, "deadline: 5ms"),
+        ];
+        for line in &lines {
+            assert!(!line.contains('\n'), "{line}");
+            let v = crate::json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(v.get("ok").is_some(), "{line}");
+        }
+        assert_eq!(
+            lines[0],
+            r#"{"ok":true,"op":"query","engine":"trs","generation":1,"cached":false,"elapsed_us":120,"result_size":2,"ids":[3,6]}"#
+        );
+        assert_eq!(
+            lines[7],
+            r#"{"ok":false,"error":"overloaded","detail":"queue full"}"#
+        );
+    }
+}

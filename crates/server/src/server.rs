@@ -1,0 +1,587 @@
+//! The TCP serving loop: accept, admit, execute, drain.
+//!
+//! Thread layout:
+//!
+//! * one **accept/supervisor** thread — accepts connections, then runs the
+//!   graceful-shutdown drain once shutdown is requested;
+//! * one **connection** thread per client — parses request lines, answers
+//!   control ops (`health`, `metrics`, `insert`, `expire`, `shutdown`)
+//!   inline so they keep working under overload, and admits heavy ops
+//!   (`query`, `influence`) to the bounded queue;
+//! * a fixed pool of **worker** threads — pop jobs, enforce deadlines via
+//!   [`CancelToken`]s, consult the result cache, run engines.
+//!
+//! Admission control is the queue itself (see [`crate::queue`]): a full
+//! queue sheds the request immediately with an `overloaded` error instead
+//! of letting latency grow without bound. Shutdown stops admission, drains
+//! everything already admitted, answers each drained job, and only then
+//! lets threads exit — a client never loses an accepted request.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_core::cancel::{self, CancelToken};
+use rsky_core::dataset::Dataset;
+use rsky_core::error::{Error, Result};
+use rsky_core::obs::{self, server_names as names, MetricsRegistry, ObsHandle, RegistrySink};
+use rsky_core::query::Query;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::proto::{self, ErrKind, Request};
+use crate::queue::{BoundedQueue, PushError};
+use crate::state::{DataState, DatasetVersion, WorkerState};
+
+/// How often an idle connection thread wakes up to notice a shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size; 0 auto-detects via `available_parallelism`.
+    pub workers: usize,
+    /// Threads *per engine run* (the parallel engines); 1 keeps each run
+    /// sequential and lets the pool provide the concurrency.
+    pub engine_threads: usize,
+    /// Bounded-queue capacity: requests waiting beyond the pool.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Default per-request deadline in ms (0 = none unless the request
+    /// carries its own `deadline_ms`).
+    pub default_deadline_ms: u64,
+    /// Working-memory budget per worker, as % of the dataset.
+    pub mem_pct: f64,
+    /// Page size of each worker's disk.
+    pub page: usize,
+    /// Tiles per attribute for the tiled layouts.
+    pub tiles: u32,
+    /// Enables test-only ops (`sleep`) used by the e2e suite to occupy
+    /// workers deterministically. Keep off in production.
+    pub enable_test_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            engine_threads: 1,
+            queue_cap: 64,
+            cache_cap: 128,
+            default_deadline_ms: 0,
+            mem_pct: 10.0,
+            page: 4096,
+            tiles: 4,
+            enable_test_ops: false,
+        }
+    }
+}
+
+/// Resolves a `--threads`-style knob: 0 means "one per available core".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+struct Job {
+    request: Request,
+    token: CancelToken,
+    enqueued: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    /// The listener's bound address (shutdown self-connects to unblock it).
+    local_addr: SocketAddr,
+    workers: usize,
+    data: DataState,
+    cache: ResultCache,
+    queue: BoundedQueue<Job>,
+    registry: Arc<MetricsRegistry>,
+    obs: ObsHandle,
+    accepting: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// The serving subsystem.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept thread, and returns a
+    /// handle. Spans and counters flow both into the server's own metrics
+    /// registry (the `metrics` op) and into whatever recorder is installed
+    /// on the calling thread (e.g. a CLI `--trace-out` sink).
+    pub fn start(config: ServerConfig, dataset: Dataset) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = resolve_threads(config.workers);
+        let (registry, registry_handle) = RegistrySink::fresh();
+        let obs = ObsHandle::tee(vec![obs::handle(), registry_handle]);
+        let shared = Arc::new(Shared {
+            local_addr,
+            workers,
+            data: DataState::new(dataset),
+            cache: ResultCache::new(config.cache_cap),
+            queue: BoundedQueue::new(config.queue_cap),
+            registry,
+            obs,
+            accepting: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let ws = WorkerState::new(
+                    shared.config.page,
+                    shared.config.mem_pct,
+                    shared.config.tiles,
+                )?;
+                Ok(std::thread::spawn(move || worker_loop(&shared, ws)))
+            })
+            .collect::<Result<_>>()?;
+
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervise(&shared, listener, worker_handles))
+        };
+        Ok(ServerHandle { local_addr, shared, supervisor: Some(supervisor) })
+    }
+}
+
+/// A running server: its address, metrics, and shutdown/join controls.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics registry (shed/served/cache counters, queue
+    /// histograms) — the same data the `metrics` op returns.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Requests a graceful shutdown (idempotent): stop accepting, drain
+    /// in-flight work, answer drained jobs, exit. Returns immediately; use
+    /// [`join`](Self::join) to wait for the drain.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared, self.local_addr);
+    }
+
+    /// Blocks until the server has fully drained and every thread exited.
+    pub fn join(mut self) {
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(h) = self.supervisor.take() {
+            trigger_shutdown(&self.shared, self.local_addr);
+            let _ = h.join();
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.accepting.store(false, Ordering::SeqCst);
+    shared.queue.close();
+    // Unblock the accept loop so the supervisor can run the drain.
+    let _ = TcpStream::connect(addr);
+}
+
+/// Accept loop, then the shutdown drain. Connection threads are tracked so
+/// the drain can prove every response was written before `join` returns.
+fn supervise(shared: &Arc<Shared>, listener: TcpListener, workers: Vec<JoinHandle<()>>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.obs.counter_add(names::CTR_ACCEPTED, 1);
+                let shared = Arc::clone(shared);
+                conns.push(std::thread::spawn(move || handle_conn(&shared, stream)));
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    let mut drain_span = shared.obs.span(names::PREFIX, names::SPAN_DRAIN);
+    drain_span.field("queued_at_close", shared.queue.depth() as u64);
+    // Workers exit once the closed queue is empty: every admitted job has
+    // been executed and its response handed to a connection thread.
+    for h in workers {
+        let _ = h.join();
+    }
+    // Connection threads notice the shutdown at their next idle poll and
+    // exit after writing whatever response they were delivering.
+    for h in conns {
+        let _ = h.join();
+    }
+    if drain_span.is_recording() {
+        let (hits, _) = shared.cache.stats();
+        drain_span
+            .field("served", shared.registry.counter(names::CTR_SERVED))
+            .field("shed", shared.registry.counter(names::CTR_SHED))
+            .field("timeouts", shared.registry.counter(names::CTR_TIMEOUT))
+            .field("cache_hits", hits);
+    }
+    drain_span.close();
+}
+
+/// One client connection: line-framed request/response, strictly in order.
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // A finite read timeout turns the blocking read into an idle poll so
+    // the thread can notice a shutdown without losing partial lines (the
+    // buffer below survives across reads, unlike `BufReader::lines`).
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    // Responses are small; with Nagle on, each round trip would pick up
+    // the delayed-ACK penalty (tens of ms) on top of the actual work.
+    let _ = stream.set_nodelay(true);
+    let mut conn_span = shared.obs.span(names::PREFIX, names::SPAN_CONN);
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut requests = 0u64;
+    'conn: loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            requests += 1;
+            let (response, shutdown_after) =
+                handle_line(shared, line, &reply_tx, &reply_rx);
+            // Line + terminator in one write: one TCP segment per response.
+            let mut framed = response.into_bytes();
+            framed.push(b'\n');
+            let write = stream.write_all(&framed).and_then(|()| stream.flush());
+            if shutdown_after {
+                trigger_shutdown(shared, shared.local_addr);
+            }
+            if write.is_err() {
+                break 'conn;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    conn_span.field("requests", requests);
+    conn_span.close();
+}
+
+/// Parses and answers one request line. Returns the response plus whether
+/// a graceful shutdown must start after the response is written.
+fn handle_line(
+    shared: &Arc<Shared>,
+    line: &str,
+    reply_tx: &mpsc::Sender<String>,
+    reply_rx: &mpsc::Receiver<String>,
+) -> (String, bool) {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(detail) => {
+            shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
+            return (proto::err_line(ErrKind::BadRequest, &detail), false);
+        }
+    };
+    if matches!(request, Request::Sleep { .. }) && !shared.config.enable_test_ops {
+        shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
+        return (
+            proto::err_line(ErrKind::BadRequest, "sleep is a test-only op (enable_test_ops)"),
+            false,
+        );
+    }
+    if request.is_pooled() {
+        return (admit(shared, request, reply_tx, reply_rx), false);
+    }
+    match request {
+        Request::Health => {
+            let version = shared.data.current();
+            (
+                proto::ok_health(
+                    shared.accepting.load(Ordering::SeqCst),
+                    version.generation,
+                    version.dataset.len(),
+                    shared.queue.depth(),
+                    shared.workers,
+                ),
+                false,
+            )
+        }
+        Request::Metrics => (proto::ok_metrics(&shared.registry.to_json()), false),
+        Request::Shutdown => (proto::ok_shutdown(), true),
+        Request::Insert { id, values } => (mutate(shared, "insert", id, || {
+            shared.data.insert(id, &values)
+        }), false),
+        Request::Expire { id } => (mutate(shared, "expire", id, || shared.data.expire(id)), false),
+        Request::Query { .. } | Request::Influence { .. } | Request::Sleep { .. } => {
+            unreachable!("pooled ops handled above")
+        }
+    }
+}
+
+fn mutate(
+    shared: &Shared,
+    op: &str,
+    id: u32,
+    apply: impl FnOnce() -> Result<DatasetVersion>,
+) -> String {
+    match apply() {
+        Ok(version) => {
+            // Results computed against older generations can no longer be
+            // served; drop them eagerly.
+            shared.cache.invalidate_before(version.generation);
+            shared.obs.counter_add(names::CTR_SERVED, 1);
+            proto::ok_mutation(op, id, version.generation, version.dataset.len())
+        }
+        Err(e) => {
+            shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
+            proto::err_line(ErrKind::BadRequest, &e.to_string())
+        }
+    }
+}
+
+/// Admission control: push to the bounded queue, shedding on overflow, then
+/// wait for the worker's response. The deadline clock starts here — queue
+/// wait counts against it.
+fn admit(
+    shared: &Arc<Shared>,
+    request: Request,
+    reply_tx: &mpsc::Sender<String>,
+    reply_rx: &mpsc::Receiver<String>,
+) -> String {
+    let deadline_ms = match &request {
+        Request::Query { deadline_ms, .. } | Request::Influence { deadline_ms, .. } => {
+            deadline_ms.unwrap_or(shared.config.default_deadline_ms)
+        }
+        _ => 0,
+    };
+    let token = if deadline_ms > 0 {
+        CancelToken::with_deadline(Duration::from_millis(deadline_ms))
+    } else {
+        CancelToken::new()
+    };
+    let job = Job { request, token, enqueued: Instant::now(), reply: reply_tx.clone() };
+    match shared.queue.push(job) {
+        Ok(depth) => {
+            shared.obs.gauge_set(names::GAUGE_QUEUE_DEPTH, depth as f64);
+            // The worker always sends exactly one response per job, even
+            // when drained during shutdown; a dropped channel means a
+            // worker panicked.
+            reply_rx
+                .recv()
+                .unwrap_or_else(|_| proto::err_line(ErrKind::Internal, "worker failed"))
+        }
+        Err(PushError::Full(_)) => {
+            shared.obs.counter_add(names::CTR_SHED, 1);
+            proto::err_line(
+                ErrKind::Overloaded,
+                &format!("admission queue full ({} waiting)", shared.config.queue_cap),
+            )
+        }
+        Err(PushError::Closed(_)) => {
+            proto::err_line(ErrKind::ShuttingDown, "server is draining")
+        }
+    }
+}
+
+/// Worker thread: pop, enforce deadline, execute, reply. Exits when the
+/// queue is closed and drained.
+fn worker_loop(shared: &Arc<Shared>, mut ws: WorkerState) {
+    while let Some(job) = shared.queue.pop() {
+        let wait = job.enqueued.elapsed();
+        shared.obs.histogram_record(names::HIST_QUEUE_WAIT, wait.as_micros() as u64);
+        let mut span = shared.obs.span(names::PREFIX, names::SPAN_REQUEST);
+        if span.is_recording() {
+            span.field("queue_wait_us", wait.as_micros() as u64);
+        }
+        let response = execute(shared, &mut ws, &job, &mut span);
+        span.close();
+        // The connection thread may have vanished (client hung up); the
+        // work is already done either way.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn execute(
+    shared: &Arc<Shared>,
+    ws: &mut WorkerState,
+    job: &Job,
+    span: &mut rsky_core::obs::Span,
+) -> String {
+    if job.token.check().is_err() {
+        shared.obs.counter_add(names::CTR_TIMEOUT, 1);
+        return proto::err_line(ErrKind::Timeout, "deadline elapsed while queued");
+    }
+    match &job.request {
+        Request::Sleep { ms } => {
+            let until = job.enqueued + Duration::from_millis(*ms);
+            while Instant::now() < until {
+                if job.token.is_cancelled() {
+                    shared.obs.counter_add(names::CTR_TIMEOUT, 1);
+                    return proto::err_line(ErrKind::Timeout, "deadline elapsed while sleeping");
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            shared.obs.counter_add(names::CTR_SERVED, 1);
+            proto::ok_sleep(*ms)
+        }
+        Request::Query { engine, values, subset, .. } => {
+            let version = shared.data.current();
+            let key = CacheKey {
+                generation: version.generation,
+                engine: engine.clone(),
+                values: values.clone(),
+                subset: subset.clone(),
+            };
+            if let Some(ids) = shared.cache.get(&key) {
+                shared.obs.counter_add(names::CTR_CACHE_HIT, 1);
+                shared.obs.counter_add(names::CTR_SERVED, 1);
+                if span.is_recording() {
+                    span.field("cache_hit", 1);
+                }
+                return proto::ok_query(engine, version.generation, &ids, true, 0);
+            }
+            shared.obs.counter_add(names::CTR_CACHE_MISS, 1);
+            if span.is_recording() {
+                span.field("cache_hit", 0);
+            }
+            let query = match &subset {
+                Some(s) => Query::on_subset(&version.dataset.schema, values.clone(), s),
+                None => Query::new(&version.dataset.schema, values.clone()),
+            };
+            let query = match query {
+                Ok(q) => q,
+                Err(e) => {
+                    shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
+                    return proto::err_line(ErrKind::BadRequest, &e.to_string());
+                }
+            };
+            let t0 = Instant::now();
+            let result = obs::with_recorder(shared.obs.clone(), || {
+                cancel::with_token(job.token.clone(), || {
+                    ws.run_query(&version, engine, shared.config.engine_threads, &query)
+                })
+            });
+            match result {
+                Ok(run) => {
+                    shared.cache.insert(key, run.ids.clone());
+                    shared.obs.counter_add(names::CTR_SERVED, 1);
+                    proto::ok_query(
+                        engine,
+                        version.generation,
+                        &run.ids,
+                        false,
+                        t0.elapsed().as_micros(),
+                    )
+                }
+                Err(e) => engine_error(shared, e),
+            }
+        }
+        Request::Influence { queries, seed, top, .. } => {
+            let version = shared.data.current();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let workload =
+                match rsky_data::random_queries(&version.dataset.schema, *queries, &mut rng) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
+                        return proto::err_line(ErrKind::BadRequest, &e.to_string());
+                    }
+                };
+            let t0 = Instant::now();
+            let result = obs::with_recorder(shared.obs.clone(), || {
+                cancel::with_token(job.token.clone(), || {
+                    rsky_algos::run_influence_parallel(
+                        &version.dataset,
+                        &workload,
+                        shared.config.mem_pct,
+                        shared.config.page,
+                        shared.config.engine_threads,
+                        false,
+                    )
+                })
+            });
+            match result {
+                Ok(report) => {
+                    let ranking: Vec<(usize, usize)> = report
+                        .ranking()
+                        .into_iter()
+                        .take(*top)
+                        .map(|qi| (qi, report.per_query[qi].cardinality))
+                        .collect();
+                    shared.obs.counter_add(names::CTR_SERVED, 1);
+                    proto::ok_influence(version.generation, &ranking, t0.elapsed().as_micros())
+                }
+                Err(e) => engine_error(shared, e),
+            }
+        }
+        other => {
+            shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
+            proto::err_line(ErrKind::Internal, &format!("op {:?} is not pooled", other.op()))
+        }
+    }
+}
+
+/// Maps an engine/storage error to a wire error, counting it.
+fn engine_error(shared: &Shared, e: Error) -> String {
+    match e {
+        Error::Cancelled(reason) => {
+            shared.obs.counter_add(names::CTR_TIMEOUT, 1);
+            proto::err_line(ErrKind::Timeout, reason)
+        }
+        Error::SchemaMismatch(_) | Error::ValueOutOfDomain { .. } | Error::InvalidConfig(_) => {
+            shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
+            proto::err_line(ErrKind::BadRequest, &e.to_string())
+        }
+        other => proto::err_line(ErrKind::Internal, &other.to_string()),
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared dataset state and per-worker engine state.
+//!
+//! The served dataset lives behind a [`DataState`]: an `Arc<Dataset>` plus
+//! a monotonically increasing **generation**, bumped by every mutation
+//! (`insert`/`expire`). The generation is the invalidation signal for both
+//! the result cache (it is part of the cache key) and each worker's
+//! prepared tables.
+//!
+//! Workers cannot share one disk — `EngineCtx` takes `&mut Disk` because
+//! engines create scratch files (the R-file) during a run — so each worker
+//! owns a [`WorkerState`]: its own in-memory disk and lazily prepared
+//! layouts, rebuilt when the observed generation changes. This mirrors
+//! `run_influence_parallel`, which also gives every thread a private disk.
+
+use std::sync::{Arc, RwLock};
+
+use rsky_algos::prep::{load_dataset, prepare_table, Layout, PreparedTable};
+use rsky_algos::{engine_by_name, EngineCtx, RsRun};
+use rsky_core::dataset::Dataset;
+use rsky_core::error::{Error, Result};
+use rsky_core::query::Query;
+use rsky_core::record::{RecordId, RowBuf, ValueId};
+use rsky_storage::{Disk, MemoryBudget, RecordFile};
+
+/// The served dataset at one point in time.
+#[derive(Clone)]
+pub struct DatasetVersion {
+    /// Mutation counter; starts at 1 and grows with every `insert`/`expire`.
+    pub generation: u64,
+    /// The dataset itself (shared, immutable — mutations replace the Arc).
+    pub dataset: Arc<Dataset>,
+}
+
+/// Shared, versioned dataset state.
+pub struct DataState {
+    current: RwLock<DatasetVersion>,
+}
+
+impl DataState {
+    /// Wraps `dataset` as generation 1.
+    pub fn new(dataset: Dataset) -> Self {
+        Self { current: RwLock::new(DatasetVersion { generation: 1, dataset: Arc::new(dataset) }) }
+    }
+
+    /// The current version (cheap: clones an Arc under a read lock).
+    pub fn current(&self) -> DatasetVersion {
+        self.current.read().unwrap().clone()
+    }
+
+    /// Adds a record, returning the new version. Fails without bumping the
+    /// generation when the id is taken or the values don't fit the schema.
+    pub fn insert(&self, id: RecordId, values: &[ValueId]) -> Result<DatasetVersion> {
+        let mut cur = self.current.write().unwrap();
+        let ds = &cur.dataset;
+        if values.len() != ds.schema.num_attrs() {
+            return Err(Error::SchemaMismatch(format!(
+                "insert has {} values, schema has {} attributes",
+                values.len(),
+                ds.schema.num_attrs()
+            )));
+        }
+        ds.schema.validate_values(values)?;
+        if (0..ds.rows.len()).any(|i| ds.rows.id(i) == id) {
+            return Err(Error::InvalidConfig(format!("record id {id} already exists")));
+        }
+        let mut rows = ds.rows.clone();
+        rows.push(id, values);
+        let next = Dataset {
+            schema: ds.schema.clone(),
+            dissim: ds.dissim.clone(),
+            rows,
+            label: ds.label.clone(),
+        };
+        cur.generation += 1;
+        cur.dataset = Arc::new(next);
+        Ok(cur.clone())
+    }
+
+    /// Removes a record by id, returning the new version.
+    pub fn expire(&self, id: RecordId) -> Result<DatasetVersion> {
+        let mut cur = self.current.write().unwrap();
+        let ds = &cur.dataset;
+        let mut rows = RowBuf::with_capacity(ds.rows.num_attrs(), ds.rows.len().saturating_sub(1));
+        let mut found = false;
+        for i in 0..ds.rows.len() {
+            if ds.rows.id(i) == id {
+                found = true;
+            } else {
+                rows.push(ds.rows.id(i), ds.rows.values(i));
+            }
+        }
+        if !found {
+            return Err(Error::InvalidConfig(format!("record id {id} does not exist")));
+        }
+        let next = Dataset {
+            schema: ds.schema.clone(),
+            dissim: ds.dissim.clone(),
+            rows,
+            label: ds.label.clone(),
+        };
+        cur.generation += 1;
+        cur.dataset = Arc::new(next);
+        Ok(cur.clone())
+    }
+}
+
+/// One worker's private engine state: a disk plus the layouts prepared on
+/// it, valid for exactly one dataset generation.
+pub struct WorkerState {
+    page: usize,
+    mem_pct: f64,
+    tiles: u32,
+    generation: u64,
+    disk: Disk,
+    budget: MemoryBudget,
+    raw: Option<RecordFile>,
+    original: Option<PreparedTable>,
+    multisort: Option<PreparedTable>,
+    tiled: Option<PreparedTable>,
+}
+
+impl WorkerState {
+    /// Creates an empty worker state; the first query loads the dataset.
+    pub fn new(page: usize, mem_pct: f64, tiles: u32) -> Result<Self> {
+        Ok(Self {
+            page,
+            mem_pct,
+            tiles,
+            generation: 0, // DataState generations start at 1 → first ensure() loads
+            disk: Disk::new_mem(page),
+            budget: MemoryBudget::from_bytes(page as u64, page)?,
+            raw: None,
+            original: None,
+            multisort: None,
+            tiled: None,
+        })
+    }
+
+    /// Reconciles this worker with `version`: on a generation change the
+    /// disk is discarded (dropping every stale prepared layout and the
+    /// engines' scratch files with it) and the rows are reloaded.
+    fn ensure(&mut self, version: &DatasetVersion) -> Result<()> {
+        if self.generation == version.generation {
+            return Ok(());
+        }
+        self.disk = Disk::new_mem(self.page);
+        self.original = None;
+        self.multisort = None;
+        self.tiled = None;
+        self.raw = Some(load_dataset(&mut self.disk, &version.dataset)?);
+        self.budget =
+            MemoryBudget::from_percent(version.dataset.data_bytes(), self.mem_pct, self.page)?;
+        self.generation = version.generation;
+        Ok(())
+    }
+
+    /// Runs one reverse-skyline query with `engine_name`, preparing the
+    /// layout it needs on first use per generation. Cancellation (deadline)
+    /// is taken from the scoped token installed by the caller.
+    pub fn run_query(
+        &mut self,
+        version: &DatasetVersion,
+        engine_name: &str,
+        engine_threads: usize,
+        query: &Query,
+    ) -> Result<RsRun> {
+        self.ensure(version)?;
+        let layout = match engine_name {
+            "naive" | "brs" => Layout::Original,
+            "srs" | "trs" => Layout::MultiSort,
+            "tsrs" | "ttrs" => Layout::Tiled { tiles_per_attr: self.tiles },
+            other => {
+                return Err(Error::InvalidConfig(format!(
+                    "unknown engine {other:?} (naive|brs|srs|trs|tsrs|ttrs)"
+                )))
+            }
+        };
+        let raw = self.raw.as_ref().expect("ensure() loaded the table");
+        let slot = match layout {
+            Layout::Original => &mut self.original,
+            Layout::MultiSort => &mut self.multisort,
+            Layout::Tiled { .. } => &mut self.tiled,
+        };
+        if slot.is_none() {
+            *slot = Some(prepare_table(
+                &mut self.disk,
+                &version.dataset.schema,
+                raw,
+                layout.clone(),
+                &self.budget,
+            )?);
+        }
+        let prepared = match layout {
+            Layout::Original => self.original.as_ref().expect("prepared above"),
+            Layout::MultiSort => self.multisort.as_ref().expect("prepared above"),
+            Layout::Tiled { .. } => self.tiled.as_ref().expect("prepared above"),
+        };
+        let engine = engine_by_name(engine_name, &version.dataset.schema, engine_threads)?;
+        let mut ctx = EngineCtx {
+            disk: &mut self.disk,
+            schema: &version.dataset.schema,
+            dissim: &version.dataset.dissim,
+            budget: self.budget,
+        };
+        engine.run(&mut ctx, &prepared.file, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_expire_bump_generations() {
+        let (ds, _) = rsky_data::paper_example();
+        let m = ds.schema.num_attrs();
+        let n = ds.len();
+        let state = DataState::new(ds);
+        assert_eq!(state.current().generation, 1);
+
+        let v2 = state.insert(100, &vec![0; m]).unwrap();
+        assert_eq!(v2.generation, 2);
+        assert_eq!(v2.dataset.len(), n + 1);
+
+        let v3 = state.expire(100).unwrap();
+        assert_eq!(v3.generation, 3);
+        assert_eq!(v3.dataset.len(), n);
+
+        // Failed mutations leave the generation untouched.
+        assert!(state.insert(100, &vec![0; m + 1]).is_err(), "wrong width");
+        assert!(state.expire(100).is_err(), "already gone");
+        let dup = state.current().dataset.rows.id(0);
+        assert!(state.insert(dup, &vec![0; m]).is_err(), "duplicate id");
+        assert_eq!(state.current().generation, 3);
+    }
+
+    #[test]
+    fn worker_results_match_direct_runs_across_generations() {
+        let (ds, q) = rsky_data::paper_example();
+        let state = DataState::new(ds);
+        let mut worker = WorkerState::new(64, 50.0, 4).unwrap();
+
+        let v1 = state.current();
+        for engine in ["naive", "brs", "srs", "trs", "tsrs", "ttrs"] {
+            let run = worker.run_query(&v1, engine, 1, &q).unwrap();
+            let expect = rsky_core::skyline::reverse_skyline_by_definition(
+                &v1.dataset.dissim,
+                &v1.dataset.rows,
+                &q,
+            );
+            assert_eq!(run.ids, expect, "{engine} on generation 1");
+        }
+
+        // Mutate, then verify the worker rebuilds and agrees again.
+        let v2 = state.insert(100, &q.values.clone()).unwrap();
+        let run = worker.run_query(&v2, "trs", 1, &q).unwrap();
+        let expect = rsky_core::skyline::reverse_skyline_by_definition(
+            &v2.dataset.dissim,
+            &v2.dataset.rows,
+            &q,
+        );
+        assert_eq!(run.ids, expect, "trs on generation 2");
+    }
+
+    #[test]
+    fn worker_rejects_unknown_engine() {
+        let (ds, q) = rsky_data::paper_example();
+        let state = DataState::new(ds);
+        let mut worker = WorkerState::new(64, 50.0, 4).unwrap();
+        assert!(worker.run_query(&state.current(), "nope", 1, &q).is_err());
+    }
+}

@@ -66,6 +66,11 @@ pub struct Disk {
     stats: IoCounts,
     /// Optional buffer pool; hits skip the backend and the IO counters.
     cache: Option<PageCache>,
+    /// Monotonic write generation: bumped by every mutation (page write or
+    /// truncate), so a snapshot taken at generation `g` is provably stale
+    /// once the disk reports `> g`. The serving layer keys its result cache
+    /// on this.
+    generation: u64,
 }
 
 impl Disk {
@@ -78,6 +83,7 @@ impl Disk {
             head: None,
             stats: IoCounts::default(),
             cache: None,
+            generation: 0,
         }
     }
 
@@ -97,6 +103,7 @@ impl Disk {
             head: None,
             stats: IoCounts::default(),
             cache: None,
+            generation: 0,
         })
     }
 
@@ -159,6 +166,7 @@ impl Disk {
             Backend::Dir { files, .. } => files[file.0].set_len(0)?,
         }
         self.pages[file.0] = 0;
+        self.generation += 1;
         if matches!(self.head, Some((f, _)) if f == file) {
             self.head = None;
         }
@@ -166,6 +174,15 @@ impl Disk {
             cache.invalidate_file(file);
         }
         Ok(())
+    }
+
+    /// Current write generation: increases on every page write or truncate.
+    /// Snapshots ([`Disk::share_file`](crate::SharedFile)) are tagged with
+    /// the generation at share time, making staleness checkable without
+    /// comparing contents.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// IO counters accumulated so far.
@@ -262,6 +279,7 @@ impl Disk {
         if page == self.pages[file.0] {
             self.pages[file.0] = page + 1;
         }
+        self.generation += 1;
         if let Some(cache) = &mut self.cache {
             cache.put(file, page, data);
         }

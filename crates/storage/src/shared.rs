@@ -47,6 +47,8 @@ pub struct SharedFile {
     backing: Backing,
     page_size: usize,
     num_pages: u64,
+    /// Disk write generation at share time (see [`Disk::generation`]).
+    generation: u64,
     /// Recorder in effect when the snapshot was taken (on the coordinator
     /// thread); scanners created on worker threads record through it.
     obs: ObsHandle,
@@ -63,6 +65,15 @@ impl SharedFile {
     #[inline]
     pub fn num_pages(&self) -> u64 {
         self.num_pages
+    }
+
+    /// The disk's write generation when this snapshot was taken. Comparing
+    /// against [`Disk::generation`] answers "has anything been written since
+    /// I snapshotted?" without touching page contents — the serving layer
+    /// keys its result cache on this.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// A new independent scanner (own head, own IO counters, own file
@@ -91,7 +102,13 @@ impl Disk {
             Backend::Mem(files) => Backing::Mem(Arc::new(files[file.0].clone())),
             Backend::Dir { dir, .. } => Backing::Dir(dir.join(format!("f{}.pages", file.0))),
         };
-        Ok(SharedFile { backing, page_size: self.page_size(), num_pages, obs: obs::handle() })
+        Ok(SharedFile {
+            backing,
+            page_size: self.page_size(),
+            num_pages,
+            generation: self.generation(),
+            obs: obs::handle(),
+        })
     }
 }
 
@@ -208,6 +225,12 @@ impl SharedRecords {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Disk write generation at share time (see [`SharedFile::generation`]).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.pages.generation()
     }
 
     /// Bytes one record occupies.
@@ -442,6 +465,26 @@ mod tests {
             assert_eq!(out, data);
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_generation_detects_staleness() {
+        let mut disk = Disk::new_mem(64);
+        let mut rf = RecordFile::create(&mut disk, 3).unwrap();
+        rf.write_all(&mut disk, &rows(3, 8)).unwrap();
+        let snap1 = rf.share(&disk).unwrap();
+        assert_eq!(snap1.generation(), disk.generation(), "fresh snapshot is current");
+        // Any write through the disk makes the snapshot detectably stale.
+        rf.write_all(&mut disk, &rows(3, 8)).unwrap();
+        assert!(disk.generation() > snap1.generation(), "writes bump the generation");
+        let snap2 = rf.share(&disk).unwrap();
+        assert_eq!(snap2.generation(), disk.generation());
+        assert!(snap2.generation() > snap1.generation());
+        // Reads never bump it.
+        let mut sc = snap2.scanner();
+        let mut out = RowBuf::new(3);
+        sc.read_page_rows(0, &mut out).unwrap();
+        assert_eq!(snap2.generation(), disk.generation());
     }
 
     #[test]

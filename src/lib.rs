@@ -54,6 +54,7 @@
 //! | [`order`] | multi-attribute sort, external merge sort, Z-order tiling |
 //! | [`data`] | paper example, synthetic-normal, CI-like and FC-like generators, workloads |
 //! | [`algos`] | Naive, BRS, SRS, TRS (+ tiled variants, attribute subsets, numeric hybrid) |
+//! | [`server`] | TCP query server: admission control, deadlines, result cache, graceful shutdown |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -63,6 +64,7 @@ pub use rsky_altree as altree;
 pub use rsky_core as core;
 pub use rsky_data as data;
 pub use rsky_order as order;
+pub use rsky_server as server;
 pub use rsky_storage as storage;
 
 /// The most common imports in one place.

@@ -197,6 +197,108 @@ fn contract_holds_with_whole_db_in_memory() {
     exercise_dataset(&ds, 4096, 100.0);
 }
 
+/// Cancellation mid-run (the serving layer's deadline path) must leave the
+/// observability stream and the disk in a sane state: the spans that closed
+/// before the cancel are a strict prefix of an uncancelled run's, and the
+/// same disk serves a full, contract-clean run immediately afterwards.
+#[test]
+fn cancellation_mid_run_keeps_contract_and_disk_intact() {
+    use rsky::core::cancel::{self, CancelToken};
+
+    let mut rng = StdRng::seed_from_u64(1004);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 160, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let mut disk = Disk::new_mem(128);
+    let raw = load_dataset(&mut disk, &ds).unwrap();
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), 6.0, 128).unwrap();
+    let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+    let trs = Trs::for_schema(&ds.schema);
+
+    // Uncancelled baseline for batch counts and ids.
+    let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+    let baseline = trs.run(&mut ctx, &sorted.file, &q).unwrap();
+    assert!(
+        baseline.stats.phase1_batches + baseline.stats.phase2_batches >= 3,
+        "need a multi-batch run for a mid-run cancel (got {} batches)",
+        baseline.stats.phase1_batches + baseline.stats.phase2_batches
+    );
+
+    // Cancel after two batch-boundary polls: deterministic mid-run firing.
+    let sink = MemorySink::new();
+    let err = obs::with_recorder(sink.handle(), || {
+        cancel::with_token(CancelToken::after_checks(2), || {
+            let mut ctx =
+                EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            trs.run(&mut ctx, &sorted.file, &q).unwrap_err()
+        })
+    });
+    assert!(
+        matches!(err, rsky::core::error::Error::Cancelled(_)),
+        "expected Cancelled, got {err}"
+    );
+    let cancelled_batches = sink.span_count("trs.phase1.batch") + sink.span_count("trs.phase2.batch");
+    assert!(cancelled_batches <= 2, "token fired after 2 polls, saw {cancelled_batches} batches");
+    assert!(
+        cancelled_batches < baseline.stats.phase1_batches + baseline.stats.phase2_batches,
+        "cancellation must cut the run short"
+    );
+    // Every batch span that did close is fully formed (carries its delta).
+    for span in sink.spans_ending_with("trs.phase1.batch") {
+        assert!(span.field("dist_checks").is_some(), "half-written batch span: {span:?}");
+    }
+
+    // The same disk immediately serves a complete run under the full
+    // contract — a cancelled run must not poison later ones.
+    let run = assert_contract(&trs, "trs", &ds, &sorted.file, &q, &mut disk, budget, false);
+    assert_eq!(run.ids, baseline.ids, "post-cancel run changed the result");
+
+    // Parallel twin: worker threads observe the shared token too.
+    let par = ParTrs::for_schema(&ds.schema, 3);
+    let err = cancel::with_token(CancelToken::after_checks(1), || {
+        let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        par.run(&mut ctx, &sorted.file, &q).unwrap_err()
+    });
+    assert!(matches!(err, rsky::core::error::Error::Cancelled(_)), "parallel: {err}");
+    let run = assert_contract(&par, "trs-p", &ds, &sorted.file, &q, &mut disk, budget, true);
+    assert_eq!(run.ids, baseline.ids, "post-cancel parallel run changed the result");
+}
+
+/// An already-expired deadline cancels every engine before real work
+/// happens, and the error names the deadline.
+#[test]
+fn expired_deadline_cancels_all_engines_up_front() {
+    use rsky::core::cancel::{self, CancelToken};
+    use std::time::Duration;
+
+    let (ds, q) = rsky::data::paper_example();
+    let mut disk = Disk::default_mem();
+    let raw = load_dataset(&mut disk, &ds).unwrap();
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), 50.0, disk.page_size()).unwrap();
+    let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+    let trs = Trs::for_schema(&ds.schema);
+    let par_trs = ParTrs::for_schema(&ds.schema, 2);
+    let engines: [(&dyn ReverseSkylineAlgo, &RecordFile); 6] = [
+        (&Naive, &raw),
+        (&Brs, &raw),
+        (&Srs, &sorted.file),
+        (&trs, &sorted.file),
+        (&ParBrs { threads: 2 }, &raw),
+        (&par_trs, &sorted.file),
+    ];
+    for (engine, table) in engines {
+        let err = cancel::with_token(CancelToken::with_deadline(Duration::ZERO), || {
+            let mut ctx =
+                EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            engine.run(&mut ctx, table, &q).unwrap_err()
+        });
+        assert!(
+            err.to_string().contains("deadline"),
+            "{}: expected a deadline error, got {err}",
+            engine.name()
+        );
+    }
+}
+
 #[test]
 fn noop_recorder_records_nothing() {
     // Without an installed recorder a run must leave a fresh sink untouched —
