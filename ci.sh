@@ -14,6 +14,10 @@ tier1() {
     # Re-run the socket suite under a hard wall-clock cap: a wedged
     # accept/drain path must fail CI, not hang it.
     timeout 300 cargo test -q --test server_e2e
+    echo "=== tier-1: shard differential (hard timeout) ==="
+    # The scatter-gather suite spawns one thread per shard per phase; a
+    # deadlocked barrier must fail CI, not hang it.
+    timeout 300 cargo test -q --test shard_differential
 }
 
 full() {

@@ -43,6 +43,7 @@ pub mod naive;
 pub mod par;
 pub mod prep;
 pub mod qcache;
+pub mod shard;
 pub mod skyline_bnl;
 pub mod srs;
 pub mod streaming;
@@ -57,6 +58,7 @@ pub use naive::Naive;
 pub use par::{ParBrs, ParSrs, ParTrs};
 pub use prep::{prepare_table, Layout, PreparedTable};
 pub use qcache::QueryDistCache;
+pub use shard::{layout_for, ShardCost, ShardedRun, ShardedTables};
 pub use skyline_bnl::{dynamic_skyline_bnl, SkylineRun};
 pub use streaming::{StreamStats, StreamingReverseSkyline};
 pub use srs::Srs;

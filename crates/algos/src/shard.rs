@@ -1,0 +1,655 @@
+//! Sharded scatter-gather execution of reverse-skyline queries.
+//!
+//! The reverse skyline is a **global** predicate — `X ∈ RS_D(Q)` iff no
+//! pruner of `X` exists anywhere in `D` — so per-shard results cannot simply
+//! be unioned. What *is* true is one-directional: a pruner found in any
+//! subset of `D` is a pruner in `D`, so a shard-local **non**-member is a
+//! global non-member. Each shard's local reverse skyline is therefore a
+//! sound *candidate set*, and global exactness only needs a second pass that
+//! hunts for cross-shard pruners:
+//!
+//! 1. **Scatter** — every shard runs the chosen engine (BRS/SRS/TRS,
+//!    sequential or parallel) over its own partition in parallel, producing
+//!    local candidate survivors;
+//! 2. **Gather** — every shard's candidates are verified against all
+//!    *foreign* shards' window pages (read-only snapshots of each shard's
+//!    data, scanned page-wise with per-scanner IO accounting); a candidate
+//!    pruned by any foreign record drops out.
+//!
+//! Local pruners were already handled by phase 1, so phase 2 only scans
+//! foreign shards. Exact duplicates split across shards are found here: a
+//! duplicate `Y` of candidate `X` has `d(y_i, x_i) = 0 ≤ d(q_i, x_i)` on
+//! every attribute, so `Y` prunes `X` unless `X` ties `Q` everywhere —
+//! identical to the single-node duplicate semantics.
+//!
+//! ## Determinism
+//!
+//! Shard composition is a deterministic function of the input
+//! ([`rsky_storage::shard`]); each shard's phase-1 run is the engine's own
+//! deterministic execution over a smaller table; phase-2 verification scans
+//! foreign shards in ascending shard order, pages in ascending order,
+//! candidates in ascending id order. Per-shard stats are merged **in shard
+//! order** via [`RunStats::merge`], so the merged counters — not just the
+//! result ids — are identical from run to run for any thread interleaving.
+//! With one shard the gather phase is empty and the run is the single-node
+//! run, counters included.
+//!
+//! ## Observability
+//!
+//! A run emits `shard.*` spans ([`rsky_core::obs::shard_names`]): one
+//! `shard.phase1.local` per shard (the local run's counter and IO deltas),
+//! one `shard.phase2.verify` per shard (the verification deltas), phase
+//! spans, and a closing `shard.run` carrying the merged totals. The sharded
+//! stats contract (tests/obs_contract.rs) holds the span stream to the
+//! merged `RunStats` exactly, mirroring the single-node contract.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use rsky_core::cancel;
+use rsky_core::dataset::Dataset;
+use rsky_core::dissim::DissimTable;
+use rsky_core::dominate::prunes_with_center_dists;
+use rsky_core::error::{Error, Result};
+use rsky_core::obs::{self, shard_names as names};
+use rsky_core::query::Query;
+use rsky_core::record::{RecordId, RowBuf};
+use rsky_core::schema::Schema;
+use rsky_core::stats::RunStats;
+use rsky_storage::{partition_rows, Disk, MemoryBudget, RecordFile, ShardSpec, SharedRecords};
+
+use crate::engine::{engine_by_name, finish_run_span, EngineCtx, RunObs};
+use crate::influence::{Influence, InfluenceReport};
+use crate::prep::{prepare_table, Layout, PreparedTable};
+use crate::qcache::QueryDistCache;
+
+/// The physical layout an engine expects, given the serving-layer `tiles`
+/// knob (shared by the worker state and the sharded executor).
+pub fn layout_for(engine_name: &str, tiles: u32) -> Result<Layout> {
+    match engine_name {
+        "naive" | "brs" => Ok(Layout::Original),
+        "srs" | "trs" => Ok(Layout::MultiSort),
+        "tsrs" | "ttrs" => Ok(Layout::Tiled { tiles_per_attr: tiles }),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown engine {other:?} (naive|brs|srs|trs|tsrs|ttrs)"
+        ))),
+    }
+}
+
+/// One shard's node state: its partition, its own disk (engines create
+/// scratch files during runs), and the layouts prepared on it so repeated
+/// queries pay the sort once — a shard is a miniature single-node setup.
+struct ShardTable {
+    /// The shard's rows in partition (generation) order.
+    rows: RowBuf,
+    disk: Disk,
+    budget: MemoryBudget,
+    /// The raw record file; `None` for an empty shard.
+    raw: Option<RecordFile>,
+    original: Option<PreparedTable>,
+    multisort: Option<PreparedTable>,
+    tiled: Option<PreparedTable>,
+}
+
+impl ShardTable {
+    fn new(rows: RowBuf, page_size: usize, budget: MemoryBudget) -> Result<Self> {
+        let mut disk = Disk::new_mem(page_size);
+        let raw = if rows.is_empty() {
+            None
+        } else {
+            let mut rf = RecordFile::create(&mut disk, rows.num_attrs())?;
+            rf.write_all(&mut disk, &rows)?;
+            Some(rf)
+        };
+        Ok(Self { rows, disk, budget, raw, original: None, multisort: None, tiled: None })
+    }
+
+    /// The shard's table in `layout`, prepared lazily on first use.
+    fn prepared(&mut self, layout: Layout, schema: &Schema) -> Result<&RecordFile> {
+        let raw = self.raw.as_ref().expect("empty shards never reach prepare");
+        let slot = match layout {
+            Layout::Original => &mut self.original,
+            Layout::MultiSort => &mut self.multisort,
+            Layout::Tiled { .. } => &mut self.tiled,
+        };
+        if slot.is_none() {
+            *slot = Some(prepare_table(&mut self.disk, schema, raw, layout, &self.budget)?);
+        }
+        Ok(&slot.as_ref().expect("prepared above").file)
+    }
+}
+
+/// Per-shard cost breakdown of one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardCost {
+    /// Shard index.
+    pub shard: usize,
+    /// Records in the shard.
+    pub records: usize,
+    /// Local candidates the shard's phase-1 engine run produced.
+    pub candidates: usize,
+    /// Candidates that survived cross-shard verification.
+    pub survivors: usize,
+    /// The local engine run's stats.
+    pub local: RunStats,
+    /// The verification pass's stats (checks against foreign windows).
+    pub verify: RunStats,
+}
+
+/// Outcome of a sharded reverse-skyline run.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// Record ids of `RS_D(Q)`, sorted ascending — identical to the
+    /// single-node result for every engine, shard count and policy
+    /// (enforced by tests/shard_differential.rs).
+    pub ids: Vec<RecordId>,
+    /// Merged cost profile: per-shard local and verify stats folded in
+    /// shard order via [`RunStats::merge`]; the time fields are overwritten
+    /// with coordinator wall clock and `result_size` with the final
+    /// cardinality.
+    pub stats: RunStats,
+    /// Per-shard breakdown, in shard order.
+    pub per_shard: Vec<ShardCost>,
+    /// Total phase-1 candidates entering verification (`Σ candidates`).
+    pub candidates: usize,
+}
+
+/// A dataset partitioned across K shard nodes, ready for scatter-gather
+/// queries. Each shard owns a private disk and prepared layouts (reused
+/// across queries); the partition itself is deterministic (see
+/// [`rsky_storage::shard`]).
+pub struct ShardedTables {
+    spec: ShardSpec,
+    schema: Schema,
+    dissim: DissimTable,
+    tiles: u32,
+    shards: Vec<ShardTable>,
+}
+
+impl ShardedTables {
+    /// Partitions `dataset` according to `spec`. Every shard gets the same
+    /// working-memory budget the single-node run would get (`mem_pct` % of
+    /// the *full* dataset) — sharding models extra nodes, not less RAM.
+    pub fn new(
+        dataset: &Dataset,
+        spec: ShardSpec,
+        mem_pct: f64,
+        page_size: usize,
+        tiles: u32,
+    ) -> Result<Self> {
+        let parts = partition_rows(&dataset.rows, &spec);
+        Self::from_parts(
+            &dataset.schema,
+            &dataset.dissim,
+            parts,
+            spec,
+            dataset.data_bytes(),
+            mem_pct,
+            page_size,
+            tiles,
+        )
+    }
+
+    /// Builds shard nodes from an existing partition (the serving layer's
+    /// per-shard copy-on-write state). `total_bytes` is the full dataset
+    /// size, used for the per-shard memory budget.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        schema: &Schema,
+        dissim: &DissimTable,
+        parts: Vec<RowBuf>,
+        spec: ShardSpec,
+        total_bytes: u64,
+        mem_pct: f64,
+        page_size: usize,
+        tiles: u32,
+    ) -> Result<Self> {
+        if parts.len() != spec.shards {
+            return Err(Error::InvalidConfig(format!(
+                "{} partitions for {} shards",
+                parts.len(),
+                spec.shards
+            )));
+        }
+        let budget = MemoryBudget::from_percent(total_bytes, mem_pct, page_size)?;
+        let shards = parts
+            .into_iter()
+            .map(|rows| ShardTable::new(rows, page_size, budget))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { spec, schema: schema.clone(), dissim: dissim.clone(), tiles, shards })
+    }
+
+    /// The shard configuration.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records held by shard `i`.
+    pub fn shard_len(&self, i: usize) -> usize {
+        self.shards[i].rows.len()
+    }
+
+    /// Computes `RS_D(Q)` by two-phase scatter-gather (see the module docs).
+    /// `engine_name` and `engine_threads` select the per-shard engine
+    /// exactly as [`engine_by_name`] does.
+    pub fn run_query(
+        &mut self,
+        engine_name: &str,
+        engine_threads: usize,
+        query: &Query,
+    ) -> Result<ShardedRun> {
+        let layout = layout_for(engine_name, self.tiles)?;
+        let m = self.schema.num_attrs();
+        if query.subset.schema_attrs() != m {
+            return Err(Error::SchemaMismatch(format!(
+                "query subset is over {} attributes, schema has {m}",
+                query.subset.schema_attrs()
+            )));
+        }
+        self.schema.validate_values(&query.values)?;
+
+        let robs = RunObs::capture(names::PREFIX);
+        let handle = obs::handle();
+        let token = cancel::current();
+        let t0 = Instant::now();
+        let mut run_span = robs.span(names::SPAN_RUN);
+        let k = self.shards.len();
+
+        // --- Phase one (scatter): local engine runs, one thread per shard.
+        let t1 = Instant::now();
+        let mut p1_span = robs.span(names::SPAN_PHASE1);
+        let (schema, dissim) = (&self.schema, &self.dissim);
+        let locals: Vec<Result<(Vec<RecordId>, RunStats)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(i, st)| {
+                    let (robs, handle, token) = (&robs, &handle, &token);
+                    let layout = layout.clone();
+                    s.spawn(move || {
+                        // Re-install the coordinator's recorder and cancel
+                        // token (both thread-scoped) so the inner engine's
+                        // own capture sees them.
+                        obs::with_recorder(handle.clone(), || {
+                            cancel::with_token(token.clone(), || {
+                                local_run(
+                                    st,
+                                    i,
+                                    engine_name,
+                                    engine_threads,
+                                    layout,
+                                    schema,
+                                    dissim,
+                                    query,
+                                    robs,
+                                )
+                            })
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard phase-1 panicked")).collect()
+        });
+        let mut stats = RunStats::default();
+        let mut candidates: Vec<Vec<RecordId>> = Vec::with_capacity(k);
+        let mut per_shard: Vec<ShardCost> = Vec::with_capacity(k);
+        for (i, r) in locals.into_iter().enumerate() {
+            let (ids, local) = r?;
+            stats.merge(&local);
+            per_shard.push(ShardCost {
+                shard: i,
+                records: self.shards[i].rows.len(),
+                candidates: ids.len(),
+                survivors: 0,
+                local,
+                verify: RunStats::default(),
+            });
+            candidates.push(ids);
+        }
+        let total_candidates: usize = candidates.iter().map(Vec::len).sum();
+        let scatter_time = t1.elapsed();
+        if p1_span.is_recording() {
+            p1_span.field("shards", k as u64).field("candidates", total_candidates as u64);
+        }
+        p1_span.close();
+
+        // --- Phase two (gather): verify candidates against foreign windows.
+        let t2 = Instant::now();
+        let mut p2_span = robs.span(names::SPAN_PHASE2);
+        // Read-only snapshots of every non-empty shard's raw pages — the
+        // shard "windows" the verification scans.
+        let windows: Vec<Option<SharedRecords>> = self
+            .shards
+            .iter()
+            .map(|st| st.raw.as_ref().map(|rf| rf.share(&st.disk)).transpose())
+            .collect::<Result<_>>()?;
+        let verified: Vec<Result<(Vec<RecordId>, RunStats)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..k)
+                .map(|i| {
+                    let (robs, windows, cands) = (&robs, &windows, &candidates[i]);
+                    let rows = &self.shards[i].rows;
+                    s.spawn(move || {
+                        verify_shard(i, cands, rows, windows, schema, dissim, query, robs)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard phase-2 panicked")).collect()
+        });
+        let mut ids: Vec<RecordId> = Vec::new();
+        for (i, r) in verified.into_iter().enumerate() {
+            let (survivors, verify) = r?;
+            stats.merge(&verify);
+            per_shard[i].survivors = survivors.len();
+            per_shard[i].verify = verify;
+            ids.extend(survivors);
+        }
+        let gather_time = t2.elapsed();
+        if p2_span.is_recording() {
+            p2_span.field("shards", k as u64).field("survivors", ids.len() as u64);
+        }
+        p2_span.close();
+
+        ids.sort_unstable();
+        // Merged durations measure total work across shards; report the
+        // coordinator's wall clock instead (the RunStats::merge contract).
+        stats.phase1_time = scatter_time;
+        stats.phase2_time = gather_time;
+        stats.total_time = t0.elapsed();
+        stats.result_size = ids.len();
+        finish_run_span(&mut run_span, &stats);
+        run_span.close();
+        Ok(ShardedRun { ids, stats, per_shard, candidates: total_candidates })
+    }
+
+    /// Runs an influence workload through the sharded executor: `|RS(q)|`
+    /// per query with TRS on every shard, prepared layouts reused across
+    /// queries. Reports per-query `influence.query` spans like
+    /// [`crate::InfluenceEngine`] and returns results in workload order.
+    pub fn run_influence(&mut self, queries: &[Query], keep_ids: bool) -> Result<InfluenceReport> {
+        let obs = obs::handle();
+        let mut per_query = Vec::with_capacity(queries.len());
+        let mut totals = RunStats::default();
+        for (qi, q) in queries.iter().enumerate() {
+            let mut qspan = obs.span("influence", "query");
+            let run = self.run_query("trs", 1, q)?;
+            totals.merge(&run.stats);
+            if qspan.is_recording() {
+                qspan
+                    .field("query", qi as u64)
+                    .field("cardinality", run.ids.len() as u64)
+                    .field("dist_checks", run.stats.dist_checks)
+                    .field("obj_comparisons", run.stats.obj_comparisons)
+                    .io_fields(run.stats.io);
+            }
+            qspan.close();
+            per_query.push(Influence {
+                query_index: qi,
+                cardinality: run.ids.len(),
+                ids: keep_ids.then_some(run.ids),
+            });
+        }
+        Ok(InfluenceReport { per_query, totals })
+    }
+}
+
+/// One shard's scatter step: prepare the layout lazily, run the engine,
+/// emit the `shard.phase1.local` span with this run's deltas.
+#[allow(clippy::too_many_arguments)]
+fn local_run(
+    st: &mut ShardTable,
+    shard: usize,
+    engine_name: &str,
+    engine_threads: usize,
+    layout: Layout,
+    schema: &Schema,
+    dissim: &DissimTable,
+    query: &Query,
+    robs: &RunObs<'_>,
+) -> Result<(Vec<RecordId>, RunStats)> {
+    robs.check_cancelled()?;
+    let mut lspan = robs.span(names::SPAN_LOCAL);
+    let records = st.rows.len();
+    let (ids, stats) = if records == 0 {
+        (Vec::new(), RunStats::default())
+    } else {
+        let table = st.prepared(layout, schema)?.clone();
+        let engine = engine_by_name(engine_name, schema, engine_threads)?;
+        let mut ctx = EngineCtx { disk: &mut st.disk, schema, dissim, budget: st.budget };
+        let run = engine.run(&mut ctx, &table, query)?;
+        (run.ids, run.stats)
+    };
+    if lspan.is_recording() {
+        lspan
+            .field("shard", shard as u64)
+            .field("records", records as u64)
+            .field("candidates", ids.len() as u64)
+            .field("dist_checks", stats.dist_checks)
+            .field("query_dist_checks", stats.query_dist_checks)
+            .field("obj_comparisons", stats.obj_comparisons)
+            .io_fields(stats.io);
+    }
+    lspan.close();
+    Ok((ids, stats))
+}
+
+/// One shard's gather step: scan every *foreign* shard's window pages and
+/// drop any candidate a foreign record prunes. Scan order is fixed (shards
+/// ascending, pages ascending, candidates in id order), so the verification
+/// counters are deterministic.
+#[allow(clippy::too_many_arguments)]
+fn verify_shard(
+    shard: usize,
+    cands: &[RecordId],
+    rows: &RowBuf,
+    windows: &[Option<SharedRecords>],
+    schema: &Schema,
+    dissim: &DissimTable,
+    query: &Query,
+    robs: &RunObs<'_>,
+) -> Result<(Vec<RecordId>, RunStats)> {
+    robs.check_cancelled()?;
+    let mut vspan = robs.span(names::SPAN_VERIFY);
+    let mut vs = RunStats::default();
+    let mut alive = vec![true; cands.len()];
+    let has_foreign = windows.iter().enumerate().any(|(j, w)| j != shard && w.is_some());
+    if !cands.is_empty() && has_foreign {
+        // Each verify task builds its own query-distance cache so its span
+        // fully accounts its work (the sharded stats contract sums spans).
+        let cache = QueryDistCache::new(dissim, schema, query);
+        robs.handle().counter_add("qcache.build_checks", cache.build_checks);
+        vs.query_dist_checks = cache.build_checks;
+        let subset = &query.subset;
+        let slen = subset.len();
+        // Candidate values + precomputed d(q_i, x_i) rows, in id order.
+        let index: HashMap<RecordId, usize> =
+            (0..rows.len()).map(|ri| (rows.id(ri), ri)).collect();
+        let mut dqx_rows: Vec<f64> = Vec::with_capacity(cands.len() * slen);
+        let mut row = Vec::with_capacity(slen);
+        for &id in cands {
+            let ri = *index.get(&id).expect("candidate id belongs to this shard");
+            cache.center_dists_into(subset, rows.values(ri), &mut row);
+            dqx_rows.extend_from_slice(&row);
+        }
+        let mut alive_count = cands.len();
+        let m = rows.num_attrs();
+        let mut dpage = RowBuf::new(m);
+        'shards: for (j, win) in windows.iter().enumerate() {
+            let Some(win) = win else { continue };
+            if j == shard {
+                continue; // local pruners were phase 1's job
+            }
+            let mut scanner = win.scanner();
+            for p in 0..win.num_pages() {
+                robs.check_cancelled()?;
+                if alive_count == 0 {
+                    vs.io.add(scanner.io_stats());
+                    break 'shards;
+                }
+                dpage.clear();
+                scanner.read_page_rows(p, &mut dpage)?;
+                for (xi, alive_flag) in alive.iter_mut().enumerate() {
+                    if !*alive_flag {
+                        continue;
+                    }
+                    let ri = index[&cands[xi]];
+                    let x = rows.values(ri);
+                    let x_dqx = &dqx_rows[xi * slen..(xi + 1) * slen];
+                    for yi in 0..dpage.len() {
+                        vs.obj_comparisons += 1;
+                        if prunes_with_center_dists(
+                            dissim,
+                            subset,
+                            dpage.values(yi),
+                            x,
+                            x_dqx,
+                            &mut vs.dist_checks,
+                        ) {
+                            *alive_flag = false;
+                            alive_count -= 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            vs.io.add(scanner.io_stats());
+        }
+    }
+    let survivors: Vec<RecordId> = cands
+        .iter()
+        .zip(&alive)
+        .filter(|(_, ok)| **ok)
+        .map(|(&id, _)| id)
+        .collect();
+    if vspan.is_recording() {
+        vspan
+            .field("shard", shard as u64)
+            .field("candidates", cands.len() as u64)
+            .field("survivors", survivors.len() as u64)
+            .field("dist_checks", vs.dist_checks)
+            .field("query_dist_checks", vs.query_dist_checks)
+            .field("obj_comparisons", vs.obj_comparisons)
+            .io_fields(vs.io);
+    }
+    vspan.close();
+    Ok((survivors, vs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsky_storage::ShardPolicy;
+
+    fn sharded(ds: &Dataset, k: usize, policy: ShardPolicy) -> ShardedTables {
+        let spec = ShardSpec::new(k, policy).unwrap();
+        ShardedTables::new(ds, spec, 50.0, 64, 4).unwrap()
+    }
+
+    #[test]
+    fn paper_example_matches_single_node_for_all_shard_counts() {
+        let (ds, q) = rsky_data::paper_example();
+        for k in [1, 2, 3, 8] {
+            for policy in [ShardPolicy::RoundRobin, ShardPolicy::HashById] {
+                let mut st = sharded(&ds, k, policy);
+                for engine in ["naive", "brs", "srs", "trs", "tsrs", "ttrs"] {
+                    let run = st.run_query(engine, 1, &q).unwrap();
+                    assert_eq!(run.ids, vec![3, 6], "{engine} k={k} {policy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_single_node_counters_exactly() {
+        use crate::ReverseSkylineAlgo;
+        let (ds, q) = rsky_data::paper_example();
+        let mut st = sharded(&ds, 1, ShardPolicy::RoundRobin);
+        let run = st.run_query("brs", 1, &q).unwrap();
+
+        let mut disk = Disk::new_mem(64);
+        let raw = crate::prep::load_dataset(&mut disk, &ds).unwrap();
+        let budget = MemoryBudget::from_percent(ds.data_bytes(), 50.0, 64).unwrap();
+        let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        let single = crate::Brs.run(&mut ctx, &raw, &q).unwrap();
+        assert_eq!(run.ids, single.ids);
+        assert_eq!(run.stats.dist_checks, single.stats.dist_checks);
+        assert_eq!(run.stats.query_dist_checks, single.stats.query_dist_checks);
+        assert_eq!(run.stats.obj_comparisons, single.stats.obj_comparisons);
+        assert_eq!(run.stats.io, single.stats.io);
+        // With one shard there are no foreign windows: every local candidate
+        // survives, and all candidates are exactly the final result.
+        assert_eq!(run.candidates, single.ids.len());
+        assert_eq!(run.per_shard[0].verify.obj_comparisons, 0);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut st = sharded(&ds, 3, ShardPolicy::HashById);
+        let a = st.run_query("trs", 1, &q).unwrap();
+        let b = st.run_query("trs", 1, &q).unwrap();
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(a.stats.dist_checks, b.stats.dist_checks);
+        assert_eq!(a.stats.obj_comparisons, b.stats.obj_comparisons);
+        assert_eq!(a.stats.query_dist_checks, b.stats.query_dist_checks);
+        assert_eq!(a.stats.io, b.stats.io);
+    }
+
+    #[test]
+    fn per_shard_costs_sum_to_merged_stats() {
+        let (ds, q) = rsky_data::paper_example();
+        let mut st = sharded(&ds, 3, ShardPolicy::RoundRobin);
+        let run = st.run_query("srs", 1, &q).unwrap();
+        let sum_checks: u64 =
+            run.per_shard.iter().map(|c| c.local.dist_checks + c.verify.dist_checks).sum();
+        assert_eq!(sum_checks, run.stats.dist_checks);
+        let sum_surv: usize = run.per_shard.iter().map(|c| c.survivors).sum();
+        assert_eq!(sum_surv, run.ids.len());
+        assert_eq!(run.candidates, run.per_shard.iter().map(|c| c.candidates).sum::<usize>());
+    }
+
+    #[test]
+    fn more_shards_than_records_still_exact() {
+        let (ds, q) = rsky_data::paper_example();
+        // 6 records over 8 shards: some shards are empty.
+        let mut st = sharded(&ds, 8, ShardPolicy::HashById);
+        let run = st.run_query("trs", 1, &q).unwrap();
+        assert_eq!(run.ids, vec![3, 6]);
+    }
+
+    #[test]
+    fn sharded_influence_matches_sequential_influence() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let ds = rsky_data::synthetic::normal_dataset(3, 6, 120, &mut rng).unwrap();
+        let qs = rsky_data::random_queries(&ds.schema, 4, &mut rng).unwrap();
+        let seq = crate::InfluenceEngine::new(ds.clone(), 15.0, 256)
+            .unwrap()
+            .run(&qs, true)
+            .unwrap();
+        let spec = ShardSpec::new(3, ShardPolicy::RoundRobin).unwrap();
+        let mut st = ShardedTables::new(&ds, spec, 15.0, 256, 4).unwrap();
+        let sharded = st.run_influence(&qs, true).unwrap();
+        for (a, b) in seq.per_query.iter().zip(&sharded.per_query) {
+            assert_eq!(a.cardinality, b.cardinality);
+            assert_eq!(a.ids, b.ids);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_engine_and_bad_query() {
+        let (ds, _) = rsky_data::paper_example();
+        let mut st = sharded(&ds, 2, ShardPolicy::RoundRobin);
+        let other = Schema::with_cardinalities(&[3, 2, 3, 4]).unwrap();
+        let bad = Query::new(&other, vec![0, 0, 0, 0]).unwrap();
+        let (_, good) = rsky_data::paper_example();
+        assert!(st.run_query("nope", 1, &good).is_err());
+        assert!(st.run_query("trs", 1, &bad).is_err());
+    }
+}

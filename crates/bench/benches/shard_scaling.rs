@@ -1,0 +1,201 @@
+//! Shard scaling: wall-clock and merged counters vs `--shards` for the
+//! two-phase scatter-gather executor, against the single-node baseline, on
+//! synthetic-normal data (default scale: 100 k objects, 5 attributes,
+//! 50 values — set `RSKY_SCALE` to change).
+//!
+//! Every sharded run is asserted to return the single-node id set — the
+//! bench doubles as a large-n instance of the differential harness
+//! (tests/shard_differential.rs). Besides the stdout tables it writes
+//! `BENCH_shard.json` at the repository root: per-engine, per-shard-count
+//! mean latency, speedup, and the merged `RunStats` counters (distance
+//! checks, object pairs, query-side evals, IO), so readers can see the
+//! verification overhead sharding pays for exactness.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky_algos::prep::{load_dataset, prepare_table};
+use rsky_algos::shard::ShardedTables;
+use rsky_algos::{engine_by_name, layout_for, EngineCtx};
+use rsky_bench::{table::ms, BenchConfig, Table};
+use rsky_core::dataset::Dataset;
+use rsky_core::query::Query;
+use rsky_core::stats::RunStats;
+use rsky_storage::{Disk, MemoryBudget, ShardPolicy, ShardSpec};
+
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const MEM_PCT: f64 = 10.0;
+
+/// One `(engine, shard count)` measurement.
+struct Point {
+    shards: usize,
+    wall: Duration,
+    stats: RunStats,
+    candidates: usize,
+    ids_match: bool,
+}
+
+struct EngineLine {
+    engine: &'static str,
+    single: Duration,
+    single_stats: RunStats,
+    points: Vec<Point>,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Shard scaling: scatter-gather vs single-node"));
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host CPUs: {host_cpus}");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n(1_000_000);
+    let ds = rsky_data::synthetic::normal_dataset(5, 50, n, &mut rng).unwrap();
+    let qs = rsky_data::random_queries(&ds.schema, cfg.queries, &mut rng).unwrap();
+    println!("n = {}, {} queries/point", ds.len(), qs.len());
+
+    let lines: Vec<EngineLine> =
+        ["brs", "srs", "trs"].into_iter().map(|e| bench_engine(e, &ds, &qs, &cfg)).collect();
+
+    let mut cols = vec!["engine", "single-node"];
+    let labels: Vec<String> = SHARDS.iter().map(|k| format!("k={k}")).collect();
+    cols.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new("Wall-clock per query (mean)", &cols);
+    for l in &lines {
+        let mut row = vec![l.engine.to_uppercase(), ms(l.single)];
+        row.extend(l.points.iter().map(|p| ms(p.wall)));
+        t.row(row);
+    }
+    t.print();
+
+    let mut t = Table::new("Distance checks (merged across shards)", &cols);
+    for l in &lines {
+        let mut row = vec![l.engine.to_uppercase(), l.single_stats.dist_checks.to_string()];
+        row.extend(l.points.iter().map(|p| p.stats.dist_checks.to_string()));
+        t.row(row);
+    }
+    t.print();
+
+    for l in &lines {
+        for p in &l.points {
+            assert!(p.ids_match, "{} k={} returned different ids than single-node", l.engine, p.shards);
+        }
+    }
+    println!("all sharded runs returned the single-node id set");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_shard.json");
+    std::fs::write(&path, render_json(&lines, &ds, qs.len(), host_cpus)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+fn bench_engine(name: &'static str, ds: &Dataset, qs: &[Query], cfg: &BenchConfig) -> EngineLine {
+    // Single-node baseline through the same factory the shard layer uses.
+    let mut disk = Disk::new_mem(cfg.page_size);
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), MEM_PCT, cfg.page_size).unwrap();
+    let raw = load_dataset(&mut disk, ds).unwrap();
+    let layout = layout_for(name, 4).unwrap();
+    let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget).unwrap();
+    let engine = engine_by_name(name, &ds.schema, 1).unwrap();
+
+    let mut single = Duration::ZERO;
+    let mut single_stats = RunStats::default();
+    let mut single_ids = Vec::new();
+    for q in qs {
+        let mut ctx =
+            EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        let t0 = Instant::now();
+        let run = engine.run(&mut ctx, &prepared.file, q).unwrap();
+        single += t0.elapsed();
+        single_stats.merge(&run.stats);
+        single_ids.push(run.ids);
+    }
+    let single = single / qs.len().max(1) as u32;
+
+    let points = SHARDS
+        .iter()
+        .map(|&k| {
+            let spec = ShardSpec::new(k, ShardPolicy::RoundRobin).unwrap();
+            let mut tables =
+                ShardedTables::new(ds, spec, MEM_PCT, cfg.page_size, 4).unwrap();
+            // Warm the per-shard prepared layouts outside the timed loop,
+            // matching the single-node side's one-off prepare_table.
+            let first = qs.first().expect("at least one query");
+            tables.run_query(name, 1, first).unwrap();
+
+            let mut wall = Duration::ZERO;
+            let mut stats = RunStats::default();
+            let mut candidates = 0usize;
+            let mut ids_match = true;
+            for (qi, q) in qs.iter().enumerate() {
+                let t0 = Instant::now();
+                let run = tables.run_query(name, 1, q).unwrap();
+                wall += t0.elapsed();
+                stats.merge(&run.stats);
+                candidates += run.candidates;
+                ids_match &= run.ids == single_ids[qi];
+            }
+            Point {
+                shards: k,
+                wall: wall / qs.len().max(1) as u32,
+                stats,
+                candidates,
+                ids_match,
+            }
+        })
+        .collect();
+    EngineLine { engine: name, single, single_stats, points }
+}
+
+fn counters_json(s: &RunStats) -> String {
+    format!(
+        "{{\"dist_checks\": {}, \"query_dist_checks\": {}, \"obj_comparisons\": {}, \
+         \"seq_io\": {}, \"rand_io\": {}}}",
+        s.dist_checks,
+        s.query_dist_checks,
+        s.obj_comparisons,
+        s.io.sequential(),
+        s.io.random()
+    )
+}
+
+fn render_json(lines: &[EngineLine], ds: &Dataset, queries: usize, host_cpus: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"shard_scaling\",\n");
+    s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    s.push_str("  \"policy\": \"round-robin\",\n");
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"synthetic-normal\", \"n\": {}, \"attrs\": {}, \"queries\": {queries}}},\n",
+        ds.len(),
+        ds.schema.num_attrs()
+    ));
+    s.push_str("  \"engines\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"single_node_ms\": {:.3}, \"single_node_counters\": {}, \"sharded\": [",
+            l.engine,
+            l.single.as_secs_f64() * 1e3,
+            counters_json(&l.single_stats)
+        ));
+        for (j, p) in l.points.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"shards\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"candidates\": {}, \
+                 \"ids_match\": {}, \"counters\": {}}}",
+                p.shards,
+                p.wall.as_secs_f64() * 1e3,
+                l.single.as_secs_f64() / p.wall.as_secs_f64().max(1e-9),
+                p.candidates,
+                p.ids_match,
+                counters_json(&p.stats)
+            ));
+        }
+        s.push(']');
+        s.push_str(if i + 1 < lines.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use rsky_core::error::{Error, Result};
+use rsky_storage::{ShardPolicy, ShardSpec};
 
 /// Parsed `--key value` flags.
 pub struct Flags {
@@ -86,6 +87,26 @@ impl Flags {
     pub fn usize_list(&self, key: &str) -> Result<Option<Vec<usize>>> {
         Ok(self.u32_list(key)?.map(|v| v.into_iter().map(|x| x as usize).collect()))
     }
+
+    /// The shared `--shards K --shard-policy P` pair: `None` without
+    /// `--shards` (single-node execution), otherwise a validated spec with
+    /// the policy defaulting to round-robin.
+    pub fn shard_spec(&self) -> Result<Option<ShardSpec>> {
+        let Some(k) = self.get("shards") else {
+            if self.get("shard-policy").is_some() {
+                return Err(Error::InvalidConfig("--shard-policy requires --shards".into()));
+            }
+            return Ok(None);
+        };
+        let shards: usize = k
+            .parse()
+            .map_err(|_| Error::InvalidConfig(format!("flag --shards: bad value {k:?}")))?;
+        let policy = match self.get("shard-policy") {
+            Some(p) => ShardPolicy::parse(p)?,
+            None => ShardPolicy::RoundRobin,
+        };
+        Ok(Some(ShardSpec::new(shards, policy)?))
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +135,26 @@ mod tests {
         let f = Flags::parse(&s(&["--n", "abc"])).unwrap();
         assert!(f.num::<usize>("n", 0).is_err());
         assert!(f.require("missing").is_err());
+    }
+
+    #[test]
+    fn parses_shard_specs() {
+        assert_eq!(Flags::parse(&s(&[])).unwrap().shard_spec().unwrap(), None);
+        let f = Flags::parse(&s(&["--shards", "3"])).unwrap();
+        assert_eq!(
+            f.shard_spec().unwrap(),
+            Some(ShardSpec::new(3, ShardPolicy::RoundRobin).unwrap())
+        );
+        let f = Flags::parse(&s(&["--shards", "2", "--shard-policy", "hash"])).unwrap();
+        assert_eq!(f.shard_spec().unwrap(), Some(ShardSpec::new(2, ShardPolicy::HashById).unwrap()));
+        // Policy without a count, a zero count, and junk are all rejected.
+        assert!(Flags::parse(&s(&["--shard-policy", "hash"])).unwrap().shard_spec().is_err());
+        assert!(Flags::parse(&s(&["--shards", "0"])).unwrap().shard_spec().is_err());
+        assert!(Flags::parse(&s(&["--shards", "x"])).unwrap().shard_spec().is_err());
+        assert!(Flags::parse(&s(&["--shards", "2", "--shard-policy", "zig"]))
+            .unwrap()
+            .shard_spec()
+            .is_err());
     }
 
     #[test]

@@ -21,8 +21,11 @@ OPTIONS:
     --seed S          RNG seed for the workload                  [7]
     --memory PCT      working memory as % of dataset             [10]
     --page BYTES      page size                                  [4096]
-    --threads N       worker threads (queries are sharded;
-                      0 = one per core)                          [1]
+    --threads N       worker threads (queries are split across
+                      them; 0 = one per core)                    [1]
+    --shards K        run each query as a K-shard scatter-gather;
+                      same ranking as the single-node run         [off]
+    --shard-policy P  round-robin | hash partitioning     [round-robin]
     --top K           how many top entries to print              [10]
     --stats-format F  report as human | json                     [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL";
@@ -43,7 +46,13 @@ pub fn run(argv: &[String]) -> Result<()> {
     let workload = rsky_data::random_queries(&ds.schema, queries, &mut rng)?;
     let n = ds.len();
     let t0 = std::time::Instant::now();
-    let report = run_influence_parallel(&ds, &workload, mem_pct, page, threads, false)?;
+    let report = match flags.shard_spec()? {
+        Some(spec) => {
+            let mut tables = rsky_algos::shard::ShardedTables::new(&ds, spec, mem_pct, page, 4)?;
+            tables.run_influence(&workload, false)?
+        }
+        None => run_influence_parallel(&ds, &workload, mem_pct, page, threads, false)?,
+    };
     if obs.format == StatsFormat::Json {
         use std::fmt::Write;
         let mut out = String::from("{\"queries\":");

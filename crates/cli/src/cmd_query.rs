@@ -1,10 +1,12 @@
 //! `rsky query` — one reverse-skyline query against a dataset directory.
 
-use rsky_algos::prep::{load_dataset, prepare_table, Layout};
-use rsky_algos::{engine_by_name, EngineCtx};
+use rsky_algos::prep::{load_dataset, prepare_table};
+use rsky_algos::shard::ShardedTables;
+use rsky_algos::{engine_by_name, layout_for, EngineCtx, RsRun};
+use rsky_core::dataset::Dataset;
 use rsky_core::error::{Error, Result};
 use rsky_core::query::Query;
-use rsky_storage::{Disk, MemoryBudget};
+use rsky_storage::{Disk, MemoryBudget, ShardSpec};
 
 use crate::args::Flags;
 use crate::obs_setup::{CliObs, StatsFormat};
@@ -26,6 +28,9 @@ OPTIONS:
     --page BYTES      page size                                  [4096]
     --cache PAGES     enable an LRU buffer pool of that many pages [off]
     --tiles T         tiles per attribute for tsrs/ttrs          [4]
+    --shards K        scatter-gather over K horizontal shards; results
+                      are identical to the single-node run        [off]
+    --shard-policy P  round-robin | hash partitioning     [round-robin]
     --file-backend    store pages in real files (response-time mode)
     --stats-format F  cost profile as human | json               [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL
@@ -57,6 +62,42 @@ pub fn run(argv: &[String]) -> Result<()> {
     let threads =
         if algo == "naive" { 1 } else { rsky_server::resolve_threads(requested_threads) };
 
+    if let Some(spec) = flags.shard_spec()? {
+        // Each shard node runs on its own in-memory disk; the single-node
+        // storage knobs have nothing to apply to.
+        if flags.switch("file-backend") || cache > 0 {
+            return Err(Error::InvalidConfig(
+                "--shards is incompatible with --file-backend/--cache (each shard \
+                 uses its own in-memory disk)"
+                    .into(),
+            ));
+        }
+        let mut tables = ShardedTables::new(&ds, spec, mem_pct, page, tiles)?;
+        let sharded = tables.run_query(algo, threads, &query)?;
+        let run = RsRun { ids: sharded.ids, stats: sharded.stats };
+        if obs.format == StatsFormat::Json {
+            println!("{}", render_json(algo, &run, Some((&spec, sharded.candidates)), &obs));
+            obs.finish()?;
+            return Ok(());
+        }
+        println!(
+            "sharding: {} × {} — {} candidate(s) verified across shards",
+            spec.shards, spec.policy, sharded.candidates
+        );
+        for c in &sharded.per_shard {
+            println!(
+                "  shard {}: {} record(s) → {} candidate(s) → {} survivor(s)",
+                c.shard, c.records, c.candidates, c.survivors
+            );
+        }
+        print_result(algo, &run);
+        if flags.switch("explain") {
+            print_explain(&ds, &query, run.ids.len());
+        }
+        obs.finish()?;
+        return Ok(());
+    }
+
     let mut disk = if flags.switch("file-backend") {
         let dir = std::env::temp_dir().join(format!("rsky-cli-{}", std::process::id()));
         Disk::new_dir(dir, page)?
@@ -66,16 +107,7 @@ pub fn run(argv: &[String]) -> Result<()> {
     disk.set_cache_pages(cache);
     let raw = load_dataset(&mut disk, &ds)?;
     let budget = MemoryBudget::from_percent(ds.data_bytes(), mem_pct, page)?;
-    let layout = match algo {
-        "naive" | "brs" => Layout::Original,
-        "srs" | "trs" => Layout::MultiSort,
-        "tsrs" | "ttrs" => Layout::Tiled { tiles_per_attr: tiles },
-        other => {
-            return Err(Error::InvalidConfig(format!(
-                "unknown --algo {other:?} (naive|brs|srs|trs|tsrs|ttrs)"
-            )))
-        }
-    };
+    let layout = layout_for(algo, tiles)?;
     let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget)?;
     if let Some((runs, passes)) = prepared.sort_outcome {
         println!(
@@ -89,15 +121,29 @@ pub fn run(argv: &[String]) -> Result<()> {
     let run = engine.run(&mut ctx, &prepared.file, &query)?;
 
     if obs.format == StatsFormat::Json {
-        println!("{}", render_json(engine.name(), &run, &obs));
+        println!("{}", render_json(engine.name(), &run, None, &obs));
         obs.finish()?;
         return Ok(());
     }
 
+    print_result(engine.name(), &run);
+    if let Some((hits, misses)) = ctx.disk.cache_stats() {
+        println!("buffer pool:       {hits} hits / {misses} misses");
+    }
+
+    if flags.switch("explain") {
+        print_explain(&ds, &query, run.ids.len());
+    }
+    obs.finish()?;
+    Ok(())
+}
+
+/// Prints the result ids and the human-readable cost profile.
+fn print_result(label: &str, run: &RsRun) {
     println!("\nreverse skyline: {} object(s)", run.ids.len());
     let shown: Vec<String> = run.ids.iter().take(50).map(|id| id.to_string()).collect();
     println!("ids: {}{}", shown.join(","), if run.ids.len() > 50 { ",…" } else { "" });
-    println!("\n--- cost profile ({}) ---", engine.name());
+    println!("\n--- cost profile ({label}) ---");
     println!("distance checks:   {}", run.stats.dist_checks);
     println!("query-side evals:  {}", run.stats.query_dist_checks);
     println!("object pairs:      {}", run.stats.obj_comparisons);
@@ -107,38 +153,48 @@ pub fn run(argv: &[String]) -> Result<()> {
         run.stats.phase1_time, run.stats.phase1_batches, run.stats.phase1_survivors);
     println!("phase 2:           {:.2?} ({} batches)", run.stats.phase2_time, run.stats.phase2_batches);
     println!("total:             {:.2?}", run.stats.total_time);
-    if let Some((hits, misses)) = ctx.disk.cache_stats() {
-        println!("buffer pool:       {hits} hits / {misses} misses");
-    }
+}
 
-    if flags.switch("explain") {
-        let ex = rsky_algos::explain(&ds, &query);
-        let mut shown = 0;
-        println!("\n--- exclusions near the result (witnesses) ---");
-        for (id, m) in &ex.entries {
-            if let rsky_algos::Membership::PrunedBy { witness } = m {
-                println!("object {id} pruned by {witness}");
-                shown += 1;
-                if shown >= 20 {
-                    println!("… ({} more exclusions)", ds.len() - run.ids.len() - shown);
-                    break;
-                }
+/// Prints pruner witnesses for exclusions near the result (`--explain`).
+fn print_explain(ds: &Dataset, query: &Query, result_len: usize) {
+    let ex = rsky_algos::explain(ds, query);
+    let mut shown = 0;
+    println!("\n--- exclusions near the result (witnesses) ---");
+    for (id, m) in &ex.entries {
+        if let rsky_algos::Membership::PrunedBy { witness } = m {
+            println!("object {id} pruned by {witness}");
+            shown += 1;
+            if shown >= 20 {
+                println!("… ({} more exclusions)", ds.len() - result_len - shown);
+                break;
             }
         }
     }
-    obs.finish()?;
-    Ok(())
 }
 
 /// Renders the run outcome as one JSON object: ids, the `RunStats` totals,
-/// and the metrics-registry snapshot (so trace consumers can reconcile the
-/// JSONL span stream against the printed totals).
-fn render_json(algo: &str, run: &rsky_algos::RsRun, obs: &CliObs) -> String {
+/// the shard breakdown (when scatter-gather ran), and the metrics-registry
+/// snapshot (so trace consumers can reconcile the JSONL span stream against
+/// the printed totals).
+fn render_json(
+    algo: &str,
+    run: &RsRun,
+    shard: Option<(&ShardSpec, usize)>,
+    obs: &CliObs,
+) -> String {
     use std::fmt::Write;
     let s = &run.stats;
     let mut out = String::from("{\"algo\":\"");
     out.push_str(algo);
-    let _ = write!(out, "\",\"result_size\":{},\"ids\":[", run.ids.len());
+    out.push('"');
+    if let Some((spec, candidates)) = shard {
+        let _ = write!(
+            out,
+            ",\"shards\":{{\"count\":{},\"policy\":\"{}\",\"candidates\":{candidates}}}",
+            spec.shards, spec.policy
+        );
+    }
+    let _ = write!(out, ",\"result_size\":{},\"ids\":[", run.ids.len());
     for (i, id) in run.ids.iter().enumerate() {
         if i > 0 {
             out.push(',');

@@ -32,6 +32,9 @@ OPTIONS:
     --memory PCT        working memory as % of dataset            [10]
     --page BYTES        page size of each worker's disk           [4096]
     --tiles T           tiles per attribute for tsrs/ttrs         [4]
+    --shards K          serve every query as a K-shard scatter-
+                        gather; results match single-node exactly [off]
+    --shard-policy P    round-robin | hash partitioning   [round-robin]
     --test-ops          enable test-only ops (sleep) — e2e only
     --trace-out FILE    stream span/counter events to FILE as JSONL";
 
@@ -50,6 +53,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         mem_pct: flags.num("memory", 10.0)?,
         page: flags.num("page", 4096)?,
         tiles: flags.num("tiles", 4)?,
+        shard: flags.shard_spec()?,
         enable_test_ops: flags.switch("test-ops"),
     };
     let workers = resolve_threads(config.workers);

@@ -176,6 +176,79 @@ fn threads_zero_auto_detects_cores() {
 }
 
 #[test]
+fn sharded_query_and_influence_match_single_node() {
+    let data = tmpdata("shards");
+    let (ok, t) = run(&[
+        "generate", "--kind", "normal", "--n", "400", "--attrs", "3", "--values", "6", "--out",
+        &data,
+    ]);
+    assert!(ok, "{t}");
+
+    // Every engine × shard count × policy returns the single-node ids.
+    let mut ids = Vec::new();
+    for algo in ["naive", "brs", "trs"] {
+        let (ok, text) = run(&["query", "--data", &data, "--query", "2,2,2", "--algo", algo]);
+        assert!(ok, "{algo}: {text}");
+        ids.push(text.lines().find(|l| l.starts_with("ids:")).unwrap().to_string());
+        for shards in ["1", "3"] {
+            for policy in ["round-robin", "hash"] {
+                let (ok, text) = run(&[
+                    "query", "--data", &data, "--query", "2,2,2", "--algo", algo, "--shards",
+                    shards, "--shard-policy", policy,
+                ]);
+                assert!(ok, "{algo} --shards {shards} --shard-policy {policy}: {text}");
+                assert!(text.contains("sharding:"), "{text}");
+                ids.push(text.lines().find(|l| l.starts_with("ids:")).unwrap().to_string());
+            }
+        }
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "{algo} shard configs disagree: {ids:?}");
+        ids.truncate(0);
+    }
+
+    // JSON output carries the shard breakdown.
+    let (ok, text) = run(&[
+        "query", "--data", &data, "--query", "2,2,2", "--shards", "2", "--stats-format", "json",
+    ]);
+    assert!(ok, "{text}");
+    let json = text.lines().find(|l| l.starts_with('{')).expect("JSON on stdout");
+    assert!(json.contains("\"shards\":{\"count\":2,\"policy\":\"round-robin\""), "{json}");
+    assert!(extract_u64(json, "candidates") >= extract_u64(json, "result_size"), "{json}");
+
+    // Influence ranking is unchanged by sharded execution.
+    let mut rankings = Vec::new();
+    for extra in [&[][..], &["--shards", "3"][..]] {
+        let mut args =
+            vec!["influence", "--data", data.as_str(), "--queries", "4", "--top", "2"];
+        args.extend_from_slice(extra);
+        let (ok, text) = run(&args);
+        assert!(ok, "{extra:?}: {text}");
+        let tail: Vec<String> =
+            text.lines().skip_while(|l| !l.starts_with("rank")).map(String::from).collect();
+        rankings.push(tail.join("\n"));
+    }
+    assert!(!rankings[0].is_empty(), "no ranking table printed");
+    assert_eq!(rankings[0], rankings[1], "sharded influence changed the ranking");
+
+    // Nonsensical shard configs are rejected up front.
+    let (ok, text) =
+        run(&["query", "--data", &data, "--query", "2,2,2", "--shards", "0"]);
+    assert!(!ok);
+    assert!(text.contains("at least 1"), "{text}");
+    let (ok, text) = run(&[
+        "query", "--data", &data, "--query", "2,2,2", "--shards", "2", "--file-backend",
+    ]);
+    assert!(!ok);
+    assert!(text.contains("incompatible"), "{text}");
+    let (ok, text) = run(&[
+        "query", "--data", &data, "--query", "2,2,2", "--shard-policy", "hash",
+    ]);
+    assert!(!ok);
+    assert!(text.contains("requires --shards"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
 fn serve_round_trip_over_tcp() {
     use std::io::{BufRead, BufReader, Read, Write};
 

@@ -75,6 +75,29 @@ pub mod server_names {
     pub const GAUGE_QUEUE_DEPTH: &str = "server.queue.depth";
 }
 
+/// Canonical span names emitted by the sharded scatter-gather executor
+/// (`rsky-algos::shard`), mirroring [`server_names`]. The sharded stats
+/// contract (tests/obs_contract.rs) is written against exactly these names:
+/// Σ per-shard [`SPAN_LOCAL`](shard_names::SPAN_LOCAL) +
+/// [`SPAN_VERIFY`](shard_names::SPAN_VERIFY) deltas must equal the merged
+/// `RunStats` the sharded run returns.
+pub mod shard_names {
+    /// Span prefix for all sharding-layer spans (`shard.<what>`).
+    pub const PREFIX: &str = "shard";
+    /// Span: the whole sharded run; closes with the merged totals.
+    pub const SPAN_RUN: &str = "run";
+    /// Span: the scatter phase (all shards' local engine runs).
+    pub const SPAN_PHASE1: &str = "phase1";
+    /// Span: one shard's local engine run. Carries `shard`, `records`,
+    /// `candidates` and this run's counter/IO deltas.
+    pub const SPAN_LOCAL: &str = "phase1.local";
+    /// Span: the gather phase (cross-shard candidate verification).
+    pub const SPAN_PHASE2: &str = "phase2";
+    /// Span: one shard's candidates verified against all foreign shards'
+    /// windows. Carries `shard`, `candidates`, `survivors` and deltas.
+    pub const SPAN_VERIFY: &str = "phase2.verify";
+}
+
 // ---------------------------------------------------------------------------
 // Events
 // ---------------------------------------------------------------------------

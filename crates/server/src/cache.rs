@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use rsky_core::record::{RecordId, ValueId};
+use rsky_storage::ShardSpec;
 
 /// Cache key: everything that determines a query result.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -25,6 +26,12 @@ pub struct CacheKey {
     pub values: Vec<ValueId>,
     /// Attribute subset (`None` = all attributes).
     pub subset: Option<Vec<usize>>,
+    /// Shard configuration the server ran under (`None` = single-node).
+    /// Results are identical across shard configs — that is the point of
+    /// the differential harness — but the config stays in the key for the
+    /// same reason the engine does: reconfigured servers must be observable
+    /// as cold rather than silently reusing another topology's entries.
+    pub shard: Option<ShardSpec>,
 }
 
 struct Inner {
@@ -123,7 +130,13 @@ mod tests {
     use super::*;
 
     fn key(generation: u64, values: &[u32]) -> CacheKey {
-        CacheKey { generation, engine: "trs".into(), values: values.to_vec(), subset: None }
+        CacheKey {
+            generation,
+            engine: "trs".into(),
+            values: values.to_vec(),
+            subset: None,
+            shard: None,
+        }
     }
 
     #[test]
@@ -144,6 +157,23 @@ mod tests {
         // Different engine under the same generation misses too.
         let other = CacheKey { engine: "brs".into(), ..key(1, &[1, 2]) };
         assert!(c.get(&other).is_none());
+    }
+
+    #[test]
+    fn shard_config_is_part_of_the_key() {
+        use rsky_storage::ShardPolicy;
+        let c = ResultCache::new(4);
+        c.insert(key(1, &[1, 2]), vec![3]);
+        let spec = |k, p| Some(ShardSpec::new(k, p).unwrap());
+        let sharded = CacheKey { shard: spec(3, ShardPolicy::RoundRobin), ..key(1, &[1, 2]) };
+        assert!(c.get(&sharded).is_none(), "sharded config never reuses single-node entries");
+        c.insert(sharded.clone(), vec![3]);
+        assert!(c.get(&sharded).is_some());
+        // A different shard count or policy is a different key.
+        let more = CacheKey { shard: spec(4, ShardPolicy::RoundRobin), ..key(1, &[1, 2]) };
+        let hashed = CacheKey { shard: spec(3, ShardPolicy::HashById), ..key(1, &[1, 2]) };
+        assert!(c.get(&more).is_none());
+        assert!(c.get(&hashed).is_none());
     }
 
     #[test]

@@ -324,6 +324,82 @@ mod tests {
     }
 
     #[test]
+    fn every_truncation_of_a_request_fails_cleanly() {
+        // Fuzz-style: a partially received wire line (connection dropped
+        // mid-request) must produce an error — never a panic and never a
+        // silently misparsed value.
+        let req = r#"{"op":"query","engine":"trs","values":[3,17,25],"deadline_ms":250,"subset":[0,2],"label":"a\"bé"}"#;
+        for cut in (1..req.len()).filter(|&c| req.is_char_boundary(c)) {
+            let prefix = &req[..cut];
+            assert!(parse(prefix).is_err(), "prefix {prefix:?} parsed");
+        }
+        assert!(parse(req).is_ok());
+    }
+
+    #[test]
+    fn depth_cap_boundary_is_exact() {
+        // The guard rejects at depth > MAX_DEPTH: with N nested arrays the
+        // deepest `value` call runs at depth N-1, so N = MAX_DEPTH + 1
+        // still parses and N = MAX_DEPTH + 2 is the first rejection.
+        let nest = |n: usize| "[".repeat(n) + &"]".repeat(n);
+        assert!(parse(&nest(MAX_DEPTH + 1)).is_ok(), "depth {MAX_DEPTH} must be allowed");
+        assert!(parse(&nest(MAX_DEPTH + 2)).is_err(), "depth {} must be rejected", MAX_DEPTH + 1);
+        // Objects hit the same cap; the innermost scalar sits one level
+        // deeper than an empty array does, shifting the boundary by one.
+        let objs = |n: usize| "{\"k\":".repeat(n) + "0" + &"}".repeat(n);
+        assert!(parse(&objs(MAX_DEPTH)).is_ok());
+        assert!(parse(&objs(MAX_DEPTH + 1)).is_err());
+        let mixed = "[{\"k\":".repeat(9) + "0" + &"}]".repeat(9);
+        assert!(parse(&mixed).is_err(), "18 mixed levels exceed the cap");
+    }
+
+    #[test]
+    fn invalid_unicode_escapes_fail_cleanly() {
+        for bad in [
+            r#""\u""#,      // escape with no digits
+            r#""\u00""#,    // truncated digits
+            r#""\u00G0""#,  // non-hex digit
+            r#""\uD8""#,    // truncated then EOF
+            r#""abc\u"#,    // string ends inside the escape
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Unpaired surrogates are mapped to U+FFFD rather than rejected (the
+        // protocol never emits them, but a hostile client may).
+        let v = parse(r#""\ud800""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{fffd}"));
+        // Boundary scalars arrive via escapes and round-trip.
+        let v = parse("\"\\u0000\\uffff\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{0}\u{ffff}"));
+    }
+
+    #[test]
+    fn pathological_megabyte_inputs_are_rejected_not_crashed() {
+        const MIB: usize = 1 << 20;
+        // 1 MiB of unclosed opens: the depth guard must cut recursion off
+        // long before the stack does.
+        assert!(parse(&"[".repeat(MIB)).is_err());
+        assert!(parse(&"{\"k\":".repeat(MIB / 5)).is_err());
+        // 1 MiB of balanced nesting, still deeper than the cap.
+        let n = MIB / 2;
+        let bomb = "[".repeat(n) + &"]".repeat(n);
+        assert!(parse(&bomb).is_err());
+        // A 1 MiB *flat* value is legitimate and must parse.
+        let mut wide = String::with_capacity(MIB + 16);
+        wide.push('[');
+        while wide.len() < MIB {
+            wide.push_str("1234567,");
+        }
+        wide.push('0');
+        wide.push(']');
+        let v = parse(&wide).unwrap();
+        assert!(v.as_arr().unwrap().len() > 100_000);
+        // 1 MiB of garbage bytes after a valid value is trailing data.
+        let garbage = format!("null {}", "x".repeat(MIB));
+        assert!(parse(&garbage).is_err());
+    }
+
+    #[test]
     fn escape_round_trips_through_parse() {
         let mut s = String::from("{\"k\":\"");
         escape("a\"b\\c\nd\u{1}", &mut s);

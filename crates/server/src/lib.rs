@@ -46,4 +46,4 @@ pub use cache::{CacheKey, ResultCache};
 pub use client::Client;
 pub use proto::{ErrKind, Request};
 pub use server::{resolve_threads, Server, ServerConfig, ServerHandle};
-pub use state::DataState;
+pub use state::{DataState, ShardParts};

@@ -32,6 +32,8 @@ use rsky_core::error::{Error, Result};
 use rsky_core::obs::{self, server_names as names, MetricsRegistry, ObsHandle, RegistrySink};
 use rsky_core::query::Query;
 
+use rsky_storage::ShardSpec;
+
 use crate::cache::{CacheKey, ResultCache};
 use crate::proto::{self, ErrKind, Request};
 use crate::queue::{BoundedQueue, PushError};
@@ -66,6 +68,11 @@ pub struct ServerConfig {
     /// Enables test-only ops (`sleep`) used by the e2e suite to occupy
     /// workers deterministically. Keep off in production.
     pub enable_test_ops: bool,
+    /// Shard configuration: `None` serves single-node; `Some(spec)` serves
+    /// every query and influence workload through the scatter-gather
+    /// executor over `spec.shards` partitions (results are identical, per
+    /// the shard differential harness; the config is part of the cache key).
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +88,7 @@ impl Default for ServerConfig {
             page: 4096,
             tiles: 4,
             enable_test_ops: false,
+            shard: None,
         }
     }
 }
@@ -129,10 +137,14 @@ impl Server {
         let workers = resolve_threads(config.workers);
         let (registry, registry_handle) = RegistrySink::fresh();
         let obs = ObsHandle::tee(vec![obs::handle(), registry_handle]);
+        let data = match config.shard {
+            Some(spec) => DataState::new_sharded(dataset, spec),
+            None => DataState::new(dataset),
+        };
         let shared = Arc::new(Shared {
             local_addr,
             workers,
-            data: DataState::new(dataset),
+            data,
             cache: ResultCache::new(config.cache_cap),
             queue: BoundedQueue::new(config.queue_cap),
             registry,
@@ -149,7 +161,8 @@ impl Server {
                     shared.config.page,
                     shared.config.mem_pct,
                     shared.config.tiles,
-                )?;
+                )?
+                .with_shards(shared.config.shard);
                 Ok(std::thread::spawn(move || worker_loop(&shared, ws)))
             })
             .collect::<Result<_>>()?;
@@ -481,6 +494,7 @@ fn execute(
                 engine: engine.clone(),
                 values: values.clone(),
                 subset: subset.clone(),
+                shard: shared.config.shard,
             };
             if let Some(ids) = shared.cache.get(&key) {
                 shared.obs.counter_add(names::CTR_CACHE_HIT, 1);
@@ -540,14 +554,18 @@ fn execute(
             let t0 = Instant::now();
             let result = obs::with_recorder(shared.obs.clone(), || {
                 cancel::with_token(job.token.clone(), || {
-                    rsky_algos::run_influence_parallel(
-                        &version.dataset,
-                        &workload,
-                        shared.config.mem_pct,
-                        shared.config.page,
-                        shared.config.engine_threads,
-                        false,
-                    )
+                    if shared.config.shard.is_some() {
+                        ws.run_influence(&version, &workload, false)
+                    } else {
+                        rsky_algos::run_influence_parallel(
+                            &version.dataset,
+                            &workload,
+                            shared.config.mem_pct,
+                            shared.config.page,
+                            shared.config.engine_threads,
+                            false,
+                        )
+                    }
                 })
             });
             match result {

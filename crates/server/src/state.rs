@@ -11,16 +11,66 @@
 //! owns a [`WorkerState`]: its own in-memory disk and lazily prepared
 //! layouts, rebuilt when the observed generation changes. This mirrors
 //! `run_influence_parallel`, which also gives every thread a private disk.
+//!
+//! ## Sharded serving
+//!
+//! A [`DataState::new_sharded`] state additionally maintains the dataset
+//! partitioned into K shard parts ([`ShardParts`]), each behind its own
+//! `Arc<RowBuf>`. Mutations are **copy-on-write per shard**: an insert or
+//! expire clones and rewrites only the one part the record belongs to — the
+//! other K−1 parts keep sharing their buffers with every older version.
+//! Placement is *sticky*: hash-by-id records always land by their id;
+//! round-robin records are placed by their arrival position and keep that
+//! shard for life (an expire does not re-balance). Query results never
+//! depend on placement — the scatter-gather executor is exact for any
+//! partition — so stickiness only affects load spread, not answers.
 
 use std::sync::{Arc, RwLock};
 
 use rsky_algos::prep::{load_dataset, prepare_table, Layout, PreparedTable};
-use rsky_algos::{engine_by_name, EngineCtx, RsRun};
+use rsky_algos::shard::ShardedTables;
+use rsky_algos::{engine_by_name, layout_for, EngineCtx, InfluenceReport, RsRun};
 use rsky_core::dataset::Dataset;
 use rsky_core::error::{Error, Result};
 use rsky_core::query::Query;
 use rsky_core::record::{RecordId, RowBuf, ValueId};
-use rsky_storage::{Disk, MemoryBudget, RecordFile};
+use rsky_storage::{partition_rows, Disk, MemoryBudget, RecordFile, ShardSpec};
+
+/// The served dataset partitioned into shard parts, versioned together with
+/// the flat dataset it partitions.
+#[derive(Clone)]
+pub struct ShardParts {
+    /// Shard count and placement policy.
+    pub spec: ShardSpec,
+    /// One part per shard; every part is shared copy-on-write across
+    /// versions (mutations replace only the affected part's Arc).
+    pub parts: Vec<Arc<RowBuf>>,
+}
+
+impl ShardParts {
+    /// Partitions `rows` according to `spec`.
+    fn build(rows: &RowBuf, spec: ShardSpec) -> Self {
+        let parts = partition_rows(rows, &spec).into_iter().map(Arc::new).collect();
+        Self { spec, parts }
+    }
+
+    /// Owned copies of the parts (what `ShardedTables::from_parts` loads).
+    pub fn to_row_bufs(&self) -> Vec<RowBuf> {
+        self.parts.iter().map(|p| (**p).clone()).collect()
+    }
+
+    /// The shard currently holding record `id`, if any.
+    fn shard_holding(&self, id: RecordId) -> Option<(usize, usize)> {
+        for (s, part) in self.parts.iter().enumerate() {
+            for i in 0..part.len() {
+                if part.id(i) == id {
+                    return Some((s, i));
+                }
+            }
+        }
+        None
+    }
+}
 
 /// The served dataset at one point in time.
 #[derive(Clone)]
@@ -29,6 +79,8 @@ pub struct DatasetVersion {
     pub generation: u64,
     /// The dataset itself (shared, immutable — mutations replace the Arc).
     pub dataset: Arc<Dataset>,
+    /// The shard partition of `dataset.rows`, when serving sharded.
+    pub shards: Option<ShardParts>,
 }
 
 /// Shared, versioned dataset state.
@@ -39,7 +91,26 @@ pub struct DataState {
 impl DataState {
     /// Wraps `dataset` as generation 1.
     pub fn new(dataset: Dataset) -> Self {
-        Self { current: RwLock::new(DatasetVersion { generation: 1, dataset: Arc::new(dataset) }) }
+        Self {
+            current: RwLock::new(DatasetVersion {
+                generation: 1,
+                dataset: Arc::new(dataset),
+                shards: None,
+            }),
+        }
+    }
+
+    /// Wraps `dataset` as generation 1, partitioned into `spec.shards`
+    /// parts maintained copy-on-write across mutations.
+    pub fn new_sharded(dataset: Dataset, spec: ShardSpec) -> Self {
+        let shards = Some(ShardParts::build(&dataset.rows, spec));
+        Self {
+            current: RwLock::new(DatasetVersion {
+                generation: 1,
+                dataset: Arc::new(dataset),
+                shards,
+            }),
+        }
     }
 
     /// The current version (cheap: clones an Arc under a read lock).
@@ -51,7 +122,7 @@ impl DataState {
     /// generation when the id is taken or the values don't fit the schema.
     pub fn insert(&self, id: RecordId, values: &[ValueId]) -> Result<DatasetVersion> {
         let mut cur = self.current.write().unwrap();
-        let ds = &cur.dataset;
+        let ds = Arc::clone(&cur.dataset);
         if values.len() != ds.schema.num_attrs() {
             return Err(Error::SchemaMismatch(format!(
                 "insert has {} values, schema has {} attributes",
@@ -65,6 +136,16 @@ impl DataState {
         }
         let mut rows = ds.rows.clone();
         rows.push(id, values);
+        if let Some(shards) = &mut cur.shards {
+            // Copy-on-write on the one target shard; round-robin places by
+            // arrival position (the new row's index in generation order),
+            // hash-by-id by the id alone.
+            let k = shards.spec.shards;
+            let target = shards.spec.policy.shard_of(id, rows.len() - 1, k);
+            let mut part = (*shards.parts[target]).clone();
+            part.push(id, values);
+            shards.parts[target] = Arc::new(part);
+        }
         let next = Dataset {
             schema: ds.schema.clone(),
             dissim: ds.dissim.clone(),
@@ -79,7 +160,7 @@ impl DataState {
     /// Removes a record by id, returning the new version.
     pub fn expire(&self, id: RecordId) -> Result<DatasetVersion> {
         let mut cur = self.current.write().unwrap();
-        let ds = &cur.dataset;
+        let ds = Arc::clone(&cur.dataset);
         let mut rows = RowBuf::with_capacity(ds.rows.num_attrs(), ds.rows.len().saturating_sub(1));
         let mut found = false;
         for i in 0..ds.rows.len() {
@@ -91,6 +172,18 @@ impl DataState {
         }
         if !found {
             return Err(Error::InvalidConfig(format!("record id {id} does not exist")));
+        }
+        if let Some(shards) = &mut cur.shards {
+            let (s, at) =
+                shards.shard_holding(id).expect("flat rows and shard parts hold the same ids");
+            let old = &shards.parts[s];
+            let mut part = RowBuf::with_capacity(old.num_attrs(), old.len() - 1);
+            for i in 0..old.len() {
+                if i != at {
+                    part.push(old.id(i), old.values(i));
+                }
+            }
+            shards.parts[s] = Arc::new(part);
         }
         let next = Dataset {
             schema: ds.schema.clone(),
@@ -105,7 +198,9 @@ impl DataState {
 }
 
 /// One worker's private engine state: a disk plus the layouts prepared on
-/// it, valid for exactly one dataset generation.
+/// it, valid for exactly one dataset generation. With a shard spec set, the
+/// worker instead maintains a private [`ShardedTables`] (one miniature node
+/// per shard) and routes queries through the scatter-gather executor.
 pub struct WorkerState {
     page: usize,
     mem_pct: f64,
@@ -117,6 +212,8 @@ pub struct WorkerState {
     original: Option<PreparedTable>,
     multisort: Option<PreparedTable>,
     tiled: Option<PreparedTable>,
+    shard_spec: Option<ShardSpec>,
+    sharded: Option<ShardedTables>,
 }
 
 impl WorkerState {
@@ -133,7 +230,16 @@ impl WorkerState {
             original: None,
             multisort: None,
             tiled: None,
+            shard_spec: None,
+            sharded: None,
         })
+    }
+
+    /// Switches this worker to sharded scatter-gather execution (`None`
+    /// keeps single-node execution).
+    pub fn with_shards(mut self, spec: Option<ShardSpec>) -> Self {
+        self.shard_spec = spec;
+        self
     }
 
     /// Reconciles this worker with `version`: on a generation change the
@@ -141,6 +247,27 @@ impl WorkerState {
     /// engines' scratch files with it) and the rows are reloaded.
     fn ensure(&mut self, version: &DatasetVersion) -> Result<()> {
         if self.generation == version.generation {
+            return Ok(());
+        }
+        if let Some(spec) = self.shard_spec {
+            // Reuse the version's copy-on-write partition when the data
+            // state maintains one under the same spec; partition afresh
+            // otherwise (a differently-configured or unsharded DataState).
+            let parts = match &version.shards {
+                Some(sp) if sp.spec == spec => sp.to_row_bufs(),
+                _ => partition_rows(&version.dataset.rows, &spec),
+            };
+            self.sharded = Some(ShardedTables::from_parts(
+                &version.dataset.schema,
+                &version.dataset.dissim,
+                parts,
+                spec,
+                version.dataset.data_bytes(),
+                self.mem_pct,
+                self.page,
+                self.tiles,
+            )?);
+            self.generation = version.generation;
             return Ok(());
         }
         self.disk = Disk::new_mem(self.page);
@@ -165,16 +292,11 @@ impl WorkerState {
         query: &Query,
     ) -> Result<RsRun> {
         self.ensure(version)?;
-        let layout = match engine_name {
-            "naive" | "brs" => Layout::Original,
-            "srs" | "trs" => Layout::MultiSort,
-            "tsrs" | "ttrs" => Layout::Tiled { tiles_per_attr: self.tiles },
-            other => {
-                return Err(Error::InvalidConfig(format!(
-                    "unknown engine {other:?} (naive|brs|srs|trs|tsrs|ttrs)"
-                )))
-            }
-        };
+        if let Some(sharded) = &mut self.sharded {
+            let run = sharded.run_query(engine_name, engine_threads, query)?;
+            return Ok(RsRun { ids: run.ids, stats: run.stats });
+        }
+        let layout = layout_for(engine_name, self.tiles)?;
         let raw = self.raw.as_ref().expect("ensure() loaded the table");
         let slot = match layout {
             Layout::Original => &mut self.original,
@@ -203,6 +325,23 @@ impl WorkerState {
             budget: self.budget,
         };
         engine.run(&mut ctx, &prepared.file, query)
+    }
+
+    /// Runs an influence workload through this worker's sharded tables.
+    /// Only available on sharded workers — unsharded servers use
+    /// [`rsky_algos::run_influence_parallel`] instead, which owns its
+    /// per-thread state.
+    pub fn run_influence(
+        &mut self,
+        version: &DatasetVersion,
+        queries: &[Query],
+        keep_ids: bool,
+    ) -> Result<InfluenceReport> {
+        self.ensure(version)?;
+        let sharded = self.sharded.as_mut().ok_or_else(|| {
+            Error::InvalidConfig("run_influence on WorkerState requires a shard spec".into())
+        })?;
+        sharded.run_influence(queries, keep_ids)
     }
 }
 
@@ -268,5 +407,72 @@ mod tests {
         let state = DataState::new(ds);
         let mut worker = WorkerState::new(64, 50.0, 4).unwrap();
         assert!(worker.run_query(&state.current(), "nope", 1, &q).is_err());
+    }
+
+    /// Union of the shard parts must equal the flat rows (as an id set)
+    /// across any mutation sequence — the copy-on-write invariant.
+    fn assert_parts_cover(version: &DatasetVersion) {
+        let sp = version.shards.as_ref().expect("sharded state");
+        let mut ids: Vec<u32> = sp
+            .parts
+            .iter()
+            .flat_map(|p| (0..p.len()).map(|i| p.id(i)).collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        let mut expect: Vec<u32> =
+            (0..version.dataset.rows.len()).map(|i| version.dataset.rows.id(i)).collect();
+        expect.sort_unstable();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn sharded_state_mutations_are_copy_on_write_per_shard() {
+        use rsky_storage::ShardPolicy;
+        let (ds, q) = rsky_data::paper_example();
+        for policy in [ShardPolicy::RoundRobin, ShardPolicy::HashById] {
+            let spec = ShardSpec::new(3, policy).unwrap();
+            let state = DataState::new_sharded(ds.clone(), spec);
+            let v1 = state.current();
+            assert_parts_cover(&v1);
+
+            let v2 = state.insert(100, &q.values.clone()).unwrap();
+            assert_parts_cover(&v2);
+            // Exactly one part was rewritten; the others still share their
+            // buffers with v1 (copy-on-write).
+            let (s1, s2) = (v1.shards.as_ref().unwrap(), v2.shards.as_ref().unwrap());
+            let rewritten = (0..3)
+                .filter(|&s| !Arc::ptr_eq(&s1.parts[s], &s2.parts[s]))
+                .count();
+            assert_eq!(rewritten, 1, "{policy}: insert rewrites exactly one shard part");
+
+            let v3 = state.expire(100).unwrap();
+            assert_parts_cover(&v3);
+            let s3 = v3.shards.as_ref().unwrap();
+            let rewritten = (0..3)
+                .filter(|&s| !Arc::ptr_eq(&s2.parts[s], &s3.parts[s]))
+                .count();
+            assert_eq!(rewritten, 1, "{policy}: expire rewrites exactly one shard part");
+
+            // A sharded worker answers identically to the definition across
+            // the mutation history.
+            let mut worker = WorkerState::new(64, 50.0, 4).unwrap().with_shards(Some(spec));
+            for v in [&v2, &v3] {
+                let run = worker.run_query(v, "trs", 1, &q).unwrap();
+                let expect = rsky_core::skyline::reverse_skyline_by_definition(
+                    &v.dataset.dissim,
+                    &v.dataset.rows,
+                    &q,
+                );
+                assert_eq!(run.ids, expect, "{policy} generation {}", v.generation);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_worker_influence_requires_spec() {
+        let (ds, _) = rsky_data::paper_example();
+        let state = DataState::new(ds);
+        let mut worker = WorkerState::new(64, 50.0, 4).unwrap();
+        assert!(worker.run_influence(&state.current(), &[], false).is_err());
     }
 }

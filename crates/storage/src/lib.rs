@@ -35,10 +35,12 @@ pub mod budget;
 pub mod cache;
 pub mod disk;
 pub mod recfile;
+pub mod shard;
 pub mod shared;
 
 pub use budget::MemoryBudget;
 pub use cache::PageCache;
 pub use disk::{Backend, Disk, FileId, DEFAULT_PAGE_SIZE};
 pub use recfile::{RecordFile, RecordWriter};
+pub use shard::{partition_rows, ShardPolicy, ShardSpec};
 pub use shared::{PageScanner, RecordScanner, SharedFile, SharedRecords};

@@ -1,0 +1,215 @@
+//! Horizontal partitioning of a record set into shard snapshots.
+//!
+//! The reverse-skyline definition is *global* — `X ∈ RS_D(Q)` iff no pruner
+//! of `X` exists anywhere in `D` — so sharding cannot be a naive map-reduce:
+//! a shard-local survivor may still be killed by a pruner living in a
+//! foreign shard. This module only defines the **partitioning**; the
+//! two-phase scatter-gather that restores global exactness lives in
+//! `rsky-algos::shard`, and the differential harness
+//! (`tests/shard_differential.rs`) proves the combination identical to
+//! single-node execution.
+//!
+//! Two policies are provided, both deterministic functions of the input (no
+//! RNG, no ambient state), so a partition is reproducible across processes:
+//!
+//! * [`ShardPolicy::RoundRobin`] — row `i` goes to shard `i mod K`; spreads
+//!   any generation order evenly;
+//! * [`ShardPolicy::HashById`] — shard by a multiplicative hash of the
+//!   record id; placement is a function of the *id alone*, so a record keeps
+//!   its shard across re-partitions and deletions (what the serving layer's
+//!   per-shard copy-on-write mutations rely on).
+//!
+//! Within a shard, rows keep their relative input order — engines see each
+//! shard exactly as a smaller dataset in generation order.
+
+use rsky_core::error::{Error, Result};
+use rsky_core::record::{RecordId, RowBuf};
+
+/// Knuth's multiplicative constant (2^32 / φ); spreads consecutive ids.
+const HASH_MULT: u32 = 2_654_435_761;
+
+/// How records are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardPolicy {
+    /// Row `i` (input position) goes to shard `i mod K`.
+    RoundRobin,
+    /// Shard chosen by a deterministic hash of the record id.
+    HashById,
+}
+
+impl ShardPolicy {
+    /// Parses a CLI/wire policy name.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "round-robin" | "rr" => Ok(Self::RoundRobin),
+            "hash" | "hash-id" => Ok(Self::HashById),
+            other => Err(Error::InvalidConfig(format!(
+                "unknown shard policy {other:?} (round-robin|hash)"
+            ))),
+        }
+    }
+
+    /// Canonical name (the one `parse` accepts first).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round-robin",
+            Self::HashById => "hash",
+        }
+    }
+
+    /// The shard (out of `k`) that the record at input position `index` with
+    /// id `id` belongs to.
+    #[inline]
+    pub fn shard_of(&self, id: RecordId, index: usize, k: usize) -> usize {
+        debug_assert!(k >= 1);
+        match self {
+            Self::RoundRobin => index % k,
+            Self::HashById => (id.wrapping_mul(HASH_MULT) as usize) % k,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A validated shard configuration: how many shards, assigned how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Assignment policy.
+    pub policy: ShardPolicy,
+}
+
+impl ShardSpec {
+    /// Validates `shards >= 1`.
+    pub fn new(shards: usize, policy: ShardPolicy) -> Result<Self> {
+        if shards == 0 {
+            return Err(Error::InvalidConfig("shard count must be at least 1".into()));
+        }
+        Ok(Self { shards, policy })
+    }
+
+    /// Single-shard spec — sharded execution degenerates to single-node.
+    pub fn single() -> Self {
+        Self { shards: 1, policy: ShardPolicy::RoundRobin }
+    }
+}
+
+/// Partitions `rows` into `spec.shards` row buffers. Every input row lands
+/// in exactly one shard; within a shard, rows keep their relative input
+/// order. Shards may be empty (e.g. more shards than records).
+pub fn partition_rows(rows: &RowBuf, spec: &ShardSpec) -> Vec<RowBuf> {
+    let m = rows.num_attrs();
+    let k = spec.shards;
+    let mut parts: Vec<RowBuf> = (0..k).map(|_| RowBuf::new(m)).collect();
+    for i in 0..rows.len() {
+        let s = spec.policy.shard_of(rows.id(i), i, k);
+        parts[s].push(rows.id(i), rows.values(i));
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> RowBuf {
+        let mut b = RowBuf::new(2);
+        for i in 0..n {
+            b.push(i as u32 * 7 + 1, &[i as u32 % 3, i as u32 % 5]);
+        }
+        b
+    }
+
+    #[test]
+    fn policy_parse_and_names_round_trip() {
+        for p in [ShardPolicy::RoundRobin, ShardPolicy::HashById] {
+            assert_eq!(ShardPolicy::parse(p.name()).unwrap(), p);
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(ShardPolicy::parse("rr").unwrap(), ShardPolicy::RoundRobin);
+        assert_eq!(ShardPolicy::parse("hash-id").unwrap(), ShardPolicy::HashById);
+        assert!(ShardPolicy::parse("random").is_err());
+        assert!(ShardSpec::new(0, ShardPolicy::RoundRobin).is_err());
+    }
+
+    #[test]
+    fn round_robin_is_index_mod_k() {
+        let data = rows(11);
+        let spec = ShardSpec::new(3, ShardPolicy::RoundRobin).unwrap();
+        let parts = partition_rows(&data, &spec);
+        for (i, _) in data.iter().enumerate() {
+            let s = i % 3;
+            assert!((0..parts[s].len()).any(|j| parts[s].id(j) == data.id(i)));
+        }
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 4);
+        assert_eq!(parts[2].len(), 3);
+    }
+
+    #[test]
+    fn partition_is_an_order_preserving_permutation() {
+        let data = rows(29);
+        for k in [1usize, 2, 3, 8] {
+            for policy in [ShardPolicy::RoundRobin, ShardPolicy::HashById] {
+                let spec = ShardSpec::new(k, policy).unwrap();
+                let parts = partition_rows(&data, &spec);
+                assert_eq!(parts.len(), k);
+                let total: usize = parts.iter().map(|p| p.len()).sum();
+                assert_eq!(total, data.len(), "k={k} {policy}");
+                // Every id appears exactly once across shards.
+                let mut ids: Vec<u32> = parts
+                    .iter()
+                    .flat_map(|p| (0..p.len()).map(|j| p.id(j)).collect::<Vec<_>>())
+                    .collect();
+                ids.sort_unstable();
+                let mut expect: Vec<u32> = (0..data.len()).map(|i| data.id(i)).collect();
+                expect.sort_unstable();
+                assert_eq!(ids, expect, "k={k} {policy}");
+                // Relative input order survives inside each shard.
+                let pos = |id: u32| (0..data.len()).find(|&i| data.id(i) == id).unwrap();
+                for p in &parts {
+                    for j in 1..p.len() {
+                        assert!(pos(p.id(j - 1)) < pos(p.id(j)), "k={k} {policy}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_placement_depends_only_on_the_id() {
+        let p = ShardPolicy::HashById;
+        for id in [0u32, 1, 7, 1000, u32::MAX] {
+            for k in [1usize, 2, 3, 8] {
+                let s = p.shard_of(id, 0, k);
+                assert_eq!(s, p.shard_of(id, 941, k), "index must not matter");
+                assert!(s < k);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_identity() {
+        let data = rows(17);
+        for policy in [ShardPolicy::RoundRobin, ShardPolicy::HashById] {
+            let parts = partition_rows(&data, &ShardSpec::new(1, policy).unwrap());
+            assert_eq!(parts.len(), 1);
+            assert_eq!(parts[0], data, "{policy}");
+        }
+        assert_eq!(ShardSpec::single().shards, 1);
+    }
+
+    #[test]
+    fn more_shards_than_records_leaves_empties() {
+        let data = rows(3);
+        let parts = partition_rows(&data, &ShardSpec::new(8, ShardPolicy::RoundRobin).unwrap());
+        assert_eq!(parts.iter().filter(|p| p.is_empty()).count(), 5);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -53,7 +53,7 @@
 //! | [`altree`] | the AL-Tree prefix structure behind TRS |
 //! | [`order`] | multi-attribute sort, external merge sort, Z-order tiling |
 //! | [`data`] | paper example, synthetic-normal, CI-like and FC-like generators, workloads |
-//! | [`algos`] | Naive, BRS, SRS, TRS (+ tiled variants, attribute subsets, numeric hybrid) |
+//! | [`algos`] | Naive, BRS, SRS, TRS (+ tiled variants, attribute subsets, numeric hybrid, sharded scatter-gather) |
 //! | [`server`] | TCP query server: admission control, deadlines, result cache, graceful shutdown |
 
 #![warn(missing_docs)]
@@ -70,9 +70,10 @@ pub use rsky_storage as storage;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rsky_algos::prep::{load_dataset, prepare_table, Layout, PreparedTable};
+    pub use rsky_algos::shard::{ShardCost, ShardedRun, ShardedTables};
     pub use rsky_algos::{
-        engine_by_name, Brs, EngineCtx, Naive, ParBrs, ParSrs, ParTrs, ReverseSkylineAlgo, RsRun,
-        Srs, Trs,
+        engine_by_name, layout_for, Brs, EngineCtx, Naive, ParBrs, ParSrs, ParTrs,
+        ReverseSkylineAlgo, RsRun, Srs, Trs,
     };
     pub use rsky_core::dataset::Dataset;
     pub use rsky_core::obs::{MemorySink, MetricsRegistry, ObsHandle};
@@ -81,7 +82,9 @@ pub mod prelude {
     pub use rsky_core::schema::{AttrMeta, Schema};
     pub use rsky_core::skyline::reverse_skyline_by_definition;
     pub use rsky_core::{AttrDissim, DissimTable};
-    pub use rsky_storage::{Disk, MemoryBudget, RecordFile};
+    pub use rsky_storage::{
+        partition_rows, Disk, MemoryBudget, RecordFile, ShardPolicy, ShardSpec,
+    };
 }
 
 #[cfg(test)]

@@ -299,6 +299,170 @@ fn expired_deadline_cancels_all_engines_up_front() {
     }
 }
 
+/// The sharded scatter-gather layer is held to the same stats contract:
+/// every shard's `shard.phase1.local` and `shard.phase2.verify` span deltas
+/// must tile the merged `RunStats` exactly, with no coordinator-side
+/// bookkeeping hiding work from the span stream.
+fn assert_sharded_tiling(sink: &MemorySink, run: &ShardedRun, k: usize, ctx: &str) {
+    const LOCAL: &str = "shard.phase1.local";
+    const VERIFY: &str = "shard.phase2.verify";
+    let s = &run.stats;
+    // One span per shard per phase — empty shards report zero-work spans
+    // rather than vanishing from the stream.
+    assert_eq!(sink.span_count(LOCAL), k, "one local span per shard ({ctx})");
+    assert_eq!(sink.span_count(VERIFY), k, "one verify span per shard ({ctx})");
+
+    // Σ per-shard span deltas ≡ merged RunStats, counter by counter.
+    let totals = [
+        ("dist_checks", s.dist_checks),
+        ("query_dist_checks", s.query_dist_checks),
+        ("obj_comparisons", s.obj_comparisons),
+        ("seq_reads", s.io.seq_reads),
+        ("rand_reads", s.io.rand_reads),
+        ("seq_writes", s.io.seq_writes),
+        ("rand_writes", s.io.rand_writes),
+    ];
+    for (key, total) in totals {
+        assert_eq!(
+            sink.sum_field(LOCAL, key) + sink.sum_field(VERIFY, key),
+            total,
+            "shard span {key} don't tile the merged stats ({ctx})"
+        );
+    }
+
+    // The phase spans summarize the fan-out; the closing run span repeats
+    // the merged totals verbatim (same clause as the single-node contract).
+    let p1 = sink.spans_ending_with("shard.phase1");
+    assert_eq!(p1.len(), 1, "exactly one phase-1 span ({ctx})");
+    assert_eq!(p1[0].field("shards"), Some(k as u64), "phase-1 shards field ({ctx})");
+    assert_eq!(
+        p1[0].field("candidates"),
+        Some(run.candidates as u64),
+        "phase-1 candidate total ({ctx})"
+    );
+    let p2 = sink.spans_ending_with("shard.phase2");
+    assert_eq!(p2.len(), 1, "exactly one phase-2 span ({ctx})");
+    assert_eq!(
+        p2[0].field("survivors"),
+        Some(run.ids.len() as u64),
+        "phase-2 survivor total ({ctx})"
+    );
+    let runs = sink.spans_ending_with("shard.run");
+    assert_eq!(runs.len(), 1, "exactly one shard.run span ({ctx})");
+    assert_eq!(runs[0].field("dist_checks"), Some(s.dist_checks), "run span ({ctx})");
+    assert_eq!(runs[0].field("result_size"), Some(run.ids.len() as u64), "run span ({ctx})");
+
+    // The query-side cache cost is counted once per cache actually built —
+    // shard-local engine runs plus the per-shard verify caches.
+    assert_eq!(
+        sink.registry().counter("qcache.build_checks"),
+        s.query_dist_checks,
+        "qcache.build_checks counter ({ctx})"
+    );
+}
+
+#[test]
+fn sharded_span_deltas_tile_merged_stats() {
+    let mut rng = StdRng::seed_from_u64(1005);
+    let ds = rsky::data::synthetic::uniform_dataset(3, 5, 130, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, &q);
+    for (engine, threads) in [("naive", 1), ("brs", 1), ("trs", 1), ("srs", 2), ("trs", 5)] {
+        for k in [1usize, 3, 8] {
+            for policy in [ShardPolicy::RoundRobin, ShardPolicy::HashById] {
+                let ctx = format!("{engine}×{threads} k={k} {policy}");
+                let spec = ShardSpec::new(k, policy).unwrap();
+                let mut tables = ShardedTables::new(&ds, spec, 8.0, 64, 3).unwrap();
+                let sink = MemorySink::new();
+                let run = obs::with_recorder(sink.handle(), || {
+                    tables.run_query(engine, threads, &q).unwrap()
+                });
+                assert_eq!(run.ids, expect, "{ctx}");
+                assert_sharded_tiling(&sink, &run, k, &ctx);
+            }
+        }
+    }
+}
+
+/// Cancellation that fires **mid-phase-2** (after the scatter barrier,
+/// during verification) must leave every shard's disk and the stats
+/// contract intact: the very next run on the *same* shard tables returns
+/// the full result with identical counters and exact span tiling.
+#[test]
+fn sharded_cancellation_mid_phase2_keeps_contract_and_disks_intact() {
+    use rsky::core::cancel::{self, CancelToken};
+
+    let mut rng = StdRng::seed_from_u64(1006);
+    let ds = rsky::data::synthetic::uniform_dataset(3, 5, 140, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let spec = ShardSpec::new(3, ShardPolicy::RoundRobin).unwrap();
+    let mut tables = ShardedTables::new(&ds, spec, 8.0, 64, 3).unwrap();
+    let baseline = tables.run_query("trs", 1, &q).unwrap();
+    assert!(baseline.candidates > baseline.ids.len(), "need real phase-2 work to interrupt");
+
+    // Sweep the poll budget upward. The phases are barrier-separated, so
+    // once the budget exceeds phase 1's (deterministic) poll count, the
+    // firing poll provably sits in phase 2 — detected by the phase-1 span
+    // having closed with its summary fields.
+    let mut fired_mid_phase2 = false;
+    for checks in 1..10_000u64 {
+        let sink = MemorySink::new();
+        let result = obs::with_recorder(sink.handle(), || {
+            cancel::with_token(CancelToken::after_checks(checks), || {
+                tables.run_query("trs", 1, &q)
+            })
+        });
+        match result {
+            Err(err) => {
+                assert!(
+                    matches!(err, rsky::core::error::Error::Cancelled(_)),
+                    "expected Cancelled, got {err}"
+                );
+                let phase1_done = sink
+                    .spans_ending_with("shard.phase1")
+                    .iter()
+                    .any(|s| s.field("candidates").is_some());
+                if phase1_done {
+                    // All shards' local spans closed before the barrier…
+                    assert_eq!(
+                        sink.span_count("shard.phase1.local"),
+                        3,
+                        "phase-1 completed, so every local span must have closed"
+                    );
+                    // …and the cancel genuinely cut the gather short.
+                    assert!(
+                        sink.spans_ending_with("shard.run")
+                            .iter()
+                            .all(|s| s.field("result_size").is_none()),
+                        "a cancelled run must not close its run span with totals"
+                    );
+                    fired_mid_phase2 = true;
+                    break;
+                }
+            }
+            Ok(run) => {
+                // Budget outlived every poll: the earlier iterations covered
+                // all of phase 1, yet none fired mid-phase-2 — fail loudly
+                // below rather than looping forever.
+                assert_eq!(run.ids, baseline.ids);
+                break;
+            }
+        }
+    }
+    assert!(fired_mid_phase2, "no poll budget produced a mid-phase-2 cancellation");
+
+    // Same tables, same per-shard disks, immediately after the cancel: the
+    // full contract holds and the counters replay exactly.
+    let sink = MemorySink::new();
+    let rerun =
+        obs::with_recorder(sink.handle(), || tables.run_query("trs", 1, &q).unwrap());
+    assert_eq!(rerun.ids, baseline.ids, "post-cancel sharded run changed the result");
+    assert_eq!(rerun.stats.dist_checks, baseline.stats.dist_checks);
+    assert_eq!(rerun.stats.query_dist_checks, baseline.stats.query_dist_checks);
+    assert_eq!(rerun.stats.obj_comparisons, baseline.stats.obj_comparisons);
+    assert_sharded_tiling(&sink, &rerun, 3, "post-cancel rerun");
+}
+
 #[test]
 fn noop_recorder_records_nothing() {
     // Without an installed recorder a run must leave a fresh sink untouched —

@@ -1,0 +1,247 @@
+//! Differential harness for sharded scatter-gather execution.
+//!
+//! The contract under test: for **every** engine configuration, shard count,
+//! and partitioning policy, the two-phase scatter-gather run returns results
+//! *identical* to the single-node run — same ids, same RS membership — and
+//! its per-shard cost breakdown tiles the merged counters exactly. The
+//! single-node side is anchored to the definitional oracle
+//! (`reverse_skyline_by_definition`), so a bug that broke both paths the
+//! same way would still be caught.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky::prelude::*;
+
+/// All ten engine configurations the scatter-gather layer accepts: the four
+/// sequential engines plus the three parallel ones at two thread counts.
+const ENGINE_CONFIGS: &[(&str, usize)] = &[
+    ("naive", 1),
+    ("brs", 1),
+    ("srs", 1),
+    ("trs", 1),
+    ("brs", 2),
+    ("brs", 5),
+    ("srs", 2),
+    ("srs", 5),
+    ("trs", 2),
+    ("trs", 5),
+];
+
+const SHARD_COUNTS: &[usize] = &[1, 2, 3, 8];
+const POLICIES: &[ShardPolicy] = &[ShardPolicy::RoundRobin, ShardPolicy::HashById];
+
+/// Single-node run through the same engine factory the sharded layer uses.
+fn single_node(
+    ds: &Dataset,
+    q: &Query,
+    engine: &str,
+    threads: usize,
+    mem_pct: f64,
+    page: usize,
+) -> RsRun {
+    let mut disk = Disk::new_mem(page);
+    let raw = load_dataset(&mut disk, ds).unwrap();
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), mem_pct, page).unwrap();
+    let layout = layout_for(engine, 3).unwrap();
+    let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget).unwrap();
+    let algo = engine_by_name(engine, &ds.schema, threads).unwrap();
+    let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+    algo.run(&mut ctx, &prepared.file, q).unwrap()
+}
+
+/// The per-shard cost rows must tile the merged counters: the coordinator
+/// only overwrites wall-clock times and the final result size.
+fn assert_costs_tile(run: &ShardedRun, label: &str) {
+    let mut dist = 0u64;
+    let mut qdist = 0u64;
+    let mut pairs = 0u64;
+    let mut io = 0u64;
+    for c in &run.per_shard {
+        for s in [&c.local, &c.verify] {
+            dist += s.dist_checks;
+            qdist += s.query_dist_checks;
+            pairs += s.obj_comparisons;
+            io += s.io.total();
+        }
+    }
+    assert_eq!(run.stats.dist_checks, dist, "{label}: dist_checks don't tile");
+    assert_eq!(run.stats.query_dist_checks, qdist, "{label}: query_dist_checks don't tile");
+    assert_eq!(run.stats.obj_comparisons, pairs, "{label}: obj_comparisons don't tile");
+    assert_eq!(run.stats.io.total(), io, "{label}: io counts don't tile");
+    assert_eq!(run.stats.result_size, run.ids.len(), "{label}: result_size");
+    let cand: usize = run.per_shard.iter().map(|c| c.candidates).sum();
+    assert_eq!(run.candidates, cand, "{label}: candidate total");
+}
+
+/// Full matrix: every engine config × shard count × policy equals both the
+/// oracle and the single-node engine run.
+fn assert_sharded_matches(ds: &Dataset, q: &Query, mem_pct: f64, page: usize) {
+    let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, q);
+    for &(engine, threads) in ENGINE_CONFIGS {
+        let single = single_node(ds, q, engine, threads, mem_pct, page);
+        assert_eq!(single.ids, expect, "{engine}×{threads} single-node vs oracle on {}", ds.label);
+        for &k in SHARD_COUNTS {
+            for &policy in POLICIES {
+                let label = format!("{engine}×{threads} shards={k} policy={policy} {}", ds.label);
+                let spec = ShardSpec::new(k, policy).unwrap();
+                let mut tables = ShardedTables::new(ds, spec, mem_pct, page, 3).unwrap();
+                let run = tables.run_query(engine, threads, q).unwrap();
+                assert_eq!(run.ids, expect, "{label}: ids differ from single-node");
+                assert!(
+                    run.candidates >= run.ids.len(),
+                    "{label}: phase-1 candidates must be a superset of the result"
+                );
+                assert_costs_tile(&run, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_example_sharded_all_configs() {
+    // Six records over up to eight shards: covers empty shards too.
+    let (ds, q) = rsky::data::paper_example();
+    assert_sharded_matches(&ds, &q, 50.0, 32);
+}
+
+#[test]
+fn synthetic_normal_sharded_all_configs() {
+    let mut rng = StdRng::seed_from_u64(200);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 150, &mut rng).unwrap();
+    for q in rsky::data::random_queries(&ds.schema, 2, &mut rng).unwrap() {
+        assert_sharded_matches(&ds, &q, 12.0, 128);
+    }
+}
+
+#[test]
+fn synthetic_uniform_sharded_all_configs() {
+    // Uniform data keeps pruning weak → large candidate sets in phase 1,
+    // heavy phase-2 verification traffic.
+    let mut rng = StdRng::seed_from_u64(201);
+    let ds = rsky::data::synthetic::uniform_dataset(4, 5, 120, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    assert_sharded_matches(&ds, &q, 8.0, 64);
+}
+
+#[test]
+fn attribute_subset_queries_shard_exactly() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let ds = rsky::data::synthetic::normal_dataset(5, 6, 110, &mut rng).unwrap();
+    let q = rsky::data::workload::random_subset_queries(&ds.schema, &[0, 2, 4], 1, &mut rng)
+        .unwrap()
+        .remove(0);
+    assert_sharded_matches(&ds, &q, 10.0, 128);
+}
+
+/// Regression: exact duplicates that the partitioner scatters into
+/// *different* shards must still prune each other, exactly as they do in the
+/// single-node walkthrough (tests/paper_walkthrough.rs): both copies drop
+/// out of RS unless they tie the query on every selected attribute.
+#[test]
+fn cross_shard_duplicates_still_prune_each_other() {
+    let mut rng = StdRng::seed_from_u64(203);
+    let schema = Schema::with_cardinalities(&[4, 4]).unwrap();
+    let dissim = rsky::data::dissim_gen::random_dissim_table(&schema, &mut rng).unwrap();
+    let mut rows = RowBuf::new(2);
+    // Ids 10 and 11 are exact duplicates at adjacent arrival positions 0 and
+    // 1 — round-robin over 2 shards provably separates them.
+    rows.push(10, &[2, 3]);
+    rows.push(11, &[2, 3]);
+    rows.push(12, &[1, 0]);
+    rows.push(13, &[0, 2]);
+    rows.push(14, &[3, 1]);
+    let ds = Dataset { schema, dissim, rows, label: "cross-shard-dups".into() };
+
+    let spec = ShardSpec::new(2, ShardPolicy::RoundRobin).unwrap();
+    assert_ne!(
+        spec.policy.shard_of(10, 0, 2),
+        spec.policy.shard_of(11, 1, 2),
+        "test precondition: the duplicates must land in different shards"
+    );
+
+    // Query differing from the twins: each copy prunes the other across the
+    // shard boundary, so both leave RS.
+    let q = Query::new(&ds.schema, vec![0, 0]).unwrap();
+    let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, &q);
+    assert!(!expect.contains(&10) && !expect.contains(&11), "oracle: twins prune each other");
+    for &(engine, threads) in ENGINE_CONFIGS {
+        let mut tables = ShardedTables::new(&ds, spec, 50.0, 32, 3).unwrap();
+        let run = tables.run_query(engine, threads, &q).unwrap();
+        assert_eq!(run.ids, expect, "{engine}×{threads}: cross-shard duplicate pruning");
+        assert!(
+            run.candidates > run.ids.len(),
+            "{engine}×{threads}: each twin must survive phase 1 locally and die in phase 2"
+        );
+    }
+
+    // Query equal to the twins: neither can strictly improve on a tie, so
+    // both stay in RS — pruning across shards must not overshoot.
+    let q = Query::new(&ds.schema, vec![2, 3]).unwrap();
+    let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, &q);
+    assert!(expect.contains(&10) && expect.contains(&11), "oracle: ties keep both twins");
+    for &(engine, threads) in ENGINE_CONFIGS {
+        let mut tables = ShardedTables::new(&ds, spec, 50.0, 32, 3).unwrap();
+        let run = tables.run_query(engine, threads, &q).unwrap();
+        assert_eq!(run.ids, expect, "{engine}×{threads}: tied twins must both survive");
+    }
+}
+
+/// `k = 1` is the degenerate scatter-gather: phase 2 has no foreign windows,
+/// so not just the ids but the *counters* must equal the single-node run.
+#[test]
+fn one_shard_equals_single_node_counters() {
+    let mut rng = StdRng::seed_from_u64(204);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 100, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    for &(engine, threads) in ENGINE_CONFIGS {
+        let single = single_node(&ds, &q, engine, threads, 15.0, 128);
+        let spec = ShardSpec::new(1, ShardPolicy::RoundRobin).unwrap();
+        let mut tables = ShardedTables::new(&ds, spec, 15.0, 128, 3).unwrap();
+        let run = tables.run_query(engine, threads, &q).unwrap();
+        assert_eq!(run.ids, single.ids, "{engine}×{threads}");
+        assert_eq!(run.stats.dist_checks, single.stats.dist_checks, "{engine}×{threads}");
+        assert_eq!(
+            run.stats.query_dist_checks, single.stats.query_dist_checks,
+            "{engine}×{threads}"
+        );
+        assert_eq!(run.stats.obj_comparisons, single.stats.obj_comparisons, "{engine}×{threads}");
+        assert_eq!(run.per_shard[0].verify.obj_comparisons, 0, "{engine}×{threads}: no foreigns");
+    }
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Full sweep behind `--features property-tests`, smoke subset otherwise
+    /// (same strategies, same shrinking) — mirrors tests/property.rs.
+    const CASES: u32 = if cfg!(feature = "property-tests") { 48 } else { 8 };
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: CASES, ..ProptestConfig::default() })]
+
+        /// Arbitrary (dataset, query, engine config, shard config) — the
+        /// sharded run always equals the definitional oracle.
+        #[test]
+        fn sharded_equals_single_node(
+            seed in 0u64..1_000_000,
+            n in 20usize..90,
+            k in 1usize..=8,
+            use_hash in proptest::bool::ANY,
+            engine_idx in 0usize..10,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ds = rsky::data::synthetic::normal_dataset(3, 5, n, &mut rng).unwrap();
+            let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+            let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, &q);
+            let (engine, threads) = super::ENGINE_CONFIGS[engine_idx];
+            let policy = if use_hash { ShardPolicy::HashById } else { ShardPolicy::RoundRobin };
+            let spec = ShardSpec::new(k, policy).unwrap();
+            let mut tables = ShardedTables::new(&ds, spec, 12.0, 128, 3).unwrap();
+            let run = tables.run_query(engine, threads, &q).unwrap();
+            prop_assert_eq!(&run.ids, &expect,
+                "{}×{} shards={} policy={}", engine, threads, k, policy);
+            super::assert_costs_tile(&run, "property");
+        }
+    }
+}
