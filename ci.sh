@@ -26,6 +26,18 @@ full() {
     echo "=== clippy (warnings are errors) ==="
     cargo clippy --workspace --all-targets -- -D warnings
     cargo clippy --workspace --all-targets --features property-tests -- -D warnings
+    echo "=== smoke: observability overhead bench ==="
+    RSKY_SCALE=0.05 cargo bench -p rsky-bench --bench obs_overhead
+    test -s BENCH_obs.json
+    echo "=== smoke: trace round-trip (generate → query --trace-out → trace) ==="
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+    ./target/release/rsky generate --kind normal --n 400 --attrs 3 --values 8 --out "$smoke_dir/data"
+    ./target/release/rsky query --data "$smoke_dir/data" --algo trs --threads 2 --shards 3 \
+        --query 1,2,3 --trace-out "$smoke_dir/trace.jsonl" > /dev/null
+    ./target/release/rsky trace --in "$smoke_dir/trace.jsonl" | tee "$smoke_dir/tree.txt" | tail -n 3
+    grep -q " 0 orphan(s)" "$smoke_dir/tree.txt"
+    grep -qv " 0 trace(s)" "$smoke_dir/tree.txt"
 }
 
 case "${1:-all}" in

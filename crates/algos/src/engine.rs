@@ -198,7 +198,7 @@ pub(crate) fn run_with_scaffolding(
     let t0 = Instant::now();
     let mut run_span = robs.span("run");
     let cache = QueryDistCache::new(ctx.dissim, ctx.schema, query);
-    robs.handle.counter_add("qcache.build_checks", cache.build_checks);
+    robs.handle.counter_add(obs::names::QCACHE_BUILD_CHECKS, cache.build_checks);
     let mut stats = RunStats { query_dist_checks: cache.build_checks, ..Default::default() };
     let mut ids = body(ctx, &cache, &mut stats, &robs)?;
     ids.sort_unstable();

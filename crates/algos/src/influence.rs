@@ -171,12 +171,13 @@ pub fn run_influence_parallel(
         }
         c
     };
-    // Capture the caller's recorder and cancel token (both are scoped
-    // thread-locals) and re-install them inside each worker, so per-query
-    // spans from worker threads reach the same sink and a deadline set by
-    // the caller cancels every shard.
+    // Capture the caller's recorder, cancel token and span context (all
+    // scoped thread-locals) and re-install them inside each worker, so
+    // per-query spans from worker threads reach the same sink *in the same
+    // trace* and a deadline set by the caller cancels every shard.
     let obs = rsky_core::obs::handle();
     let cancel = rsky_core::cancel::current();
+    let parent = rsky_core::obs::current_parent();
     let results: Vec<Result<Vec<(usize, Influence, RunStats)>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
@@ -186,20 +187,23 @@ pub fn run_influence_parallel(
                 scope.spawn(move || -> Result<Vec<(usize, Influence, RunStats)>> {
                     rsky_core::obs::with_recorder(obs, || {
                         rsky_core::cancel::with_token(cancel, || {
-                            let mut engine =
-                                InfluenceEngine::new(dataset.clone(), mem_pct, page_size)?;
-                            let mut out = Vec::with_capacity(chunk.len());
-                            for (qi, q) in chunk {
-                                let report = engine.run(std::slice::from_ref(&q), keep_ids)?;
-                                let mut inf = report
-                                    .per_query
-                                    .into_iter()
-                                    .next()
-                                    .expect("one query in, one out");
-                                inf.query_index = qi;
-                                out.push((qi, inf, report.totals));
-                            }
-                            Ok(out)
+                            rsky_core::obs::with_parent(parent, || {
+                                let mut engine =
+                                    InfluenceEngine::new(dataset.clone(), mem_pct, page_size)?;
+                                let mut out = Vec::with_capacity(chunk.len());
+                                for (qi, q) in chunk {
+                                    let report =
+                                        engine.run(std::slice::from_ref(&q), keep_ids)?;
+                                    let mut inf = report
+                                        .per_query
+                                        .into_iter()
+                                        .next()
+                                        .expect("one query in, one out");
+                                    inf.query_index = qi;
+                                    out.push((qi, inf, report.totals));
+                                }
+                                Ok(out)
+                            })
                         })
                     })
                 })

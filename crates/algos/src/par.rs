@@ -44,6 +44,7 @@ use std::time::Instant;
 use rsky_altree::AlTree;
 use rsky_core::dominate::prunes_with_center_dists;
 use rsky_core::error::Result;
+use rsky_core::obs;
 use rsky_core::query::Query;
 use rsky_core::record::{RecordId, RowBuf};
 use rsky_core::schema::Schema;
@@ -151,7 +152,7 @@ fn run_par_scaffolding(
     let t0 = Instant::now();
     let mut run_span = robs.span("run");
     let cache = QueryDistCache::new(ctx.dissim, ctx.schema, query);
-    robs.handle().counter_add("qcache.build_checks", cache.build_checks);
+    robs.handle().counter_add(obs::names::QCACHE_BUILD_CHECKS, cache.build_checks);
     let mut stats = RunStats { query_dist_checks: cache.build_checks, ..Default::default() };
     let mut ids = body(ctx, &cache, &mut stats, &robs)?;
     ids.sort_unstable();
@@ -240,12 +241,15 @@ fn par_two_phase(
     let starts = flat_batch_starts(&shared_d, cap1);
     let nb = starts.len();
     let next = AtomicUsize::new(0);
+    // Worker threads start with an empty span stack; hand them the phase
+    // span's context so their batch spans join this run's trace.
+    let p1_ctx = p1_span.ctx();
     let worker_out: WorkerOut<RowBuf> =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let (shared_d, starts, next) = (&shared_d, &starts, &next);
-                    s.spawn(move || {
+                    s.spawn(move || obs::with_parent(p1_ctx, || {
                         let mut scanner = shared_d.scanner();
                         let mut dqx = Vec::with_capacity(query.subset.len());
                         let mut out = Vec::new();
@@ -280,7 +284,7 @@ fn par_two_phase(
                             out.push((b, surv, bs));
                         }
                         Ok((out, scanner.io_stats()))
-                    })
+                    }))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("phase-1 worker panicked")).collect()
@@ -320,13 +324,14 @@ fn par_two_phase(
     let subset = &query.subset;
     let slen = subset.len();
     let d_pages = shared_d.num_pages();
+    let p2_ctx = p2_span.ctx();
     let worker_out: WorkerOut<Vec<RecordId>> =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let (shared_d, shared_r, rstarts, next2) =
                         (&shared_d, &shared_r, &rstarts, &next2);
-                    s.spawn(move || {
+                    s.spawn(move || obs::with_parent(p2_ctx, || {
                         let mut r_scanner = shared_r.scanner();
                         let mut d_scanner = shared_d.scanner();
                         let mut rbatch = RowBuf::new(m);
@@ -411,7 +416,7 @@ fn par_two_phase(
                         let mut io = r_scanner.io_stats();
                         io.add(d_scanner.io_stats());
                         Ok((out, io))
-                    })
+                    }))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("phase-2 worker panicked")).collect()
@@ -455,7 +460,7 @@ fn claim_tree_batch(
     let wait0 = robs.enabled().then(Instant::now);
     let mut ld = loader.lock().expect("tree loader poisoned");
     if let Some(t0) = wait0 {
-        robs.handle().histogram_record("par.batch.wait_us", t0.elapsed().as_micros() as u64);
+        robs.handle().histogram_record(obs::names::PAR_BATCH_WAIT_US, t0.elapsed().as_micros() as u64);
     }
     if ld.page >= total_pages {
         return Ok(None);
@@ -503,12 +508,13 @@ fn par_trs(
     let io_stats1 = stats.io;
     let tree_budget = ctx.budget.phase1_tree_bytes();
     let loader = Mutex::new(TreeLoader { scanner: shared_d.scanner(), page: 0, batch_idx: 0 });
+    let p1_ctx = p1_span.ctx();
     let worker_out: WorkerOut<RowBuf> =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let loader = &loader;
-                    s.spawn(move || {
+                    s.spawn(move || obs::with_parent(p1_ctx, || {
                         let mut tree = AlTree::new(m);
                         let mut pbuf = RowBuf::new(m);
                         let mut tvals = vec![0u32; m];
@@ -558,7 +564,7 @@ fn par_trs(
                             out.push((b, surv, bs));
                         }
                         Ok((out, IoCounts::default()))
-                    })
+                    }))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("TRS phase-1 worker panicked")).collect()
@@ -594,12 +600,13 @@ fn par_trs(
     let shared_r = r_file.share(ctx.disk)?;
     let r_pages = shared_r.num_pages();
     let loader2 = Mutex::new(TreeLoader { scanner: shared_r.scanner(), page: 0, batch_idx: 0 });
+    let p2_ctx = p2_span.ctx();
     let worker_out: WorkerOut<Vec<RecordId>> =
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let (loader2, shared_d) = (&loader2, &shared_d);
-                    s.spawn(move || {
+                    s.spawn(move || obs::with_parent(p2_ctx, || {
                         let mut tree = AlTree::new(m);
                         let mut pbuf = RowBuf::new(m);
                         let mut tvals = vec![0u32; m];
@@ -646,7 +653,7 @@ fn par_trs(
                             out.push((b, tree.collect_ids(), bs));
                         }
                         Ok((out, d_scanner.io_stats()))
-                    })
+                    }))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("TRS phase-2 worker panicked")).collect()

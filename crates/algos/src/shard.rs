@@ -263,6 +263,7 @@ impl ShardedTables {
         // --- Phase one (scatter): local engine runs, one thread per shard.
         let t1 = Instant::now();
         let mut p1_span = robs.span(names::SPAN_PHASE1);
+        let p1_ctx = p1_span.ctx();
         let (schema, dissim) = (&self.schema, &self.dissim);
         let locals: Vec<Result<(Vec<RecordId>, RunStats)>> = std::thread::scope(|s| {
             let handles: Vec<_> = self
@@ -273,22 +274,25 @@ impl ShardedTables {
                     let (robs, handle, token) = (&robs, &handle, &token);
                     let layout = layout.clone();
                     s.spawn(move || {
-                        // Re-install the coordinator's recorder and cancel
-                        // token (both thread-scoped) so the inner engine's
-                        // own capture sees them.
+                        // Re-install the coordinator's recorder, cancel
+                        // token and span context (all thread-scoped) so the
+                        // inner engine's own capture sees them and its spans
+                        // join this run's trace under the phase-1 span.
                         obs::with_recorder(handle.clone(), || {
                             cancel::with_token(token.clone(), || {
-                                local_run(
-                                    st,
-                                    i,
-                                    engine_name,
-                                    engine_threads,
-                                    layout,
-                                    schema,
-                                    dissim,
-                                    query,
-                                    robs,
-                                )
+                                obs::with_parent(p1_ctx, || {
+                                    local_run(
+                                        st,
+                                        i,
+                                        engine_name,
+                                        engine_threads,
+                                        layout,
+                                        schema,
+                                        dissim,
+                                        query,
+                                        robs,
+                                    )
+                                })
                             })
                         })
                     })
@@ -329,13 +333,16 @@ impl ShardedTables {
             .iter()
             .map(|st| st.raw.as_ref().map(|rf| rf.share(&st.disk)).transpose())
             .collect::<Result<_>>()?;
+        let p2_ctx = p2_span.ctx();
         let verified: Vec<Result<(Vec<RecordId>, RunStats)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..k)
                 .map(|i| {
                     let (robs, windows, cands) = (&robs, &windows, &candidates[i]);
                     let rows = &self.shards[i].rows;
                     s.spawn(move || {
-                        verify_shard(i, cands, rows, windows, schema, dissim, query, robs)
+                        obs::with_parent(p2_ctx, || {
+                            verify_shard(i, cands, rows, windows, schema, dissim, query, robs)
+                        })
                     })
                 })
                 .collect();
@@ -462,7 +469,7 @@ fn verify_shard(
         // Each verify task builds its own query-distance cache so its span
         // fully accounts its work (the sharded stats contract sums spans).
         let cache = QueryDistCache::new(dissim, schema, query);
-        robs.handle().counter_add("qcache.build_checks", cache.build_checks);
+        robs.handle().counter_add(obs::names::QCACHE_BUILD_CHECKS, cache.build_checks);
         vs.query_dist_checks = cache.build_checks;
         let subset = &query.subset;
         let slen = subset.len();

@@ -21,7 +21,7 @@ OPTIONS:
     --memory PCT      working memory as % of dataset             [10]
     --page BYTES      page size                                  [4096]
     --naive BOOL      include the O(n²)-scan baseline (slow)     [false]
-    --stats-format F  table as human | json                      [human]
+    --stats-format F  table as human | json | prometheus         [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL";
 
 pub fn run(argv: &[String]) -> Result<()> {
@@ -37,7 +37,7 @@ pub fn run(argv: &[String]) -> Result<()> {
     let mut rng = StdRng::seed_from_u64(seed);
     let workload = rsky_data::random_queries(&ds.schema, queries, &mut rng)?;
 
-    if obs.format == StatsFormat::Json {
+    if obs.format != StatsFormat::Human {
         use std::fmt::Write;
         let mut algos = vec![
             rsky_bench_kind::Kind::Brs,
@@ -68,7 +68,11 @@ pub fn run(argv: &[String]) -> Result<()> {
             );
         }
         let _ = write!(out, "],\"metrics\":{}}}", obs.metrics_json());
-        println!("{out}");
+        if obs.format == StatsFormat::Prometheus {
+            print!("{}", obs.metrics_prometheus());
+        } else {
+            println!("{out}");
+        }
         obs.finish()?;
         return Ok(());
     }

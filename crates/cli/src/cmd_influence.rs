@@ -27,7 +27,7 @@ OPTIONS:
                       same ranking as the single-node run         [off]
     --shard-policy P  round-robin | hash partitioning     [round-robin]
     --top K           how many top entries to print              [10]
-    --stats-format F  report as human | json                     [human]
+    --stats-format F  report as human | json | prometheus        [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL";
 
 pub fn run(argv: &[String]) -> Result<()> {
@@ -53,6 +53,11 @@ pub fn run(argv: &[String]) -> Result<()> {
         }
         None => run_influence_parallel(&ds, &workload, mem_pct, page, threads, false)?,
     };
+    if obs.format == StatsFormat::Prometheus {
+        print!("{}", obs.metrics_prometheus());
+        obs.finish()?;
+        return Ok(());
+    }
     if obs.format == StatsFormat::Json {
         use std::fmt::Write;
         let mut out = String::from("{\"queries\":");

@@ -32,7 +32,7 @@ OPTIONS:
                       are identical to the single-node run        [off]
     --shard-policy P  round-robin | hash partitioning     [round-robin]
     --file-backend    store pages in real files (response-time mode)
-    --stats-format F  cost profile as human | json               [human]
+    --stats-format F  cost profile as human | json | prometheus  [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL
     --explain         list a pruner witness for each excluded object near
                       the result (slow: O(n²) over the dataset)";
@@ -75,6 +75,11 @@ pub fn run(argv: &[String]) -> Result<()> {
         let mut tables = ShardedTables::new(&ds, spec, mem_pct, page, tiles)?;
         let sharded = tables.run_query(algo, threads, &query)?;
         let run = RsRun { ids: sharded.ids, stats: sharded.stats };
+        if obs.format == StatsFormat::Prometheus {
+            print!("{}", obs.metrics_prometheus());
+            obs.finish()?;
+            return Ok(());
+        }
         if obs.format == StatsFormat::Json {
             println!("{}", render_json(algo, &run, Some((&spec, sharded.candidates)), &obs));
             obs.finish()?;
@@ -120,6 +125,11 @@ pub fn run(argv: &[String]) -> Result<()> {
     let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
     let run = engine.run(&mut ctx, &prepared.file, &query)?;
 
+    if obs.format == StatsFormat::Prometheus {
+        print!("{}", obs.metrics_prometheus());
+        obs.finish()?;
+        return Ok(());
+    }
     if obs.format == StatsFormat::Json {
         println!("{}", render_json(engine.name(), &run, None, &obs));
         obs.finish()?;

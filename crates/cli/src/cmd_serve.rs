@@ -15,7 +15,11 @@ Serves reverse-skyline queries over TCP, speaking newline-delimited JSON.
 Send {\"op\":\"shutdown\"} to stop: the server drains in-flight requests,
 answers each one, and exits.
 
-Ops: query, influence, insert, expire, health, metrics, shutdown.
+Ops: query, influence, insert, expire, health, metrics, slowlog, shutdown.
+The metrics op takes an optional \"format\": \"json\" (default) or
+\"prometheus\" (text exposition in the \"body\" member). With
+--slow-request-us set, requests slower than the threshold retain their
+complete span tree in a ring dumped by the slowlog op.
 Example session (one request per line):
     {\"op\":\"query\",\"engine\":\"trs\",\"values\":[3,17,25],\"deadline_ms\":250}
     {\"op\":\"health\"}
@@ -35,6 +39,9 @@ OPTIONS:
     --shards K          serve every query as a K-shard scatter-
                         gather; results match single-node exactly [off]
     --shard-policy P    round-robin | hash partitioning   [round-robin]
+    --slow-request-us US  capture span trees of requests slower than
+                        US microseconds (0 = off)                 [0]
+    --slowlog-cap N     slow-request ring capacity                [16]
     --test-ops          enable test-only ops (sleep) — e2e only
     --trace-out FILE    stream span/counter events to FILE as JSONL";
 
@@ -55,6 +62,8 @@ pub fn run(argv: &[String]) -> Result<()> {
         tiles: flags.num("tiles", 4)?,
         shard: flags.shard_spec()?,
         enable_test_ops: flags.switch("test-ops"),
+        slow_request_us: flags.num("slow-request-us", 0)?,
+        slowlog_cap: flags.num("slowlog-cap", 16)?,
     };
     let workers = resolve_threads(config.workers);
     let handle = Server::start(config, ds)?;

@@ -21,6 +21,7 @@ mod cmd_info;
 mod cmd_query;
 mod cmd_serve;
 mod cmd_skyline;
+mod cmd_trace;
 mod obs_setup;
 
 use std::process::ExitCode;
@@ -40,6 +41,7 @@ COMMANDS:
     influence   rank a workload of random queries by |RS| (influence)
     compare     compare the engines over random queries on one dataset
     serve       serve queries over TCP (admission control, deadlines, cache)
+    trace       render the span trees from a --trace-out JSONL file
     help        show this message, or details for one command
 
 Run `rsky help <command>` for per-command options.";
@@ -60,6 +62,7 @@ fn main() -> ExitCode {
         "influence" => cmd_influence::run(rest),
         "compare" => cmd_compare::run(rest),
         "serve" => cmd_serve::run(rest),
+        "trace" => cmd_trace::run(rest),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("generate") => println!("{}", cmd_generate::HELP),
@@ -69,6 +72,7 @@ fn main() -> ExitCode {
                 Some("skyline") => println!("{}", cmd_skyline::HELP),
                 Some("compare") => println!("{}", cmd_compare::HELP),
                 Some("serve") => println!("{}", cmd_serve::HELP),
+                Some("trace") => println!("{}", cmd_trace::HELP),
                 Some("demo") => println!("{}", cmd_demo::HELP),
                 _ => println!("{USAGE}"),
             }

@@ -18,6 +18,8 @@ pub enum StatsFormat {
     Human,
     /// One JSON object on stdout (machine-readable).
     Json,
+    /// Prometheus text exposition of the metrics registry on stdout.
+    Prometheus,
 }
 
 /// Observability sinks installed for this CLI invocation.
@@ -37,9 +39,10 @@ impl CliObs {
         let format = match flags.get("stats-format") {
             None | Some("human") => StatsFormat::Human,
             Some("json") => StatsFormat::Json,
+            Some("prometheus") => StatsFormat::Prometheus,
             Some(other) => {
                 return Err(Error::InvalidConfig(format!(
-                    "--stats-format: unknown format {other:?} (human|json)"
+                    "--stats-format: unknown format {other:?} (human|json|prometheus)"
                 )))
             }
         };
@@ -71,6 +74,15 @@ impl CliObs {
         match &self.registry {
             Some(reg) => reg.to_json(),
             None => "{}".to_string(),
+        }
+    }
+
+    /// The registry's Prometheus text exposition (empty when recording is
+    /// off — `--stats-format prometheus` always installs the registry).
+    pub fn metrics_prometheus(&self) -> String {
+        match &self.registry {
+            Some(reg) => reg.to_prometheus(),
+            None => String::new(),
         }
     }
 

@@ -30,11 +30,25 @@
 //! CLI). Engines grab [`handle()`] once per run on the calling thread and
 //! pass the cloned handle to any worker threads they spawn, so parallel
 //! engines trace through the same sink as sequential ones.
+//!
+//! ## Trace context
+//!
+//! Every recording span carries a [`TraceContext`]: a trace id shared by
+//! all spans of one logical request and a process-unique span id, plus the
+//! parent span's id. Parentage is tracked on a per-thread stack of open
+//! spans: a span opened while another is open on the same thread becomes
+//! its child; a span opened on an empty stack starts a fresh trace (the
+//! server request span, or the engine run span in an offline CLI run).
+//! Worker threads inherit parentage explicitly: capture the parent with
+//! [`Span::ctx`] (or [`current_parent`]) before spawning and wrap the
+//! worker body in [`with_parent`]. Spans must be dropped on the thread
+//! that opened them — true everywhere in this workspace.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -98,6 +112,92 @@ pub mod shard_names {
     pub const SPAN_VERIFY: &str = "phase2.verify";
 }
 
+/// Canonical names for the ad-hoc metrics the engine layers emit outside
+/// any span (plus the metric-name contract: every string passed to
+/// `counter_add` / `gauge_set` / `histogram_record` anywhere in the
+/// workspace must be, or be prefixed by, a constant from this module or
+/// [`server_names`] — enforced by tests/metric_names.rs).
+pub mod names {
+    /// Counter: attribute-level distance evaluations spent building a
+    /// query-distance cache (the paper's query-side `d_i(q, v)` table).
+    pub const QCACHE_BUILD_CHECKS: &str = "qcache.build_checks";
+    /// Histogram: time a TRS-P worker waited on the shared tree loader (µs).
+    pub const PAR_BATCH_WAIT_US: &str = "par.batch.wait_us";
+}
+
+// ---------------------------------------------------------------------------
+// Trace context
+// ---------------------------------------------------------------------------
+
+/// The causal identity of an open span: the trace it belongs to and its own
+/// span id. Attach a worker thread to a parent span by passing the parent's
+/// context ([`Span::ctx`]) to [`with_parent`] inside the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id shared by every span of one request (or one CLI run).
+    pub trace_id: u64,
+    /// The span's process-unique id (creation-ordered).
+    pub span_id: u64,
+}
+
+thread_local! {
+    /// The stack of spans currently open on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-wide span-id allocator. Sequential ids double as creation order,
+/// which is what `rsky trace` sorts siblings by.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A fresh trace id: splitmix64 over a process-startup seed and the span
+/// counter, masked to 48 bits so the id survives a round-trip through
+/// f64-backed JSON parsers without losing precision.
+fn new_trace_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15)
+    });
+    let mut z = seed.wrapping_add(next_span_id().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) & ((1 << 48) - 1)
+}
+
+/// The context of the innermost span open on this thread, if any — the
+/// parent a span opened right now would get.
+pub fn current_parent() -> Option<TraceContext> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Runs `f` with `parent` installed as the current span context, so spans
+/// `f` opens become children of `parent` in its trace. This is how worker
+/// threads join the trace of the coordinator that spawned them; a `None`
+/// parent runs `f` unchanged. Panic-safe via an RAII guard.
+pub fn with_parent<T>(parent: Option<TraceContext>, f: impl FnOnce() -> T) -> T {
+    let Some(ctx) = parent else { return f() };
+    struct Guard(TraceContext);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SPAN_STACK.with(|s| {
+                let mut st = s.borrow_mut();
+                if let Some(pos) = st.iter().rposition(|c| *c == self.0) {
+                    st.remove(pos);
+                }
+            });
+        }
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(ctx));
+    let _guard = Guard(ctx);
+    f()
+}
+
 // ---------------------------------------------------------------------------
 // Events
 // ---------------------------------------------------------------------------
@@ -109,6 +209,12 @@ pub mod shard_names {
 pub struct SpanEvent {
     /// Dotted span name, e.g. `brs.phase1.batch`.
     pub name: String,
+    /// Trace this span belongs to (shared by every span of one request).
+    pub trace_id: u64,
+    /// This span's process-unique id.
+    pub span_id: u64,
+    /// The enclosing span's id; `None` marks a trace root.
+    pub parent_id: Option<u64>,
     /// Wall-clock between span enter and close, in microseconds.
     pub wall_us: u64,
     /// Counter deltas attached to the span, in attachment order.
@@ -191,12 +297,21 @@ impl ObsHandle {
         if !self.enabled() {
             return Span { inner: None };
         }
+        let span_id = next_span_id();
+        let (trace_id, parent_id) = SPAN_STACK.with(|s| match s.borrow().last() {
+            Some(p) => (p.trace_id, Some(p.span_id)),
+            None => (new_trace_id(), None),
+        });
+        SPAN_STACK.with(|s| s.borrow_mut().push(TraceContext { trace_id, span_id }));
         Span {
             inner: Some(SpanInner {
                 rec: self.rec.clone(),
                 name: format!("{prefix}.{what}"),
                 start: Instant::now(),
                 fields: Vec::with_capacity(8),
+                trace_id,
+                span_id,
+                parent_id,
             }),
         }
     }
@@ -277,6 +392,9 @@ struct SpanInner {
     name: String,
     start: Instant,
     fields: Vec<(&'static str, u64)>,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: Option<u64>,
 }
 
 /// An open span. Closing (drop or [`Span::close`]) emits one [`SpanEvent`]
@@ -320,6 +438,14 @@ impl Span {
             .field("rand_writes", io.rand_writes)
     }
 
+    /// This span's [`TraceContext`] (`None` when not recording). Capture it
+    /// before spawning workers and hand it to [`with_parent`] inside them.
+    pub fn ctx(&self) -> Option<TraceContext> {
+        self.inner
+            .as_ref()
+            .map(|i| TraceContext { trace_id: i.trace_id, span_id: i.span_id })
+    }
+
     /// Closes the span now (otherwise it closes on drop).
     pub fn close(self) {}
 }
@@ -327,10 +453,19 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
+            SPAN_STACK.with(|s| {
+                let mut st = s.borrow_mut();
+                if let Some(pos) = st.iter().rposition(|c| c.span_id == inner.span_id) {
+                    st.remove(pos);
+                }
+            });
             let event = SpanEvent {
                 wall_us: inner.start.elapsed().as_micros() as u64,
                 name: inner.name,
                 fields: inner.fields,
+                trace_id: inner.trace_id,
+                span_id: inner.span_id,
+                parent_id: inner.parent_id,
             };
             inner.rec.span_close(&event);
         }
@@ -445,11 +580,12 @@ fn json_escape(s: &str, out: &mut String) {
 /// JSONL sink: one JSON object per line per event. Span lines look like
 ///
 /// ```json
-/// {"type":"span","name":"brs.phase1.batch","wall_us":42,"fields":{"dist_checks":180,"seq_reads":3}}
+/// {"type":"span","name":"brs.phase1.batch","trace_id":7,"span_id":3,"parent_id":2,"wall_us":42,"fields":{"dist_checks":180,"seq_reads":3}}
 /// ```
 ///
-/// counter / gauge / histogram updates are emitted as
-/// `{"type":"counter","name":…,"value":…}` lines.
+/// (`parent_id` is `null` on trace roots); counter / gauge / histogram
+/// updates are emitted as `{"type":"counter","name":…,"value":…}` lines.
+/// Non-finite gauge values render as `null` — bare `NaN`/`inf` is not JSON.
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
     lines: Mutex<u64>,
@@ -493,10 +629,17 @@ impl JsonlSink {
 
 impl Recorder for JsonlSink {
     fn span_close(&self, event: &SpanEvent) {
-        let mut line = String::with_capacity(96);
+        let mut line = String::with_capacity(128);
         line.push_str("{\"type\":\"span\",\"name\":\"");
         json_escape(&event.name, &mut line);
-        let _ = write!(line, "\",\"wall_us\":{},\"fields\":{{", event.wall_us);
+        let _ = write!(line, "\",\"trace_id\":{},\"span_id\":{}", event.trace_id, event.span_id);
+        match event.parent_id {
+            Some(p) => {
+                let _ = write!(line, ",\"parent_id\":{p}");
+            }
+            None => line.push_str(",\"parent_id\":null"),
+        }
+        let _ = write!(line, ",\"wall_us\":{},\"fields\":{{", event.wall_us);
         for (i, (k, v)) in event.fields.iter().enumerate() {
             if i > 0 {
                 line.push(',');
@@ -521,7 +664,11 @@ impl Recorder for JsonlSink {
         let mut line = String::with_capacity(64);
         line.push_str("{\"type\":\"gauge\",\"name\":\"");
         json_escape(name, &mut line);
-        let _ = write!(line, "\",\"value\":{value}}}");
+        if value.is_finite() {
+            let _ = write!(line, "\",\"value\":{value}}}");
+        } else {
+            line.push_str("\",\"value\":null}");
+        }
         self.write_line(&line);
     }
 
@@ -538,8 +685,18 @@ impl Recorder for JsonlSink {
 // Metrics registry
 // ---------------------------------------------------------------------------
 
-/// Summary statistics of one histogram (exact values are not retained).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Number of log2 buckets in a [`HistogramSummary`]: bucket `i` counts
+/// observations whose bit length is `i` (`v == 0` lands in bucket 0, else
+/// `i == floor(log2 v) + 1`), so 65 buckets cover the whole `u64` range.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A bounded-memory log2-bucketed histogram. Exact values are not retained;
+/// quantiles are estimated by walking the bucket counts and interpolating
+/// linearly inside the winning bucket, then clamping to the observed
+/// `[min, max]`. The relative error of a quantile is at most one bucket
+/// width (2× the true value); the memory footprint is a fixed
+/// `65 × 8 + 32 = 552` bytes regardless of how many observations land.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Observations recorded.
     pub count: u64,
@@ -549,6 +706,13 @@ pub struct HistogramSummary {
     pub min: u64,
     /// Largest observation.
     pub max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        Self { count: 0, sum: 0, min: 0, max: 0, buckets: [0; HIST_BUCKETS] }
+    }
 }
 
 impl HistogramSummary {
@@ -561,6 +725,7 @@ impl HistogramSummary {
         }
         self.count += 1;
         self.sum += value;
+        self.buckets[(u64::BITS - value.leading_zeros()) as usize] += 1;
     }
 
     /// Mean observation (0.0 when empty).
@@ -570,6 +735,41 @@ impl HistogramSummary {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`; 0 when empty). `q = 0.5`
+    /// is the median, `q = 1.0` the (exact) maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly; no need to estimate.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // Bucket i spans [2^(i-1), 2^i - 1] (bucket 0 is just {0});
+                // for i = 64 the upper bound wraps to exactly u64::MAX.
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 { 0u64 } else { lo.wrapping_mul(2).wrapping_sub(1) };
+                let into = rank - seen - 1;
+                let frac = if n <= 1 { 0.0 } else { into as f64 / (n - 1) as f64 };
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
     }
 }
 
@@ -634,7 +834,7 @@ impl MetricsRegistry {
 
     /// Summary of histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
-        self.histograms.lock().expect("registry poisoned").get(name).copied()
+        self.histograms.lock().expect("registry poisoned").get(name).cloned()
     }
 
     /// Snapshot of all counters, sorted by name.
@@ -660,7 +860,8 @@ impl MetricsRegistry {
     }
 
     /// Renders the whole registry as one JSON object
-    /// (`{"counters":{…},"gauges":{…},"histograms":{…}}`).
+    /// (`{"counters":{…},"gauges":{…},"histograms":{…}}`). Histograms carry
+    /// their p50/p90/p99/p999 estimates; non-finite gauges render as `null`.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters().iter().enumerate() {
@@ -678,7 +879,11 @@ impl MetricsRegistry {
             }
             s.push('"');
             json_escape(k, &mut s);
-            let _ = write!(s, "\":{v}");
+            if v.is_finite() {
+                let _ = write!(s, "\":{v}");
+            } else {
+                s.push_str("\":null");
+            }
         }
         s.push_str("},\"histograms\":{");
         for (i, (k, h)) in self.histograms().iter().enumerate() {
@@ -689,11 +894,73 @@ impl MetricsRegistry {
             json_escape(k, &mut s);
             let _ = write!(
                 s,
-                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
-                h.count, h.sum, h.min, h.max
+                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.quantile(0.999)
             );
         }
         s.push_str("}}");
+        s
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition format:
+    /// counters and gauges as single samples, histograms as summaries with
+    /// `{quantile="…"}` samples plus `_sum` / `_count`. Metric names are
+    /// sanitized (every character outside `[a-zA-Z0-9_:]` becomes `_`, so
+    /// `server.queue.wait_us` scrapes as `server_queue_wait_us`).
+    pub fn to_prometheus(&self) -> String {
+        fn prom_name(name: &str, out: &mut String) {
+            for (i, c) in name.chars().enumerate() {
+                let ok = (c.is_ascii_alphanumeric() && !(i == 0 && c.is_ascii_digit()))
+                    || c == '_'
+                    || c == ':';
+                out.push(if ok { c } else { '_' });
+            }
+        }
+        fn prom_f64(value: f64, out: &mut String) {
+            if value.is_nan() {
+                out.push_str("NaN");
+            } else if value == f64::INFINITY {
+                out.push_str("+Inf");
+            } else if value == f64::NEG_INFINITY {
+                out.push_str("-Inf");
+            } else {
+                let _ = write!(out, "{value}");
+            }
+        }
+        let mut s = String::new();
+        let mut n = String::new();
+        for (k, v) in self.counters() {
+            n.clear();
+            prom_name(&k, &mut n);
+            let _ = writeln!(s, "# TYPE {n} counter");
+            let _ = writeln!(s, "{n} {v}");
+        }
+        for (k, v) in self.gauges() {
+            n.clear();
+            prom_name(&k, &mut n);
+            let _ = writeln!(s, "# TYPE {n} gauge");
+            let _ = write!(s, "{n} ");
+            prom_f64(v, &mut s);
+            s.push('\n');
+        }
+        for (k, h) in self.histograms() {
+            n.clear();
+            prom_name(&k, &mut n);
+            let _ = writeln!(s, "# TYPE {n} summary");
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
+                let _ = writeln!(s, "{n}{{quantile=\"{label}\"}} {}", h.quantile(q));
+            }
+            let _ = writeln!(s, "{n}_sum {}", h.sum);
+            let _ = writeln!(s, "{n}_count {}", h.count);
+        }
         s
     }
 }
@@ -933,5 +1200,267 @@ mod tests {
         let mut out = String::new();
         json_escape("a\"b\\c\nd\u{1}", &mut out);
         assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn nested_spans_share_a_trace_and_link_parents() {
+        let sink = MemorySink::new();
+        let h = sink.handle();
+        {
+            let outer = h.span("t", "outer");
+            let outer_ctx = outer.ctx().unwrap();
+            {
+                let inner = h.span("t", "inner");
+                let inner_ctx = inner.ctx().unwrap();
+                assert_eq!(inner_ctx.trace_id, outer_ctx.trace_id);
+                assert_ne!(inner_ctx.span_id, outer_ctx.span_id);
+            }
+            // A sibling opened after the first child closed still parents
+            // the outer span, not the closed sibling.
+            let _sib = h.span("t", "sibling");
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        let outer = events.iter().find(|e| e.name == "t.outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "t.inner").unwrap();
+        let sib = events.iter().find(|e| e.name == "t.sibling").unwrap();
+        assert_eq!(outer.parent_id, None, "outer is the trace root");
+        assert_eq!(inner.parent_id, Some(outer.span_id));
+        assert_eq!(sib.parent_id, Some(outer.span_id));
+        assert_eq!(inner.trace_id, outer.trace_id);
+        assert_eq!(sib.trace_id, outer.trace_id);
+    }
+
+    #[test]
+    fn separate_roots_get_separate_traces() {
+        let sink = MemorySink::new();
+        let h = sink.handle();
+        h.span("t", "one").close();
+        h.span("t", "two").close();
+        let events = sink.events();
+        assert_ne!(events[0].trace_id, events[1].trace_id);
+        assert!(events[0].trace_id < (1 << 48), "trace ids stay f64-exact");
+    }
+
+    #[test]
+    fn with_parent_joins_workers_to_the_coordinator_trace() {
+        let sink = MemorySink::new();
+        let h = sink.handle();
+        {
+            let phase = h.span("t", "phase");
+            let ctx = phase.ctx();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let h = h.clone();
+                    scope.spawn(move || {
+                        with_parent(ctx, || {
+                            h.span("t", "batch").close();
+                        });
+                    });
+                }
+            });
+            // The coordinator's own stack is intact after the workers ran.
+            assert_eq!(current_parent(), ctx);
+        }
+        let events = sink.events();
+        let phase = events.iter().find(|e| e.name == "t.phase").unwrap();
+        let batches: Vec<_> = events.iter().filter(|e| e.name == "t.batch").collect();
+        assert_eq!(batches.len(), 2);
+        for b in &batches {
+            assert_eq!(b.trace_id, phase.trace_id);
+            assert_eq!(b.parent_id, Some(phase.span_id));
+        }
+        assert!(current_parent().is_none(), "stack drained after the root closed");
+    }
+
+    #[test]
+    fn noop_spans_do_not_touch_the_trace_stack() {
+        let h = ObsHandle::noop();
+        let sp = h.span("x", "y");
+        assert_eq!(sp.ctx(), None);
+        assert!(current_parent().is_none());
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_distribution() {
+        let mut h = HistogramSummary::default();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.0), 1);
+        // Log2 buckets guarantee ≤ 2× relative error on any quantile.
+        let p50 = h.quantile(0.5);
+        assert!((250..=1000).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((495..=1000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= h.quantile(0.9) && h.quantile(0.9) <= p99);
+
+        // A constant stream estimates every quantile exactly.
+        let mut c = HistogramSummary::default();
+        for _ in 0..100 {
+            c.record(42);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(c.quantile(q), 42);
+        }
+
+        // Zero and u64::MAX land in the edge buckets without overflow.
+        let mut e = HistogramSummary::default();
+        e.record(0);
+        e.record(u64::MAX);
+        assert_eq!(e.quantile(0.0), 0);
+        assert_eq!(e.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn registry_json_renders_quantiles_and_null_gauges() {
+        let reg = MetricsRegistry::new();
+        for v in [1u64, 2, 4, 8] {
+            reg.histogram_record("h", v);
+        }
+        reg.gauge_set("bad", f64::NAN);
+        reg.gauge_set("worse", f64::INFINITY);
+        reg.gauge_set("fine", 2.5);
+        let json = reg.to_json();
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p999\":"), "{json}");
+        assert!(json.contains("\"bad\":null"), "{json}");
+        assert!(json.contains("\"worse\":null"), "{json}");
+        assert!(json.contains("\"fine\":2.5"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn jsonl_sink_renders_non_finite_gauges_as_null() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::from_writer(Box::new(SharedBuf(buf.clone())));
+        let h = sink.handle();
+        h.gauge_set("g.nan", f64::NAN);
+        h.gauge_set("g.inf", f64::NEG_INFINITY);
+        h.gauge_set("g.ok", 1.5);
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "{\"type\":\"gauge\",\"name\":\"g.nan\",\"value\":null}");
+        assert_eq!(lines[1], "{\"type\":\"gauge\",\"name\":\"g.inf\",\"value\":null}");
+        assert_eq!(lines[2], "{\"type\":\"gauge\",\"name\":\"g.ok\",\"value\":1.5}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("server.served", 3);
+        reg.gauge_set("server.queue.depth", 2.0);
+        reg.gauge_set("server.broken", f64::NAN);
+        for v in [10u64, 20, 30, 40] {
+            reg.histogram_record("server.queue.wait_us", v);
+        }
+        let text = reg.to_prometheus();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect(line);
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                name.chars().enumerate().all(|(i, c)| (c.is_ascii_alphanumeric()
+                    && !(i == 0 && c.is_ascii_digit()))
+                    || c == '_'
+                    || c == ':'),
+                "bad metric name in: {line}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "bad sample value in: {line}"
+            );
+        }
+        assert!(text.contains("# TYPE server_served counter"), "{text}");
+        assert!(text.contains("server_served 3"), "{text}");
+        assert!(text.contains("server_broken NaN"), "{text}");
+        assert!(text.contains("# TYPE server_queue_wait_us summary"), "{text}");
+        assert!(text.contains("server_queue_wait_us{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("server_queue_wait_us{quantile=\"0.99\"}"), "{text}");
+        assert!(text.contains("server_queue_wait_us_sum 100"), "{text}");
+        assert!(text.contains("server_queue_wait_us_count 4"), "{text}");
+    }
+
+    #[test]
+    fn memory_sink_is_exact_under_concurrency() {
+        const THREADS: u64 = 8;
+        const SPANS: u64 = 50;
+        let sink = MemorySink::new();
+        let h = sink.handle();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..SPANS {
+                        let mut sp = h.span("conc", "batch");
+                        sp.field("work", t * SPANS + i);
+                        drop(sp);
+                        h.counter_add("conc.total", 1);
+                    }
+                });
+            }
+        });
+        // Single-threaded oracle: Σ (t*SPANS + i) over all t, i.
+        let n = THREADS * SPANS;
+        let oracle: u64 = (0..n).sum();
+        assert_eq!(sink.span_count(".batch"), n as usize);
+        assert_eq!(sink.sum_field(".batch", "work"), oracle);
+        assert_eq!(sink.registry().counter("conc.total"), n);
+    }
+
+    #[test]
+    fn tee_is_exact_under_concurrency() {
+        const THREADS: u64 = 8;
+        const SPANS: u64 = 40;
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let teed = ObsHandle::tee(vec![a.handle(), ObsHandle::noop(), b.handle()]);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let teed = teed.clone();
+                scope.spawn(move || {
+                    for i in 0..SPANS {
+                        let mut sp = teed.span("tee", "batch");
+                        sp.field("work", t * SPANS + i);
+                        drop(sp);
+                        teed.counter_add("tee.total", 2);
+                        teed.histogram_record("tee.wait", i);
+                    }
+                });
+            }
+        });
+        let n = THREADS * SPANS;
+        let oracle: u64 = (0..n).sum();
+        for sink in [&a, &b] {
+            assert_eq!(sink.span_count(".batch"), n as usize, "each span lands exactly once");
+            assert_eq!(sink.sum_field(".batch", "work"), oracle);
+            assert_eq!(sink.registry().counter("tee.total"), 2 * n);
+            let hist = sink.registry().histogram("tee.wait").unwrap();
+            assert_eq!(hist.count, n);
+            assert_eq!(hist.sum, THREADS * (0..SPANS).sum::<u64>());
+        }
+        // The two sinks saw identical multisets of events (order may differ).
+        let mut ea = a.events();
+        let mut eb = b.events();
+        ea.sort_by_key(|e| e.span_id);
+        eb.sort_by_key(|e| e.span_id);
+        assert_eq!(ea, eb);
     }
 }

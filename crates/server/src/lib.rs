@@ -40,10 +40,12 @@ pub mod json;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod slowlog;
 pub mod state;
 
 pub use cache::{CacheKey, ResultCache};
 pub use client::Client;
 pub use proto::{ErrKind, Request};
 pub use server::{resolve_threads, Server, ServerConfig, ServerHandle};
+pub use slowlog::{SlowEntry, SlowLog};
 pub use state::{DataState, ShardParts};

@@ -54,8 +54,15 @@ pub enum Request {
     },
     /// Liveness + load probe: `{"op":"health"}`.
     Health,
-    /// Metrics-registry snapshot: `{"op":"metrics"}`.
-    Metrics,
+    /// Metrics-registry snapshot: `{"op":"metrics"}`, or
+    /// `{"op":"metrics","format":"prometheus"}` for text exposition.
+    Metrics {
+        /// Render the registry in the Prometheus text format instead of
+        /// JSON (`"format":"prometheus"`).
+        prometheus: bool,
+    },
+    /// Dump of the slow-request ring buffer: `{"op":"slowlog"}`.
+    Slowlog,
     /// Graceful shutdown: stop accepting, drain in-flight, exit.
     Shutdown,
     /// Test-only: occupies a worker for `ms` (rejected unless the server
@@ -113,7 +120,14 @@ impl Request {
                 id: req_u64(&v, "id")?.ok_or("expire needs \"id\"")? as RecordId,
             }),
             "health" => Ok(Request::Health),
-            "metrics" => Ok(Request::Metrics),
+            "metrics" => match v.get("format").and_then(JsonValue::as_str) {
+                None | Some("json") => Ok(Request::Metrics { prometheus: false }),
+                Some("prometheus") => Ok(Request::Metrics { prometheus: true }),
+                Some(other) => {
+                    Err(format!("unknown metrics format {other:?} (json | prometheus)"))
+                }
+            },
+            "slowlog" => Ok(Request::Slowlog),
             "shutdown" => Ok(Request::Shutdown),
             "sleep" => Ok(Request::Sleep { ms: req_u64(&v, "ms")?.unwrap_or(0) }),
             other => Err(format!("unknown op {other:?}")),
@@ -134,7 +148,8 @@ impl Request {
             Request::Insert { .. } => "insert",
             Request::Expire { .. } => "expire",
             Request::Health => "health",
-            Request::Metrics => "metrics",
+            Request::Metrics { .. } => "metrics",
+            Request::Slowlog => "slowlog",
             Request::Shutdown => "shutdown",
             Request::Sleep { .. } => "sleep",
         }
@@ -253,6 +268,21 @@ pub fn ok_metrics(metrics_json: &str) -> String {
     format!("{{\"ok\":true,\"op\":\"metrics\",\"metrics\":{metrics_json}}}")
 }
 
+/// Renders a Prometheus-format metrics response: the multi-line exposition
+/// text travels JSON-escaped in the single-line `"body"` member.
+pub fn ok_metrics_prometheus(exposition: &str) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"metrics\",\"format\":\"prometheus\",\"body\":\"");
+    json::escape(exposition, &mut out);
+    out.push_str("\"}");
+    out
+}
+
+/// Renders a slowlog response; `entries_json` is the ring-buffer dump
+/// (already a valid JSON array).
+pub fn ok_slowlog(entries_json: &str) -> String {
+    format!("{{\"ok\":true,\"op\":\"slowlog\",\"entries\":{entries_json}}}")
+}
+
 /// Renders the acknowledgement for a dataset mutation (`insert`/`expire`).
 pub fn ok_mutation(op: &str, id: RecordId, generation: u64, records: usize) -> String {
     format!(
@@ -306,7 +336,21 @@ mod tests {
     #[test]
     fn parses_control_ops() {
         assert_eq!(Request::parse(r#"{"op":"health"}"#).unwrap(), Request::Health);
-        assert_eq!(Request::parse(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","format":"json"}"#).unwrap(),
+            Request::Metrics { prometheus: false }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","format":"prometheus"}"#).unwrap(),
+            Request::Metrics { prometheus: true }
+        );
+        assert!(Request::parse(r#"{"op":"metrics","format":"xml"}"#).is_err());
+        assert_eq!(Request::parse(r#"{"op":"slowlog"}"#).unwrap(), Request::Slowlog);
+        assert!(!Request::Slowlog.is_pooled());
         assert_eq!(Request::parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
         assert!(!Request::Health.is_pooled());
         assert_eq!(
@@ -346,6 +390,8 @@ mod tests {
             ok_influence(1, &[(2, 9), (0, 4)], 999),
             ok_health(true, 1, 14, 0, 4),
             ok_metrics("{}"),
+            ok_metrics_prometheus("# TYPE a counter\na 1\n"),
+            ok_slowlog("[]"),
             ok_mutation("insert", 42, 2, 15),
             ok_shutdown(),
             ok_sleep(5),
@@ -362,7 +408,7 @@ mod tests {
             r#"{"ok":true,"op":"query","engine":"trs","generation":1,"cached":false,"elapsed_us":120,"result_size":2,"ids":[3,6]}"#
         );
         assert_eq!(
-            lines[7],
+            lines[9],
             r#"{"ok":false,"error":"overloaded","detail":"queue full"}"#
         );
     }

@@ -29,7 +29,9 @@ use rand::SeedableRng;
 use rsky_core::cancel::{self, CancelToken};
 use rsky_core::dataset::Dataset;
 use rsky_core::error::{Error, Result};
-use rsky_core::obs::{self, server_names as names, MetricsRegistry, ObsHandle, RegistrySink};
+use rsky_core::obs::{
+    self, server_names as names, MemorySink, MetricsRegistry, ObsHandle, RegistrySink,
+};
 use rsky_core::query::Query;
 
 use rsky_storage::ShardSpec;
@@ -37,6 +39,7 @@ use rsky_storage::ShardSpec;
 use crate::cache::{CacheKey, ResultCache};
 use crate::proto::{self, ErrKind, Request};
 use crate::queue::{BoundedQueue, PushError};
+use crate::slowlog::{SlowEntry, SlowLog};
 use crate::state::{DataState, DatasetVersion, WorkerState};
 
 /// How often an idle connection thread wakes up to notice a shutdown.
@@ -73,6 +76,13 @@ pub struct ServerConfig {
     /// executor over `spec.shards` partitions (results are identical, per
     /// the shard differential harness; the config is part of the cache key).
     pub shard: Option<ShardSpec>,
+    /// Slow-request threshold in µs: a pooled request whose total latency
+    /// (queue wait included) crosses it has its complete span tree retained
+    /// in the slowlog ring, dumpable via the `slowlog` op. 0 disables the
+    /// capture (no per-request sink is allocated at all).
+    pub slow_request_us: u64,
+    /// Capacity of the slow-request ring buffer (newest entries win).
+    pub slowlog_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +99,8 @@ impl Default for ServerConfig {
             tiles: 4,
             enable_test_ops: false,
             shard: None,
+            slow_request_us: 0,
+            slowlog_cap: 16,
         }
     }
 }
@@ -119,6 +131,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     registry: Arc<MetricsRegistry>,
     obs: ObsHandle,
+    slowlog: SlowLog,
     accepting: AtomicBool,
     shutdown: AtomicBool,
 }
@@ -149,6 +162,7 @@ impl Server {
             queue: BoundedQueue::new(config.queue_cap),
             registry,
             obs,
+            slowlog: SlowLog::new(if config.slow_request_us > 0 { config.slowlog_cap } else { 0 }),
             accepting: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             config,
@@ -192,6 +206,12 @@ impl ServerHandle {
     /// histograms) — the same data the `metrics` op returns.
     pub fn registry(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.shared.registry)
+    }
+
+    /// Snapshot of the slow-request ring (oldest first) — the same data
+    /// the `slowlog` op returns.
+    pub fn slowlog_entries(&self) -> Vec<SlowEntry> {
+        self.shared.slowlog.entries()
     }
 
     /// Requests a graceful shutdown (idempotent): stop accepting, drain
@@ -369,7 +389,15 @@ fn handle_line(
                 false,
             )
         }
-        Request::Metrics => (proto::ok_metrics(&shared.registry.to_json()), false),
+        Request::Metrics { prometheus } => {
+            let body = if prometheus {
+                proto::ok_metrics_prometheus(&shared.registry.to_prometheus())
+            } else {
+                proto::ok_metrics(&shared.registry.to_json())
+            };
+            (body, false)
+        }
+        Request::Slowlog => (proto::ok_slowlog(&shared.slowlog.to_json()), false),
         Request::Shutdown => (proto::ok_shutdown(), true),
         Request::Insert { id, values } => (mutate(shared, "insert", id, || {
             shared.data.insert(id, &values)
@@ -449,15 +477,37 @@ fn admit(
 /// Worker thread: pop, enforce deadline, execute, reply. Exits when the
 /// queue is closed and drained.
 fn worker_loop(shared: &Arc<Shared>, mut ws: WorkerState) {
+    let capture_slow = shared.config.slow_request_us > 0;
     while let Some(job) = shared.queue.pop() {
         let wait = job.enqueued.elapsed();
         shared.obs.histogram_record(names::HIST_QUEUE_WAIT, wait.as_micros() as u64);
-        let mut span = shared.obs.span(names::PREFIX, names::SPAN_REQUEST);
+        // With slow-request capture on, tee a per-request memory sink in so
+        // the complete span tree is at hand if the request turns out slow.
+        let req_sink = capture_slow.then(MemorySink::new);
+        let req_obs = match &req_sink {
+            Some(sink) => ObsHandle::tee(vec![shared.obs.clone(), sink.handle()]),
+            None => shared.obs.clone(),
+        };
+        // The worker's span stack is empty here, so the request span roots
+        // a fresh trace; everything the request does nests under it.
+        let mut span = req_obs.span(names::PREFIX, names::SPAN_REQUEST);
         if span.is_recording() {
             span.field("queue_wait_us", wait.as_micros() as u64);
         }
-        let response = execute(shared, &mut ws, &job, &mut span);
+        let trace = span.ctx();
+        let response = execute(shared, &mut ws, &job, &req_obs, &mut span);
         span.close();
+        if let Some(sink) = req_sink {
+            let latency_us = job.enqueued.elapsed().as_micros() as u64;
+            if latency_us >= shared.config.slow_request_us {
+                shared.slowlog.record(SlowEntry {
+                    trace_id: trace.map(|c| c.trace_id).unwrap_or(0),
+                    op: job.request.op().to_string(),
+                    latency_us,
+                    spans: sink.events(),
+                });
+            }
+        }
         // The connection thread may have vanished (client hung up); the
         // work is already done either way.
         let _ = job.reply.send(response);
@@ -468,6 +518,7 @@ fn execute(
     shared: &Arc<Shared>,
     ws: &mut WorkerState,
     job: &Job,
+    req_obs: &ObsHandle,
     span: &mut rsky_core::obs::Span,
 ) -> String {
     if job.token.check().is_err() {
@@ -520,7 +571,7 @@ fn execute(
                 }
             };
             let t0 = Instant::now();
-            let result = obs::with_recorder(shared.obs.clone(), || {
+            let result = obs::with_recorder(req_obs.clone(), || {
                 cancel::with_token(job.token.clone(), || {
                     ws.run_query(&version, engine, shared.config.engine_threads, &query)
                 })
@@ -552,7 +603,7 @@ fn execute(
                     }
                 };
             let t0 = Instant::now();
-            let result = obs::with_recorder(shared.obs.clone(), || {
+            let result = obs::with_recorder(req_obs.clone(), || {
                 cancel::with_token(job.token.clone(), || {
                     if shared.config.shard.is_some() {
                         ws.run_influence(&version, &workload, false)

@@ -1,0 +1,172 @@
+//! Slow-request capture: a fixed-size ring buffer of complete span trees.
+//!
+//! When the server runs with `slow_request_us > 0`, every pooled request is
+//! traced into a private [`MemorySink`] teed with the server's normal
+//! recorder. If the request's total latency (queue wait included) crosses
+//! the threshold, its full span tree — admission → engine run → shard
+//! phases → influence workers, with per-span IO and check counts — is
+//! retained here; fast requests discard theirs for free. The newest
+//! `capacity` slow requests win; the `slowlog` op dumps the ring as JSON.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use rsky_core::obs::SpanEvent;
+
+/// One retained slow request.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Trace id of the request's span tree.
+    pub trace_id: u64,
+    /// The request's op name (`query`, `influence`, …).
+    pub op: String,
+    /// Total latency from admission to response, in microseconds.
+    pub latency_us: u64,
+    /// Every span the request closed, in close order.
+    pub spans: Vec<SpanEvent>,
+}
+
+/// The ring buffer. Thread-safe; workers push concurrently.
+pub struct SlowLog {
+    capacity: usize,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A ring retaining the newest `capacity` slow requests (0 disables
+    /// retention entirely — records are dropped on arrival).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, entries: Mutex::new(VecDeque::with_capacity(capacity)) }
+    }
+
+    /// Retains `entry`, evicting the oldest entry when full.
+    pub fn record(&self, entry: SlowEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.entries.lock().expect("slowlog poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("slowlog poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.entries.lock().expect("slowlog poisoned").iter().cloned().collect()
+    }
+
+    /// Renders the ring as a JSON array, oldest first. Span objects use the
+    /// same shape as `--trace-out` JSONL span lines, so `rsky trace` logic
+    /// applies to slowlog dumps as well.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"trace_id\":{},\"op\":\"{}\",\"latency_us\":{},\"spans\":[",
+                e.trace_id, e.op, e.latency_us
+            );
+            for (j, s) in e.spans.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":\"");
+                crate::json::escape(&s.name, &mut out);
+                let _ = write!(out, "\",\"trace_id\":{},\"span_id\":{}", s.trace_id, s.span_id);
+                match s.parent_id {
+                    Some(p) => {
+                        let _ = write!(out, ",\"parent_id\":{p}");
+                    }
+                    None => out.push_str(",\"parent_id\":null"),
+                }
+                let _ = write!(out, ",\"wall_us\":{},\"fields\":{{", s.wall_us);
+                for (k, (key, v)) in s.fields.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    crate::json::escape(key, &mut out);
+                    let _ = write!(out, "\":{v}");
+                }
+                out.push_str("}}");
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace_id: u64, latency_us: u64) -> SlowEntry {
+        SlowEntry {
+            trace_id,
+            op: "query".into(),
+            latency_us,
+            spans: vec![SpanEvent {
+                name: "server.request".into(),
+                trace_id,
+                span_id: trace_id * 10,
+                parent_id: None,
+                wall_us: latency_us,
+                fields: vec![("queue_wait_us", 3)],
+            }],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let log = SlowLog::new(2);
+        assert!(log.is_empty());
+        for t in 1..=3 {
+            log.record(entry(t, t * 100));
+        }
+        let kept: Vec<u64> = log.entries().iter().map(|e| e.trace_id).collect();
+        assert_eq!(kept, vec![2, 3], "newest two win");
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let log = SlowLog::new(0);
+        log.record(entry(1, 100));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn json_dump_is_valid_and_complete() {
+        let log = SlowLog::new(4);
+        log.record(entry(7, 1234));
+        let json = log.to_json();
+        let v = crate::json::parse(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("trace_id").and_then(|t| t.as_u64()), Some(7));
+        assert_eq!(arr[0].get("latency_us").and_then(|t| t.as_u64()), Some(1234));
+        let spans = arr[0].get("spans").and_then(|s| s.as_arr()).unwrap();
+        assert_eq!(spans[0].get("name").and_then(|n| n.as_str()), Some("server.request"));
+        assert_eq!(spans[0].get("parent_id"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(
+            spans[0].get("fields").and_then(|f| f.get("queue_wait_us")).and_then(|x| x.as_u64()),
+            Some(3)
+        );
+    }
+}

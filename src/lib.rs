@@ -76,7 +76,7 @@ pub mod prelude {
         ReverseSkylineAlgo, RsRun, Srs, Trs,
     };
     pub use rsky_core::dataset::Dataset;
-    pub use rsky_core::obs::{MemorySink, MetricsRegistry, ObsHandle};
+    pub use rsky_core::obs::{MemorySink, MetricsRegistry, ObsHandle, TraceContext};
     pub use rsky_core::query::{AttrSubset, Query};
     pub use rsky_core::record::{RecordId, RowBuf, ValueId};
     pub use rsky_core::schema::{AttrMeta, Schema};

@@ -1,0 +1,151 @@
+//! The *metric-name contract*: every metric emitted anywhere in the
+//! workspace uses a name from the canonical vocabulary in
+//! `rsky_core::obs::{names, server_names, shard_names}`.
+//!
+//! Two clauses, both enforced by reading the source tree (no macro or
+//! proc-macro machinery — the contract survives refactors because it checks
+//! what the files actually say):
+//!
+//! * the constants themselves are pairwise distinct — two constants naming
+//!   the same string would silently merge series in every sink;
+//! * every **string literal** passed as the first argument to
+//!   `counter_add` / `gauge_set` / `histogram_record` in non-test code
+//!   equals, or is dot-prefixed by, one of the constant values. Names built
+//!   at runtime (the registry sink's `format!("{}.{k}", …)` flattening) are
+//!   out of scope by construction: they aren't literals.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts `pub const NAME: &str = "value";` pairs from one `pub mod`
+/// block of `obs.rs`. The names modules hold nothing but doc comments and
+/// string constants, and close with a `}` on its own line.
+fn extract_consts(src: &str, module: &str) -> Vec<(String, String)> {
+    let header = format!("pub mod {module} {{");
+    let start = src
+        .find(&header)
+        .unwrap_or_else(|| panic!("obs.rs lost its `pub mod {module}` block"));
+    let mut out = Vec::new();
+    for line in src[start + header.len()..].lines() {
+        if line.trim() == "}" {
+            break;
+        }
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix("pub const ") else { continue };
+        let (name, rest) = rest.split_once(':').expect("const without a type");
+        let value = rest
+            .split_once('"')
+            .and_then(|(_, v)| v.split_once('"'))
+            .map(|(v, _)| v)
+            .unwrap_or_else(|| panic!("const {name} in {module} is not a string literal"));
+        out.push((name.trim().to_string(), value.to_string()));
+    }
+    assert!(!out.is_empty(), "no constants parsed from `pub mod {module}`");
+    out
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display())) {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// String literals passed as the first argument to one of the emit methods,
+/// with non-test code only (everything from the first `#[cfg(test)]` down
+/// is a test module in this codebase's layout).
+fn literal_first_args(src: &str) -> Vec<String> {
+    let code = match src.find("#[cfg(test)]") {
+        Some(i) => &src[..i],
+        None => src,
+    };
+    let mut found = Vec::new();
+    for method in ["counter_add", "gauge_set", "histogram_record"] {
+        let mut rest = code;
+        while let Some(i) = rest.find(method) {
+            let after = &rest[i + method.len()..];
+            rest = after;
+            let after = after.trim_start();
+            let Some(args) = after.strip_prefix('(') else { continue };
+            let Some(lit) = args.trim_start().strip_prefix('"') else { continue };
+            let end = lit.find('"').expect("unterminated string literal");
+            found.push(lit[..end].to_string());
+        }
+    }
+    found
+}
+
+#[test]
+fn canonical_name_constants_are_pairwise_distinct() {
+    let obs = fs::read_to_string(workspace_root().join("crates/core/src/obs.rs")).unwrap();
+    let mut all = Vec::new();
+    for module in ["names", "server_names", "shard_names"] {
+        for (name, value) in extract_consts(&obs, module) {
+            all.push((format!("{module}::{name}"), value));
+        }
+    }
+    assert!(all.len() >= 10, "suspiciously few constants parsed: {all:?}");
+    for (i, (path_a, a)) in all.iter().enumerate() {
+        for (path_b, b) in &all[i + 1..] {
+            assert_ne!(
+                a, b,
+                "{path_a} and {path_b} both name {a:?} — their series would merge"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_literal_metric_name_comes_from_the_canonical_vocabulary() {
+    let root = workspace_root();
+    let obs = fs::read_to_string(root.join("crates/core/src/obs.rs")).unwrap();
+    let mut vocabulary: Vec<String> = Vec::new();
+    for module in ["names", "server_names", "shard_names"] {
+        vocabulary.extend(extract_consts(&obs, module).into_iter().map(|(_, v)| v));
+    }
+
+    // Sweep every crate's src/ tree plus the facade's. Bench executables
+    // (crates/bench/benches/) are out of scope: their synthetic series
+    // (`bench.*`) never leave the bench process.
+    let mut files = Vec::new();
+    for entry in fs::read_dir(root.join("crates")).unwrap() {
+        let src = entry.unwrap().path().join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files);
+        }
+    }
+    rs_files(&root.join("src"), &mut files);
+    assert!(files.len() >= 18, "source sweep found only {} files", files.len());
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let src = fs::read_to_string(path).unwrap();
+        // obs.rs itself defines the emit methods and the generic plumbing
+        // that forwards `name` variables — no literals there either, but
+        // skipping it keeps the sweep about *callers*.
+        if path.ends_with("core/src/obs.rs") {
+            continue;
+        }
+        for lit in literal_first_args(&src) {
+            let ok = vocabulary
+                .iter()
+                .any(|v| lit == *v || lit.starts_with(&format!("{v}.")));
+            if !ok {
+                violations.push(format!("{}: {lit:?}", path.display()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "metric names not in obs::names/server_names/shard_names:\n{}",
+        violations.join("\n")
+    );
+}

@@ -14,11 +14,68 @@
 //! Sequential engines and their parallel twins are held to the identical
 //! contract: worker-thread spans must reach the same sink the coordinator
 //! captured at run start.
+//!
+//! On top of the counting clauses, every run is held to the *trace tree*
+//! contract: all spans of a run share one `trace_id`, exactly one span is a
+//! root (`parent_id == None`), every non-root span references a parent that
+//! closed in the same trace (no orphans), and the root's wall time is at
+//! least the sum of its direct children's (children on the root's thread
+//! run sequentially inside it). The same clauses are applied to requests
+//! served over TCP, where the tree must span server → engine → shard →
+//! influence layers.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsky::core::obs;
 use rsky::prelude::*;
+
+/// Trace-tree contract over one run's span events: one trace, one root,
+/// no orphans, unique span ids, and (when `check_durations` — valid when
+/// the root's direct children are sequential, as coordinator-side spans
+/// are) root wall time ≥ Σ direct children's. Returns the root span.
+fn assert_single_trace_tree(
+    spans: &[rsky::core::obs::SpanEvent],
+    check_durations: bool,
+    ctx: &str,
+) -> rsky::core::obs::SpanEvent {
+    use std::collections::HashSet;
+    assert!(!spans.is_empty(), "no spans recorded ({ctx})");
+    let trace = spans[0].trace_id;
+    assert!(
+        spans.iter().all(|s| s.trace_id == trace),
+        "spans from more than one trace ({ctx})"
+    );
+    let ids: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    assert_eq!(ids.len(), spans.len(), "duplicate span ids ({ctx})");
+    let roots: Vec<_> = spans.iter().filter(|s| s.parent_id.is_none()).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "expected exactly one root span, got {:?} ({ctx})",
+        roots.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    for s in spans {
+        if let Some(p) = s.parent_id {
+            assert!(ids.contains(&p), "span {} orphaned: parent {p} never closed ({ctx})", s.name);
+        }
+    }
+    let root = roots[0].clone();
+    if check_durations {
+        let child_sum: u64 = spans
+            .iter()
+            .filter(|s| s.parent_id == Some(root.span_id))
+            .map(|s| s.wall_us)
+            .sum();
+        assert!(
+            root.wall_us >= child_sum,
+            "root {} wall {}us < Σ direct children {}us ({ctx})",
+            root.name,
+            root.wall_us,
+            child_sum
+        );
+    }
+    root
+}
 
 /// Runs `engine` under a fresh in-memory sink and checks every clause of the
 /// contract against the returned stats.
@@ -132,6 +189,11 @@ fn assert_contract(
     } else {
         assert_eq!(scanners, 0, "sequential engine opened shared scanners ({ctx})");
     }
+
+    // 7. Every span of the run — coordinator- and worker-side — joins one
+    // rooted trace tree, rooted at the closing run span.
+    let root = assert_single_trace_tree(&sink.events(), true, &ctx);
+    assert!(root.name.ends_with(".run"), "trace rooted at {}, not the run span ({ctx})", root.name);
     run
 }
 
@@ -359,6 +421,11 @@ fn assert_sharded_tiling(sink: &MemorySink, run: &ShardedRun, k: usize, ctx: &st
         s.query_dist_checks,
         "qcache.build_checks counter ({ctx})"
     );
+
+    // The whole scatter-gather — coordinator, per-shard workers, and the
+    // engines running inside them — closes as one rooted trace tree.
+    let root = assert_single_trace_tree(&sink.events(), true, ctx);
+    assert!(root.name.ends_with("shard.run"), "trace rooted at {} ({ctx})", root.name);
 }
 
 #[test]
@@ -461,6 +528,103 @@ fn sharded_cancellation_mid_phase2_keeps_contract_and_disks_intact() {
     assert_eq!(rerun.stats.query_dist_checks, baseline.stats.query_dist_checks);
     assert_eq!(rerun.stats.obj_comparisons, baseline.stats.obj_comparisons);
     assert_sharded_tiling(&sink, &rerun, 3, "post-cancel rerun");
+}
+
+/// Acceptance: requests served over TCP — on a *sharded* server, so the
+/// deepest layering is in play — trace as single rooted trees spanning
+/// server admission → scatter-gather → per-shard engines → influence
+/// workers; the Prometheus exposition carries queue-wait quantiles; and a
+/// 1µs slow-request threshold retains every request's span tree in the
+/// slowlog ring.
+#[test]
+fn served_requests_trace_as_single_rooted_trees() {
+    use rsky::server::json::{self, JsonValue};
+    use rsky::server::{Client, Server, ServerConfig};
+
+    let mut rng = StdRng::seed_from_u64(1007);
+    let ds = rsky::data::synthetic::uniform_dataset(3, 5, 120, &mut rng).unwrap();
+    let sink = MemorySink::new();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        shard: Some(ShardSpec::new(3, ShardPolicy::RoundRobin).unwrap()),
+        slow_request_us: 1,
+        slowlog_cap: 8,
+        ..ServerConfig::default()
+    };
+    // The server captures the scoped recorder at start; every worker tees
+    // its per-request spans into this sink.
+    let handle = obs::with_recorder(sink.handle(), || Server::start(config, ds)).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let reply = client.send(r#"{"op":"query","engine":"trs","values":[1,1,1]}"#).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    let reply = client.send(r#"{"op":"influence","queries":4,"seed":9,"top":2}"#).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    // Prometheus exposition over the wire: valid text with queue-wait
+    // quantiles (the two pooled requests above recorded waits).
+    let reply = client.send(r#"{"op":"metrics","format":"prometheus"}"#).unwrap();
+    assert!(reply.contains("\"format\":\"prometheus\""), "{reply}");
+    for needle in
+        [r#"server_queue_wait_us{quantile=\"0.5\"}"#, r#"server_queue_wait_us{quantile=\"0.99\"}"#]
+    {
+        assert!(reply.contains(needle), "prometheus body missing {needle}: {reply}");
+    }
+
+    // Slowlog over the wire: with a 1µs threshold both pooled requests are
+    // slow, and each retained entry carries its complete span tree.
+    let reply = client.send(r#"{"op":"slowlog"}"#).unwrap();
+    let v = json::parse(&reply).unwrap_or_else(|e| panic!("bad slowlog reply {reply:?}: {e}"));
+    let entries = v.get("entries").and_then(JsonValue::as_arr).expect("entries array");
+    assert_eq!(entries.len(), 2, "both pooled requests cross the 1µs threshold");
+    for e in entries {
+        let spans = e.get("spans").and_then(JsonValue::as_arr).expect("spans array");
+        assert!(!spans.is_empty(), "slowlog entry without spans");
+        let roots = spans
+            .iter()
+            .filter(|s| s.get("parent_id") == Some(&JsonValue::Null))
+            .count();
+        assert_eq!(roots, 1, "slowlog entry must hold one rooted tree");
+    }
+
+    client.send(r#"{"op":"shutdown"}"#).unwrap();
+    handle.join();
+
+    // Group the sink's spans by trace: one trace per pooled request (the
+    // startup prep work and inline ops don't open request spans).
+    let mut by_trace: std::collections::BTreeMap<u64, Vec<rsky::core::obs::SpanEvent>> =
+        Default::default();
+    for e in sink.events() {
+        by_trace.entry(e.trace_id).or_default().push(e);
+    }
+    let request_traces: Vec<&Vec<_>> = by_trace
+        .values()
+        .filter(|t| t.iter().any(|s| s.name.ends_with("server.request")))
+        .collect();
+    assert_eq!(request_traces.len(), 2, "one trace per pooled request");
+    for t in &request_traces {
+        let root = assert_single_trace_tree(t, true, "served request");
+        assert!(root.name.ends_with("server.request"), "request trace rooted at {}", root.name);
+    }
+
+    // The sharded query's trace spans every layer of the system.
+    let query_trace = request_traces
+        .iter()
+        .find(|t| t.iter().any(|s| s.name.ends_with("shard.run")))
+        .expect("no sharded query trace");
+    for needle in ["server.request", "shard.run", "shard.phase1.local", "shard.phase2.verify", "trs.run"]
+    {
+        assert!(
+            query_trace.iter().any(|s| s.name.ends_with(needle)),
+            "query trace missing a {needle} span"
+        );
+    }
+    // The influence request's trace reaches the per-query influence spans.
+    let infl_trace = request_traces
+        .iter()
+        .find(|t| t.iter().any(|s| s.name == "influence.query"))
+        .expect("no influence trace");
+    assert!(infl_trace.iter().any(|s| s.name.ends_with("server.request")));
 }
 
 #[test]
