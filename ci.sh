@@ -29,6 +29,11 @@ full() {
     echo "=== smoke: observability overhead bench ==="
     RSKY_SCALE=0.05 cargo bench -p rsky-bench --bench obs_overhead
     test -s BENCH_obs.json
+    echo "=== smoke: kernel micro-bench (scalar vs batched differential) ==="
+    # Tiny scale: the run itself asserts ids and every counter are identical
+    # across the two kernel modes and writes BENCH_kernels.json.
+    RSKY_SCALE=0.5 RSKY_QUERIES=1 cargo bench -p rsky-bench --bench micro_kernels
+    test -s BENCH_kernels.json
     echo "=== smoke: trace round-trip (generate → query --trace-out → trace) ==="
     smoke_dir=$(mktemp -d)
     trap 'rm -rf "$smoke_dir"' EXIT

@@ -15,16 +15,30 @@
 //! never prunes itself — engines compare record ids, so exact duplicates
 //! still prune each other.
 
-use rsky_core::dissim::DissimTable;
+use rsky_core::dissim::{DissimTable, FlatDissim};
 use rsky_core::dominate::prunes_with_center_dists;
 use rsky_core::error::Result;
-use rsky_core::query::Query;
+use rsky_core::query::{AttrSubset, Query};
 use rsky_core::record::{RecordId, RowBuf};
 use rsky_core::stats::RunStats;
+use rsky_storage::columnar::ColumnarBatch;
 use rsky_storage::{RecordFile, RecordWriter};
 
 use crate::engine::{run_with_scaffolding, EngineCtx, ReverseSkylineAlgo, RsRun, RunObs};
+use crate::kernels::{self, CandidateBlocks, PrunerKernel};
 use crate::qcache::QueryDistCache;
+
+/// Candidates per phase-one kernel group: bounds the pretranslated
+/// distance-table memory (`PHASE1_GROUP · Σ card_i · 8` f64 cells) while
+/// keeping chunks full. Grouping does not change any counter: each
+/// candidate still probes the same batch prefix, and no IO happens inside
+/// a group scan.
+const PHASE1_GROUP: usize = 4096;
+
+/// Scan records per phase-one kernel segment: between segments the group's
+/// survivors are re-blocked into dense chunks, so a chunk never drags a
+/// lone surviving lane through the whole batch at 1/8 occupancy.
+const PHASE1_SEGMENT: usize = 256;
 
 /// How phase one searches a batch for pruners of its members.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +62,8 @@ impl ReverseSkylineAlgo for Brs {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         crate::engine::validate_inputs(ctx, table, query)?;
-        run_with_scaffolding(ctx, query, "brs", |ctx, cache, stats, robs| {
-            two_phase(ctx, table, query, cache, Phase1Order::Linear, stats, robs)
+        run_with_scaffolding(ctx, query, "brs", |ctx, cache, stats, robs, kern| {
+            two_phase(ctx, table, query, cache, Phase1Order::Linear, stats, robs, kern)
         })
     }
 }
@@ -65,6 +79,7 @@ pub(crate) fn two_phase(
     order: Phase1Order,
     stats: &mut RunStats,
     robs: &RunObs<'_>,
+    kern: &PrunerKernel,
 ) -> Result<Vec<RecordId>> {
     let m = table.num_attrs();
     let subset = &query.subset;
@@ -81,6 +96,7 @@ pub(crate) fn two_phase(
         let mut page = 0;
         let mut batch = RowBuf::new(m);
         let mut dqx = Vec::with_capacity(subset.len());
+        let mut crows: Vec<&[f64]> = Vec::with_capacity(subset.len());
         while page < total_pages {
             robs.check_cancelled()?;
             let mut bspan = robs.span("phase1.batch");
@@ -91,11 +107,21 @@ pub(crate) fn two_phase(
             page += pages;
             stats.phase1_batches += 1;
             let n = batch.len();
-            for i in 0..n {
-                if !find_pruner_in_batch(ctx.dissim, &batch, i, query, cache, order, &mut dqx, stats)
-                {
-                    writer.push(ctx.disk, batch.flat_row(i))?;
-                }
+            {
+                let disk = &mut *ctx.disk;
+                let w = &mut writer;
+                phase1_scan_batch(
+                    ctx.dissim,
+                    kern.flat(),
+                    &batch,
+                    query,
+                    cache,
+                    order,
+                    &mut dqx,
+                    &mut crows,
+                    stats,
+                    |i| w.push(disk, batch.flat_row(i)),
+                )?;
             }
             if bspan.is_recording() {
                 bspan
@@ -130,9 +156,8 @@ pub(crate) fn two_phase(
         let mut rpage = 0;
         let mut rbatch = RowBuf::new(m);
         let mut dpage = RowBuf::new(m);
-        let slen = subset.len();
         let mut dqx_rows: Vec<f64> = Vec::new();
-        let mut row = Vec::with_capacity(slen);
+        let mut row = Vec::with_capacity(subset.len());
         while rpage < r_pages {
             robs.check_cancelled()?;
             let mut bspan = robs.span("phase2.batch");
@@ -142,52 +167,22 @@ pub(crate) fn two_phase(
             let (pages, _) = r_file.read_batch(ctx.disk, rpage, cap2, &mut rbatch)?;
             rpage += pages;
             stats.phase2_batches += 1;
-            // Hoist each center's cached query-distance row out of the
-            // D-scan: one row per batch member, computed once per batch.
-            dqx_rows.clear();
-            for xi in 0..rbatch.len() {
-                cache.center_dists_into(subset, rbatch.values(xi), &mut row);
-                dqx_rows.extend_from_slice(&row);
-            }
-            let mut alive = vec![true; rbatch.len()];
-            let mut alive_count = rbatch.len();
-            for p in 0..total_pages {
-                if alive_count == 0 {
-                    break;
-                }
-                dpage.clear();
-                table.read_page_rows(ctx.disk, p, &mut dpage)?;
-                for (xi, alive_flag) in alive.iter_mut().enumerate() {
-                    if !*alive_flag {
-                        continue;
-                    }
-                    let x = rbatch.values(xi);
-                    let x_id = rbatch.id(xi);
-                    let x_dqx = &dqx_rows[xi * slen..(xi + 1) * slen];
-                    for yi in 0..dpage.len() {
-                        if dpage.id(yi) == x_id {
-                            continue;
-                        }
-                        stats.obj_comparisons += 1;
-                        if prunes_with_center_dists(
-                            ctx.dissim,
-                            subset,
-                            dpage.values(yi),
-                            x,
-                            x_dqx,
-                            &mut stats.dist_checks,
-                        ) {
-                            *alive_flag = false;
-                            alive_count -= 1;
-                            break;
-                        }
-                    }
-                }
-            }
-            for (xi, ok) in alive.iter().enumerate() {
-                if *ok {
-                    result.push(rbatch.id(xi));
-                }
+            {
+                let disk = &mut *ctx.disk;
+                phase2_filter_batch(
+                    ctx.dissim,
+                    kern.flat(),
+                    subset,
+                    cache,
+                    &rbatch,
+                    total_pages,
+                    |p, buf| table.read_page_rows(&mut *disk, p, buf).map(|_| ()),
+                    &mut dpage,
+                    &mut dqx_rows,
+                    &mut row,
+                    stats,
+                    &mut result,
+                )?;
             }
             if bspan.is_recording() {
                 bspan
@@ -211,35 +206,241 @@ pub(crate) fn two_phase(
     Ok(result)
 }
 
+/// Phase-one scan of one in-memory batch: finds each member's intra-batch
+/// pruner and calls `emit(i)` for every survivor, in batch order. Shared by
+/// the sequential and parallel engines so both route through the same
+/// kernel decision.
+///
+/// Linear probing batches cleanly — every candidate scans the same batch
+/// front to back, so groups of 8 share each scan record; candidates are
+/// grouped to bound pretranslation memory, which costs no IO (the batch is
+/// fully in memory) and preserves emit order. Radiating probes in a
+/// per-candidate order, so it stays scalar — but with the flat tables it
+/// probes through a hoisted center row instead of the dissimilarity enum.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn phase1_scan_batch<'f>(
+    dissim: &DissimTable,
+    flat: Option<&'f FlatDissim>,
+    batch: &RowBuf,
+    query: &Query,
+    cache: &QueryDistCache,
+    order: Phase1Order,
+    dqx: &mut Vec<f64>,
+    crows: &mut Vec<&'f [f64]>,
+    stats: &mut RunStats,
+    mut emit: impl FnMut(usize) -> Result<()>,
+) -> Result<()> {
+    let n = batch.len();
+    let subset = &query.subset;
+    match flat {
+        Some(flat) if order == Phase1Order::Linear => {
+            let ys = ColumnarBatch::from_rows(batch);
+            let mut start = 0;
+            while start < n {
+                let g = (n - start).min(PHASE1_GROUP);
+                // Scan in segments, re-blocking survivors into dense chunks
+                // whenever half a group has died — a sparse chunk pays
+                // 8-wide probes for a lone surviving lane, and most
+                // candidates find an intra-batch pruner early. Re-blocking
+                // keeps each lane's probe sequence (and every counter)
+                // identical; `orig` maps block slots back to batch order.
+                let mut orig: Vec<usize> = (start..start + g).collect();
+                let mut blocks = CandidateBlocks::build(flat, cache, subset, g, |idx| {
+                    (batch.id(start + idx), batch.values(start + idx))
+                });
+                let mut seg = 0;
+                while seg < n && blocks.alive_count() > 0 {
+                    let seg_end = (seg + PHASE1_SEGMENT).min(n);
+                    blocks.scan_range(flat, subset, &ys, seg, seg_end, true, stats);
+                    seg = seg_end;
+                    if seg < n && blocks.alive_count() * 2 < orig.len() {
+                        let survivors: Vec<usize> = orig
+                            .iter()
+                            .enumerate()
+                            .filter(|&(slot, _)| blocks.is_alive(slot))
+                            .map(|(_, &o)| o)
+                            .collect();
+                        blocks =
+                            CandidateBlocks::build(flat, cache, subset, survivors.len(), |idx| {
+                                (batch.id(survivors[idx]), batch.values(survivors[idx]))
+                            });
+                        orig = survivors;
+                    }
+                }
+                for (slot, &o) in orig.iter().enumerate() {
+                    if blocks.is_alive(slot) {
+                        emit(o)?;
+                    }
+                }
+                start += g;
+            }
+        }
+        _ => {
+            for i in 0..n {
+                if !find_pruner_in_batch(
+                    dissim, flat, batch, i, query, cache, order, dqx, crows, stats,
+                ) {
+                    emit(i)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Phase-two refinement of one batch of intermediate results: streams the
+/// database past the batch via `read_page` and appends the ids that no
+/// scanned object prunes. The page loop stops as soon as every member is
+/// pruned, so the IO sequence is identical on both kernel paths. Shared by
+/// the sequential and parallel engines.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn phase2_filter_batch(
+    dissim: &DissimTable,
+    flat: Option<&FlatDissim>,
+    subset: &AttrSubset,
+    cache: &QueryDistCache,
+    rbatch: &RowBuf,
+    total_pages: u64,
+    mut read_page: impl FnMut(u64, &mut RowBuf) -> Result<()>,
+    dpage: &mut RowBuf,
+    dqx_rows: &mut Vec<f64>,
+    row: &mut Vec<f64>,
+    stats: &mut RunStats,
+    result: &mut Vec<RecordId>,
+) -> Result<()> {
+    if let Some(flat) = flat {
+        // Kernel path: block the batch members, then stream D pages through
+        // the batched pruner, re-blocking survivors into dense chunks
+        // whenever half the batch has died (page boundaries leave every
+        // lane at the same scan position, so re-blocking is counter-exact).
+        let mut orig: Vec<usize> = (0..rbatch.len()).collect();
+        let mut blocks = CandidateBlocks::build(flat, cache, subset, rbatch.len(), |xi| {
+            (rbatch.id(xi), rbatch.values(xi))
+        });
+        for p in 0..total_pages {
+            if blocks.alive_count() == 0 {
+                break;
+            }
+            dpage.clear();
+            read_page(p, dpage)?;
+            let ys = ColumnarBatch::from_rows(dpage);
+            blocks.scan(flat, subset, &ys, true, stats);
+            if p + 1 < total_pages && blocks.alive_count() * 2 < orig.len() {
+                let survivors: Vec<usize> = orig
+                    .iter()
+                    .enumerate()
+                    .filter(|&(slot, _)| blocks.is_alive(slot))
+                    .map(|(_, &o)| o)
+                    .collect();
+                blocks = CandidateBlocks::build(flat, cache, subset, survivors.len(), |xi| {
+                    (rbatch.id(survivors[xi]), rbatch.values(survivors[xi]))
+                });
+                orig = survivors;
+            }
+        }
+        for (slot, &o) in orig.iter().enumerate() {
+            if blocks.is_alive(slot) {
+                result.push(rbatch.id(o));
+            }
+        }
+    } else {
+        // Hoist each center's cached query-distance row out of the D-scan:
+        // one row per batch member, computed once per batch.
+        let slen = subset.len();
+        dqx_rows.clear();
+        for xi in 0..rbatch.len() {
+            cache.center_dists_into(subset, rbatch.values(xi), row);
+            dqx_rows.extend_from_slice(row);
+        }
+        let mut alive = vec![true; rbatch.len()];
+        let mut alive_count = rbatch.len();
+        for p in 0..total_pages {
+            if alive_count == 0 {
+                break;
+            }
+            dpage.clear();
+            read_page(p, dpage)?;
+            for (xi, alive_flag) in alive.iter_mut().enumerate() {
+                if !*alive_flag {
+                    continue;
+                }
+                let x = rbatch.values(xi);
+                let x_id = rbatch.id(xi);
+                let x_dqx = &dqx_rows[xi * slen..(xi + 1) * slen];
+                for yi in 0..dpage.len() {
+                    if dpage.id(yi) == x_id {
+                        continue;
+                    }
+                    stats.obj_comparisons += 1;
+                    if prunes_with_center_dists(
+                        dissim,
+                        subset,
+                        dpage.values(yi),
+                        x,
+                        x_dqx,
+                        &mut stats.dist_checks,
+                    ) {
+                        *alive_flag = false;
+                        alive_count -= 1;
+                        break;
+                    }
+                }
+            }
+        }
+        for (xi, ok) in alive.iter().enumerate() {
+            if *ok {
+                result.push(rbatch.id(xi));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Whether batch member `i` has a pruner inside the batch, probing in the
 /// configured order. `dqx` is caller-provided scratch for the candidate's
-/// query-distance row (hoisted out of the probe loop). Shared with the
-/// parallel engines in [`crate::par`], which is why it takes the
+/// query-distance row (hoisted out of the probe loop); `crows` is scratch
+/// for the candidate's flat center rows when `flat` is available (the probe
+/// then indexes contiguous rows instead of dispatching through the
+/// dissimilarity enum — same evaluations, counted identically). Shared with
+/// the parallel engines in [`crate::par`], which is why it takes the
 /// dissimilarity table rather than a full (disk-bearing) context.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn find_pruner_in_batch(
+pub(crate) fn find_pruner_in_batch<'f>(
     dissim: &DissimTable,
+    flat: Option<&'f FlatDissim>,
     batch: &RowBuf,
     i: usize,
     query: &Query,
     cache: &QueryDistCache,
     order: Phase1Order,
     dqx: &mut Vec<f64>,
+    crows: &mut Vec<&'f [f64]>,
     stats: &mut RunStats,
 ) -> bool {
     let x = batch.values(i);
     let n = batch.len();
+    let indices = query.subset.indices();
     cache.center_dists_into(&query.subset, x, dqx);
+    if let Some(flat) = flat {
+        crows.clear();
+        crows.extend(indices.iter().map(|&a| flat.center_row(a, x[a])));
+    }
+    let dqx = &*dqx;
+    let crows = &*crows;
     let check = |j: usize, stats: &mut RunStats| -> bool {
         stats.obj_comparisons += 1;
-        prunes_with_center_dists(
-            dissim,
-            &query.subset,
-            batch.values(j),
-            x,
-            dqx,
-            &mut stats.dist_checks,
-        )
+        if flat.is_some() {
+            kernels::prunes_center_hoisted(crows, dqx, indices, batch.values(j), &mut stats.dist_checks)
+        } else {
+            prunes_with_center_dists(
+                dissim,
+                &query.subset,
+                batch.values(j),
+                x,
+                dqx,
+                &mut stats.dist_checks,
+            )
+        }
     };
     match order {
         Phase1Order::Linear => {

@@ -12,7 +12,8 @@ use rsky_core::schema::Schema;
 use rsky_core::stats::RunStats;
 use rsky_storage::{Disk, MemoryBudget, RecordFile};
 
-use crate::qcache::QueryDistCache;
+use crate::kernels::PrunerKernel;
+use crate::qcache::{self, QueryDistCache};
 
 /// Per-run observability context: the recorder handle and cancellation
 /// token captured once at run start (on the calling thread, where scoped
@@ -182,6 +183,13 @@ pub(crate) fn validate_inputs(
 /// result size. `prefix` names the engine in span names (`{prefix}.run`,
 /// `{prefix}.phase1.batch`, …); the closing run span carries the final
 /// `RunStats` totals so an external sink can reconcile them.
+///
+/// The query cache is built here — and its `Σ cardinality_i` evaluations
+/// charged to this run — unless the request installed a
+/// [`crate::qcache::SharedQueryCache`] for the same query, in which case
+/// the run borrows it and charges nothing (the cache's owner accounted the
+/// build once). The [`PrunerKernel`] captures this thread's ambient
+/// [`crate::kernels::KernelMode`] for the whole run.
 pub(crate) fn run_with_scaffolding(
     ctx: &mut EngineCtx<'_>,
     query: &Query,
@@ -191,16 +199,29 @@ pub(crate) fn run_with_scaffolding(
         &QueryDistCache,
         &mut RunStats,
         &RunObs<'_>,
+        &PrunerKernel,
     ) -> Result<Vec<RecordId>>,
 ) -> Result<RsRun> {
     let robs = RunObs::capture(prefix);
     let io_before = ctx.disk.io_stats();
     let t0 = Instant::now();
     let mut run_span = robs.span("run");
-    let cache = QueryDistCache::new(ctx.dissim, ctx.schema, query);
-    robs.handle.counter_add(obs::names::QCACHE_BUILD_CHECKS, cache.build_checks);
-    let mut stats = RunStats { query_dist_checks: cache.build_checks, ..Default::default() };
-    let mut ids = body(ctx, &cache, &mut stats, &robs)?;
+    let kern = PrunerKernel::capture(ctx.schema, ctx.dissim);
+    let shared = qcache::shared_for(query);
+    let owned;
+    let cache: &QueryDistCache = match shared.as_deref() {
+        Some(s) => s.cache(),
+        None => {
+            owned = QueryDistCache::new(ctx.dissim, ctx.schema, query);
+            &owned
+        }
+    };
+    let build_checks = if shared.is_some() { 0 } else { cache.build_checks };
+    if shared.is_none() {
+        robs.handle.counter_add(obs::names::QCACHE_BUILD_CHECKS, cache.build_checks);
+    }
+    let mut stats = RunStats { query_dist_checks: build_checks, ..Default::default() };
+    let mut ids = body(ctx, cache, &mut stats, &robs, &kern)?;
     ids.sort_unstable();
     stats.total_time = t0.elapsed();
     stats.io = ctx.disk.io_stats().delta_since(io_before);

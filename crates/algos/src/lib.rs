@@ -39,6 +39,7 @@ pub mod engine;
 pub mod explain;
 pub mod hybrid;
 pub mod influence;
+pub mod kernels;
 pub mod naive;
 pub mod par;
 pub mod prep;
@@ -54,10 +55,11 @@ pub use engine::{engine_by_name, EngineCtx, ReverseSkylineAlgo, RsRun};
 pub use explain::{all_witnesses, explain, Explanation, Membership};
 pub use hybrid::{hybrid_trs, HybridDataset, HybridQuery, NumericAttr};
 pub use influence::{run_influence_parallel, InfluenceEngine, InfluenceReport};
+pub use kernels::{KernelMode, PrunerKernel};
 pub use naive::Naive;
 pub use par::{ParBrs, ParSrs, ParTrs};
 pub use prep::{prepare_table, Layout, PreparedTable};
-pub use qcache::QueryDistCache;
+pub use qcache::{with_shared, QueryDistCache, SharedQueryCache};
 pub use shard::{layout_for, ShardCost, ShardedRun, ShardedTables};
 pub use skyline_bnl::{dynamic_skyline_bnl, SkylineRun};
 pub use streaming::{StreamStats, StreamingReverseSkyline};

@@ -29,7 +29,10 @@ impl ReverseSkylineAlgo for Naive {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         crate::engine::validate_inputs(ctx, table, query)?;
-        run_with_scaffolding(ctx, query, "naive", |ctx, cache, stats, robs| {
+        // The naive baseline stays on the scalar path on purpose: it is the
+        // cost reference the paper's plots compare against, and its
+        // page-at-a-time inner scan offers no batch to block.
+        run_with_scaffolding(ctx, query, "naive", |ctx, cache, stats, robs, _kern| {
             let m = table.num_attrs();
             let subset = &query.subset;
             let total_pages = table.num_pages(ctx.disk);

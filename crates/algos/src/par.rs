@@ -42,7 +42,6 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use rsky_altree::AlTree;
-use rsky_core::dominate::prunes_with_center_dists;
 use rsky_core::error::Result;
 use rsky_core::obs;
 use rsky_core::query::Query;
@@ -51,9 +50,10 @@ use rsky_core::schema::Schema;
 use rsky_core::stats::{IoCounts, RunStats};
 use rsky_storage::{RecordFile, RecordScanner, RecordWriter, SharedRecords};
 
-use crate::brs::{find_pruner_in_batch, Phase1Order};
+use crate::brs::{phase1_scan_batch, phase2_filter_batch, Phase1Order};
 use crate::engine::{finish_run_span, validate_inputs, EngineCtx, ReverseSkylineAlgo, RsRun, RunObs};
-use crate::qcache::QueryDistCache;
+use crate::kernels::PrunerKernel;
+use crate::qcache::{self, QueryDistCache};
 use crate::trs::{self, Trs};
 
 /// Parallel BRS: both phases sharded by batch across OS threads.
@@ -96,8 +96,10 @@ impl ReverseSkylineAlgo for ParBrs {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         validate_inputs(ctx, table, query)?;
-        run_par_scaffolding(ctx, query, "brs-p", |ctx, cache, stats, robs| {
-            par_two_phase(ctx, table, query, cache, Phase1Order::Linear, self.threads, stats, robs)
+        run_par_scaffolding(ctx, query, "brs-p", |ctx, cache, stats, robs, kern| {
+            par_two_phase(
+                ctx, table, query, cache, Phase1Order::Linear, self.threads, stats, robs, kern,
+            )
         })
     }
 }
@@ -109,9 +111,9 @@ impl ReverseSkylineAlgo for ParSrs {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         validate_inputs(ctx, table, query)?;
-        run_par_scaffolding(ctx, query, "srs-p", |ctx, cache, stats, robs| {
+        run_par_scaffolding(ctx, query, "srs-p", |ctx, cache, stats, robs, kern| {
             par_two_phase(
-                ctx, table, query, cache, Phase1Order::Radiating, self.threads, stats, robs,
+                ctx, table, query, cache, Phase1Order::Radiating, self.threads, stats, robs, kern,
             )
         })
     }
@@ -125,8 +127,8 @@ impl ReverseSkylineAlgo for ParTrs {
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         validate_inputs(ctx, table, query)?;
         self.trs.validate_order(table.num_attrs())?;
-        run_par_scaffolding(ctx, query, "trs-p", |ctx, cache, stats, robs| {
-            par_trs(ctx, table, query, cache, &self.trs, self.threads, stats, robs)
+        run_par_scaffolding(ctx, query, "trs-p", |ctx, cache, stats, robs, kern| {
+            par_trs(ctx, table, query, cache, &self.trs, self.threads, stats, robs, kern)
         })
     }
 }
@@ -145,16 +147,29 @@ fn run_par_scaffolding(
         &QueryDistCache,
         &mut RunStats,
         &RunObs<'_>,
+        &PrunerKernel,
     ) -> Result<Vec<RecordId>>,
 ) -> Result<RsRun> {
     let robs = RunObs::capture(prefix);
     let io_before = ctx.disk.io_stats();
     let t0 = Instant::now();
     let mut run_span = robs.span("run");
-    let cache = QueryDistCache::new(ctx.dissim, ctx.schema, query);
-    robs.handle().counter_add(obs::names::QCACHE_BUILD_CHECKS, cache.build_checks);
-    let mut stats = RunStats { query_dist_checks: cache.build_checks, ..Default::default() };
-    let mut ids = body(ctx, &cache, &mut stats, &robs)?;
+    let kern = PrunerKernel::capture(ctx.schema, ctx.dissim);
+    let shared = qcache::shared_for(query);
+    let owned;
+    let cache: &QueryDistCache = match shared.as_deref() {
+        Some(s) => s.cache(),
+        None => {
+            owned = QueryDistCache::new(ctx.dissim, ctx.schema, query);
+            &owned
+        }
+    };
+    let build_checks = if shared.is_some() { 0 } else { cache.build_checks };
+    if shared.is_none() {
+        robs.handle().counter_add(obs::names::QCACHE_BUILD_CHECKS, cache.build_checks);
+    }
+    let mut stats = RunStats { query_dist_checks: build_checks, ..Default::default() };
+    let mut ids = body(ctx, cache, &mut stats, &robs, &kern)?;
     ids.sort_unstable();
     stats.total_time = t0.elapsed();
     stats.io.add(ctx.disk.io_stats().delta_since(io_before));
@@ -225,6 +240,7 @@ fn par_two_phase(
     threads: usize,
     stats: &mut RunStats,
     robs: &RunObs<'_>,
+    kern: &PrunerKernel,
 ) -> Result<Vec<RecordId>> {
     let threads = threads.max(1);
     let m = table.num_attrs();
@@ -252,6 +268,7 @@ fn par_two_phase(
                     s.spawn(move || obs::with_parent(p1_ctx, || {
                         let mut scanner = shared_d.scanner();
                         let mut dqx = Vec::with_capacity(query.subset.len());
+                        let mut crows: Vec<&[f64]> = Vec::with_capacity(query.subset.len());
                         let mut out = Vec::new();
                         loop {
                             let b = next.fetch_add(1, Ordering::Relaxed);
@@ -265,12 +282,23 @@ fn par_two_phase(
                             scanner.read_batch(starts[b], cap1, &mut batch)?;
                             let mut bs = RunStats { phase1_batches: 1, ..Default::default() };
                             let mut surv = RowBuf::new(m);
-                            for i in 0..batch.len() {
-                                if !find_pruner_in_batch(
-                                    dissim, &batch, i, query, cache, order, &mut dqx, &mut bs,
-                                ) {
-                                    surv.push_flat(batch.flat_row(i));
-                                }
+                            {
+                                let surv = &mut surv;
+                                phase1_scan_batch(
+                                    dissim,
+                                    kern.flat(),
+                                    &batch,
+                                    query,
+                                    cache,
+                                    order,
+                                    &mut dqx,
+                                    &mut crows,
+                                    &mut bs,
+                                    |i| {
+                                        surv.push_flat(batch.flat_row(i));
+                                        Ok(())
+                                    },
+                                )?;
                             }
                             if bspan.is_recording() {
                                 bspan
@@ -354,52 +382,21 @@ fn par_two_phase(
                             rbatch.clear();
                             r_scanner.read_batch(rstarts[b], cap2, &mut rbatch)?;
                             let mut bs = RunStats { phase2_batches: 1, ..Default::default() };
-                            dqx_rows.clear();
-                            for xi in 0..rbatch.len() {
-                                cache.center_dists_into(subset, rbatch.values(xi), &mut row);
-                                dqx_rows.extend_from_slice(&row);
-                            }
-                            let mut alive = vec![true; rbatch.len()];
-                            let mut alive_count = rbatch.len();
-                            for p in 0..d_pages {
-                                if alive_count == 0 {
-                                    break;
-                                }
-                                dpage.clear();
-                                d_scanner.read_page_rows(p, &mut dpage)?;
-                                for (xi, alive_flag) in alive.iter_mut().enumerate() {
-                                    if !*alive_flag {
-                                        continue;
-                                    }
-                                    let x = rbatch.values(xi);
-                                    let x_id = rbatch.id(xi);
-                                    let x_dqx = &dqx_rows[xi * slen..(xi + 1) * slen];
-                                    for yi in 0..dpage.len() {
-                                        if dpage.id(yi) == x_id {
-                                            continue;
-                                        }
-                                        bs.obj_comparisons += 1;
-                                        if prunes_with_center_dists(
-                                            dissim,
-                                            subset,
-                                            dpage.values(yi),
-                                            x,
-                                            x_dqx,
-                                            &mut bs.dist_checks,
-                                        ) {
-                                            *alive_flag = false;
-                                            alive_count -= 1;
-                                            break;
-                                        }
-                                    }
-                                }
-                            }
-                            let ids: Vec<RecordId> = alive
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, ok)| **ok)
-                                .map(|(xi, _)| rbatch.id(xi))
-                                .collect();
+                            let mut ids: Vec<RecordId> = Vec::new();
+                            phase2_filter_batch(
+                                dissim,
+                                kern.flat(),
+                                subset,
+                                cache,
+                                &rbatch,
+                                d_pages,
+                                |p, buf| d_scanner.read_page_rows(p, buf).map(|_| ()),
+                                &mut dpage,
+                                &mut dqx_rows,
+                                &mut row,
+                                &mut bs,
+                                &mut ids,
+                            )?;
                             if bspan.is_recording() {
                                 let mut io = r_scanner.io_stats();
                                 io.add(d_scanner.io_stats());
@@ -493,6 +490,7 @@ fn par_trs(
     threads: usize,
     stats: &mut RunStats,
     robs: &RunObs<'_>,
+    kern: &PrunerKernel,
 ) -> Result<Vec<RecordId>> {
     let threads = threads.max(1);
     let m = table.num_attrs();
@@ -539,6 +537,7 @@ fn par_trs(
                                 if !trs::is_prunable_with_stack(
                                     &tree,
                                     dissim,
+                                    kern.flat(),
                                     &query.subset,
                                     order,
                                     &c_schema_vals,
@@ -632,6 +631,7 @@ fn par_trs(
                                     trs::prune_with_stack(
                                         &mut tree,
                                         dissim,
+                                        kern.flat(),
                                         &query.subset,
                                         order,
                                         dpage.values(ei),

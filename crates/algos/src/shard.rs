@@ -44,6 +44,7 @@
 //! merged `RunStats` exactly, mirroring the single-node contract.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rsky_core::cancel;
@@ -56,12 +57,15 @@ use rsky_core::query::Query;
 use rsky_core::record::{RecordId, RowBuf};
 use rsky_core::schema::Schema;
 use rsky_core::stats::RunStats;
-use rsky_storage::{partition_rows, Disk, MemoryBudget, RecordFile, ShardSpec, SharedRecords};
+use rsky_storage::{
+    partition_rows, ColumnarBatch, Disk, MemoryBudget, RecordFile, ShardSpec, SharedRecords,
+};
 
 use crate::engine::{engine_by_name, finish_run_span, EngineCtx, RunObs};
 use crate::influence::{Influence, InfluenceReport};
+use crate::kernels::{self, CandidateBlocks, PrunerKernel};
 use crate::prep::{prepare_table, Layout, PreparedTable};
-use crate::qcache::QueryDistCache;
+use crate::qcache::{self, QueryDistCache, SharedQueryCache};
 
 /// The physical layout an engine expects, given the serving-layer `tiles`
 /// knob (shared by the worker state and the sharded executor).
@@ -143,11 +147,15 @@ pub struct ShardedRun {
     /// single-node result for every engine, shard count and policy
     /// (enforced by tests/shard_differential.rs).
     pub ids: Vec<RecordId>,
-    /// Merged cost profile: per-shard local and verify stats folded in
-    /// shard order via [`RunStats::merge`]; the time fields are overwritten
-    /// with coordinator wall clock and `result_size` with the final
-    /// cardinality.
+    /// Merged cost profile: the coordinator's plan step plus per-shard local
+    /// and verify stats folded in shard order via [`RunStats::merge`]; the
+    /// time fields are overwritten with coordinator wall clock and
+    /// `result_size` with the final cardinality.
     pub stats: RunStats,
+    /// The coordinator's planning cost: the one query-distance cache build
+    /// shared by every shard (`query_dist_checks` only). Folded into
+    /// [`stats`](Self::stats) ahead of the per-shard entries.
+    pub plan: RunStats,
     /// Per-shard breakdown, in shard order.
     pub per_shard: Vec<ShardCost>,
     /// Total phase-1 candidates entering verification (`Σ candidates`).
@@ -260,6 +268,26 @@ impl ShardedTables {
         let mut run_span = robs.span(names::SPAN_RUN);
         let k = self.shards.len();
 
+        // --- Plan: build the query-distance cache ONCE on the coordinator
+        // and share it with every shard (phase 1) and every verify task
+        // (phase 2). Without this, each of the k shards rebuilds the same
+        // `d_i(q, v)` table, multiplying `query_dist_checks` by k. The build
+        // cost is accounted here, in its own span, so the sharded stats
+        // contract still tiles exactly. The kernel mode and flat table are
+        // captured here too — spawned shard threads start with fresh
+        // thread-locals and must inherit the coordinator's choices.
+        let kmode = kernels::current_mode();
+        let kern = PrunerKernel::capture(&self.schema, &self.dissim);
+        let mut plan_span = robs.span(names::SPAN_PLAN);
+        let shared = Arc::new(SharedQueryCache::new(&self.dissim, &self.schema, query));
+        let plan =
+            RunStats { query_dist_checks: shared.cache().build_checks, ..Default::default() };
+        robs.handle().counter_add(obs::names::QCACHE_BUILD_CHECKS, plan.query_dist_checks);
+        if plan_span.is_recording() {
+            plan_span.field("query_dist_checks", plan.query_dist_checks);
+        }
+        plan_span.close();
+
         // --- Phase one (scatter): local engine runs, one thread per shard.
         let t1 = Instant::now();
         let mut p1_span = robs.span(names::SPAN_PHASE1);
@@ -273,25 +301,31 @@ impl ShardedTables {
                 .map(|(i, st)| {
                     let (robs, handle, token) = (&robs, &handle, &token);
                     let layout = layout.clone();
+                    let shared = shared.clone();
                     s.spawn(move || {
                         // Re-install the coordinator's recorder, cancel
-                        // token and span context (all thread-scoped) so the
-                        // inner engine's own capture sees them and its spans
-                        // join this run's trace under the phase-1 span.
+                        // token, span context, kernel mode and shared query
+                        // cache (all thread-scoped) so the inner engine's
+                        // own capture sees them and its spans join this
+                        // run's trace under the phase-1 span.
                         obs::with_recorder(handle.clone(), || {
                             cancel::with_token(token.clone(), || {
                                 obs::with_parent(p1_ctx, || {
-                                    local_run(
-                                        st,
-                                        i,
-                                        engine_name,
-                                        engine_threads,
-                                        layout,
-                                        schema,
-                                        dissim,
-                                        query,
-                                        robs,
-                                    )
+                                    kernels::with_mode(kmode, || {
+                                        qcache::with_shared(shared, || {
+                                            local_run(
+                                                st,
+                                                i,
+                                                engine_name,
+                                                engine_threads,
+                                                layout,
+                                                schema,
+                                                dissim,
+                                                query,
+                                                robs,
+                                            )
+                                        })
+                                    })
                                 })
                             })
                         })
@@ -301,6 +335,7 @@ impl ShardedTables {
             handles.into_iter().map(|h| h.join().expect("shard phase-1 panicked")).collect()
         });
         let mut stats = RunStats::default();
+        stats.merge(&plan);
         let mut candidates: Vec<Vec<RecordId>> = Vec::with_capacity(k);
         let mut per_shard: Vec<ShardCost> = Vec::with_capacity(k);
         for (i, r) in locals.into_iter().enumerate() {
@@ -338,10 +373,13 @@ impl ShardedTables {
             let handles: Vec<_> = (0..k)
                 .map(|i| {
                     let (robs, windows, cands) = (&robs, &windows, &candidates[i]);
+                    let (cache, kern) = (shared.cache(), &kern);
                     let rows = &self.shards[i].rows;
                     s.spawn(move || {
                         obs::with_parent(p2_ctx, || {
-                            verify_shard(i, cands, rows, windows, schema, dissim, query, robs)
+                            verify_shard(
+                                i, cands, rows, windows, dissim, query, cache, kern, robs,
+                            )
                         })
                     })
                 })
@@ -371,7 +409,7 @@ impl ShardedTables {
         stats.result_size = ids.len();
         finish_run_span(&mut run_span, &stats);
         run_span.close();
-        Ok(ShardedRun { ids, stats, per_shard, candidates: total_candidates })
+        Ok(ShardedRun { ids, stats, plan, per_shard, candidates: total_candidates })
     }
 
     /// Runs an influence workload through the sharded executor: `|RS(q)|`
@@ -448,16 +486,21 @@ fn local_run(
 /// One shard's gather step: scan every *foreign* shard's window pages and
 /// drop any candidate a foreign record prunes. Scan order is fixed (shards
 /// ascending, pages ascending, candidates in id order), so the verification
-/// counters are deterministic.
+/// counters are deterministic. The query-distance cache is the coordinator's
+/// shared one (its build cost lives in the `shard.plan` span), and the scan
+/// runs through the batched pruner kernel when the coordinator captured one.
+/// Foreign windows never contain a candidate's own id, so the scalar path
+/// compares unconditionally and the kernel scans with `skip_self = false`.
 #[allow(clippy::too_many_arguments)]
 fn verify_shard(
     shard: usize,
     cands: &[RecordId],
     rows: &RowBuf,
     windows: &[Option<SharedRecords>],
-    schema: &Schema,
     dissim: &DissimTable,
     query: &Query,
+    cache: &QueryDistCache,
+    kern: &PrunerKernel,
     robs: &RunObs<'_>,
 ) -> Result<(Vec<RecordId>, RunStats)> {
     robs.check_cancelled()?;
@@ -466,65 +509,93 @@ fn verify_shard(
     let mut alive = vec![true; cands.len()];
     let has_foreign = windows.iter().enumerate().any(|(j, w)| j != shard && w.is_some());
     if !cands.is_empty() && has_foreign {
-        // Each verify task builds its own query-distance cache so its span
-        // fully accounts its work (the sharded stats contract sums spans).
-        let cache = QueryDistCache::new(dissim, schema, query);
-        robs.handle().counter_add(obs::names::QCACHE_BUILD_CHECKS, cache.build_checks);
-        vs.query_dist_checks = cache.build_checks;
         let subset = &query.subset;
-        let slen = subset.len();
-        // Candidate values + precomputed d(q_i, x_i) rows, in id order.
+        // Candidate values, in id order.
         let index: HashMap<RecordId, usize> =
             (0..rows.len()).map(|ri| (rows.id(ri), ri)).collect();
-        let mut dqx_rows: Vec<f64> = Vec::with_capacity(cands.len() * slen);
-        let mut row = Vec::with_capacity(slen);
-        for &id in cands {
-            let ri = *index.get(&id).expect("candidate id belongs to this shard");
-            cache.center_dists_into(subset, rows.values(ri), &mut row);
-            dqx_rows.extend_from_slice(&row);
-        }
-        let mut alive_count = cands.len();
         let m = rows.num_attrs();
         let mut dpage = RowBuf::new(m);
-        'shards: for (j, win) in windows.iter().enumerate() {
-            let Some(win) = win else { continue };
-            if j == shard {
-                continue; // local pruners were phase 1's job
-            }
-            let mut scanner = win.scanner();
-            for p in 0..win.num_pages() {
-                robs.check_cancelled()?;
-                if alive_count == 0 {
-                    vs.io.add(scanner.io_stats());
-                    break 'shards;
-                }
-                dpage.clear();
-                scanner.read_page_rows(p, &mut dpage)?;
-                for (xi, alive_flag) in alive.iter_mut().enumerate() {
-                    if !*alive_flag {
-                        continue;
+        match kern.flat() {
+            Some(flat) => {
+                let mut blocks = CandidateBlocks::build(flat, cache, subset, cands.len(), |xi| {
+                    let ri = *index.get(&cands[xi]).expect("candidate id belongs to this shard");
+                    (cands[xi], rows.values(ri))
+                });
+                'kshards: for (j, win) in windows.iter().enumerate() {
+                    let Some(win) = win else { continue };
+                    if j == shard {
+                        continue; // local pruners were phase 1's job
                     }
-                    let ri = index[&cands[xi]];
-                    let x = rows.values(ri);
-                    let x_dqx = &dqx_rows[xi * slen..(xi + 1) * slen];
-                    for yi in 0..dpage.len() {
-                        vs.obj_comparisons += 1;
-                        if prunes_with_center_dists(
-                            dissim,
-                            subset,
-                            dpage.values(yi),
-                            x,
-                            x_dqx,
-                            &mut vs.dist_checks,
-                        ) {
-                            *alive_flag = false;
-                            alive_count -= 1;
-                            break;
+                    let mut scanner = win.scanner();
+                    for p in 0..win.num_pages() {
+                        robs.check_cancelled()?;
+                        if blocks.alive_count() == 0 {
+                            vs.io.add(scanner.io_stats());
+                            break 'kshards;
+                        }
+                        dpage.clear();
+                        scanner.read_page_rows(p, &mut dpage)?;
+                        let ys = ColumnarBatch::from_rows(&dpage);
+                        blocks.scan(flat, subset, &ys, false, &mut vs);
+                    }
+                    vs.io.add(scanner.io_stats());
+                }
+                for (xi, flag) in alive.iter_mut().enumerate() {
+                    *flag = blocks.is_alive(xi);
+                }
+            }
+            None => {
+                let slen = subset.len();
+                // Precomputed d(q_i, x_i) rows, in candidate order.
+                let mut dqx_rows: Vec<f64> = Vec::with_capacity(cands.len() * slen);
+                let mut row = Vec::with_capacity(slen);
+                for &id in cands {
+                    let ri = *index.get(&id).expect("candidate id belongs to this shard");
+                    cache.center_dists_into(subset, rows.values(ri), &mut row);
+                    dqx_rows.extend_from_slice(&row);
+                }
+                let mut alive_count = cands.len();
+                'shards: for (j, win) in windows.iter().enumerate() {
+                    let Some(win) = win else { continue };
+                    if j == shard {
+                        continue; // local pruners were phase 1's job
+                    }
+                    let mut scanner = win.scanner();
+                    for p in 0..win.num_pages() {
+                        robs.check_cancelled()?;
+                        if alive_count == 0 {
+                            vs.io.add(scanner.io_stats());
+                            break 'shards;
+                        }
+                        dpage.clear();
+                        scanner.read_page_rows(p, &mut dpage)?;
+                        for (xi, alive_flag) in alive.iter_mut().enumerate() {
+                            if !*alive_flag {
+                                continue;
+                            }
+                            let ri = index[&cands[xi]];
+                            let x = rows.values(ri);
+                            let x_dqx = &dqx_rows[xi * slen..(xi + 1) * slen];
+                            for yi in 0..dpage.len() {
+                                vs.obj_comparisons += 1;
+                                if prunes_with_center_dists(
+                                    dissim,
+                                    subset,
+                                    dpage.values(yi),
+                                    x,
+                                    x_dqx,
+                                    &mut vs.dist_checks,
+                                ) {
+                                    *alive_flag = false;
+                                    alive_count -= 1;
+                                    break;
+                                }
+                            }
                         }
                     }
+                    vs.io.add(scanner.io_stats());
                 }
             }
-            vs.io.add(scanner.io_stats());
         }
     }
     let survivors: Vec<RecordId> = cands

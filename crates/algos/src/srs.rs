@@ -33,8 +33,8 @@ impl ReverseSkylineAlgo for Srs {
 
     fn run(&self, ctx: &mut EngineCtx<'_>, table: &RecordFile, query: &Query) -> Result<RsRun> {
         crate::engine::validate_inputs(ctx, table, query)?;
-        run_with_scaffolding(ctx, query, "srs", |ctx, cache, stats, robs| {
-            two_phase(ctx, table, query, cache, Phase1Order::Radiating, stats, robs)
+        run_with_scaffolding(ctx, query, "srs", |ctx, cache, stats, robs, kern| {
+            two_phase(ctx, table, query, cache, Phase1Order::Radiating, stats, robs, kern)
         })
     }
 }

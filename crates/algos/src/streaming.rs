@@ -26,6 +26,7 @@ use rsky_core::record::{RecordId, RowBuf, ValueId};
 use rsky_core::schema::Schema;
 
 use crate::engine::prunes_cached;
+use crate::kernels::{prunes_center_hoisted, prunes_moving_hoisted, PrunerKernel};
 use crate::qcache::QueryDistCache;
 
 /// One window entry.
@@ -77,6 +78,7 @@ pub struct StreamingReverseSkyline {
     dissim: DissimTable,
     query: Query,
     cache: QueryDistCache,
+    kern: PrunerKernel,
     capacity: usize,
     window: VecDeque<Entry>,
     /// Attribute-level distance checks spent so far.
@@ -98,11 +100,16 @@ impl StreamingReverseSkyline {
         }
         schema.validate_values(&query.values)?;
         let cache = QueryDistCache::new(&dissim, &schema, &query);
+        // The kernel mode is captured once at construction; the hoisted-row
+        // fast path is per-record scalar work (no batch to block) but skips
+        // the matrix indirection on every window probe.
+        let kern = PrunerKernel::capture(&schema, &dissim);
         Ok(Self {
             schema,
             dissim,
             query,
             cache,
+            kern,
             capacity,
             window: VecDeque::with_capacity(capacity),
             checks: 0,
@@ -134,16 +141,41 @@ impl StreamingReverseSkyline {
 
         let mut incoming = Entry { id, values: values.to_vec(), pruner_count: 0 };
         let subset = &self.query.subset;
-        for e in &mut self.window {
-            // Does the newcomer prune e?
-            if prunes_cached(&self.dissim, subset, &incoming.values, &e.values, &self.cache, &mut self.checks)
-            {
-                e.pruner_count += 1;
+        match self.kern.flat() {
+            Some(flat) => {
+                // Hoist the newcomer's rows once per arrival: its moving rows
+                // for "newcomer prunes e", and its center rows plus query
+                // distances for "e prunes newcomer".
+                let indices = subset.indices();
+                let mrows: Vec<&[f64]> =
+                    indices.iter().map(|&i| flat.moving_row(i, incoming.values[i])).collect();
+                let crows: Vec<&[f64]> =
+                    indices.iter().map(|&i| flat.center_row(i, incoming.values[i])).collect();
+                let dqx: Vec<f64> =
+                    indices.iter().map(|&i| self.cache.d(i, incoming.values[i])).collect();
+                for e in &mut self.window {
+                    if prunes_moving_hoisted(&mrows, &self.cache, indices, &e.values, &mut self.checks)
+                    {
+                        e.pruner_count += 1;
+                    }
+                    if prunes_center_hoisted(&crows, &dqx, indices, &e.values, &mut self.checks) {
+                        incoming.pruner_count += 1;
+                    }
+                }
             }
-            // Does e prune the newcomer?
-            if prunes_cached(&self.dissim, subset, &e.values, &incoming.values, &self.cache, &mut self.checks)
-            {
-                incoming.pruner_count += 1;
+            None => {
+                for e in &mut self.window {
+                    // Does the newcomer prune e?
+                    if prunes_cached(&self.dissim, subset, &incoming.values, &e.values, &self.cache, &mut self.checks)
+                    {
+                        e.pruner_count += 1;
+                    }
+                    // Does e prune the newcomer?
+                    if prunes_cached(&self.dissim, subset, &e.values, &incoming.values, &self.cache, &mut self.checks)
+                    {
+                        incoming.pruner_count += 1;
+                    }
+                }
             }
         }
         self.window.push_back(incoming);
@@ -156,11 +188,27 @@ impl StreamingReverseSkyline {
     pub fn expire_oldest(&mut self) -> Option<RecordId> {
         let leaving = self.window.pop_front()?;
         let subset = &self.query.subset;
-        for e in &mut self.window {
-            if prunes_cached(&self.dissim, subset, &leaving.values, &e.values, &self.cache, &mut self.checks)
-            {
-                debug_assert!(e.pruner_count > 0, "count underflow");
-                e.pruner_count -= 1;
+        match self.kern.flat() {
+            Some(flat) => {
+                let indices = subset.indices();
+                let mrows: Vec<&[f64]> =
+                    indices.iter().map(|&i| flat.moving_row(i, leaving.values[i])).collect();
+                for e in &mut self.window {
+                    if prunes_moving_hoisted(&mrows, &self.cache, indices, &e.values, &mut self.checks)
+                    {
+                        debug_assert!(e.pruner_count > 0, "count underflow");
+                        e.pruner_count -= 1;
+                    }
+                }
+            }
+            None => {
+                for e in &mut self.window {
+                    if prunes_cached(&self.dissim, subset, &leaving.values, &e.values, &self.cache, &mut self.checks)
+                    {
+                        debug_assert!(e.pruner_count > 0, "count underflow");
+                        e.pruner_count -= 1;
+                    }
+                }
             }
         }
         self.expirations += 1;
@@ -309,6 +357,35 @@ mod tests {
         let mut s = StreamingReverseSkyline::new(ds.schema, ds.dissim, q, 5).unwrap();
         assert!(s.insert(0, &[9, 9, 9]).is_err()); // out of domain
         assert!(s.insert(0, &[0, 0]).is_err()); // arity
+    }
+
+    #[test]
+    fn hoisted_path_matches_scalar_exactly() {
+        use crate::kernels::{with_mode, KernelMode};
+        let mut rng = StdRng::seed_from_u64(301);
+        let ds = rsky_data::synthetic::normal_dataset(4, 6, 1, &mut rng).unwrap();
+        let q = rsky_data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+        let mut scalar = with_mode(KernelMode::Scalar, || {
+            StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q.clone(), 20)
+                .unwrap()
+        });
+        let mut hoisted =
+            StreamingReverseSkyline::new(ds.schema.clone(), ds.dissim.clone(), q, 20).unwrap();
+        assert!(hoisted.kern.flat().is_some(), "batched capture must build the flat table");
+        for step in 0..200u32 {
+            if rng.gen_bool(0.75) || scalar.is_empty() {
+                let vals: Vec<u32> =
+                    (0..4).map(|i| rng.gen_range(0..ds.schema.cardinality(i))).collect();
+                let a = scalar.insert(step, &vals).unwrap();
+                let b = hoisted.insert(step, &vals).unwrap();
+                assert_eq!(a, b, "step {step}");
+            } else {
+                assert_eq!(scalar.expire_oldest(), hoisted.expire_oldest(), "step {step}");
+            }
+            assert_eq!(scalar.current(), hoisted.current(), "step {step}");
+            assert_eq!(scalar.stats(), hoisted.stats(), "step {step}: checks must be identical");
+        }
+        assert!(scalar.checks > 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! "`M ∖ c`" and "other than `e` itself" provisos.
 
 use rsky_altree::{AlTree, InsertHint, NodeIdx, ROOT};
-use rsky_core::dissim::DissimTable;
+use rsky_core::dissim::{DissimTable, FlatDissim};
 use rsky_core::error::{Error, Result};
 use rsky_core::query::{AttrSubset, Query};
 use rsky_core::record::{RecordId, RowBuf, ValueId};
@@ -140,7 +140,7 @@ impl ReverseSkylineAlgo for Trs {
         crate::engine::validate_inputs(ctx, table, query)?;
         let m = table.num_attrs();
         self.validate_order(m)?;
-        run_with_scaffolding(ctx, query, "trs", |ctx, cache, stats, robs| {
+        run_with_scaffolding(ctx, query, "trs", |ctx, cache, stats, robs, kern| {
             let order = &self.attr_order;
             let total_pages = table.num_pages(ctx.disk);
             let mut tree = AlTree::new(m);
@@ -181,6 +181,7 @@ impl ReverseSkylineAlgo for Trs {
                         if !is_prunable_with_stack(
                             &tree,
                             ctx.dissim,
+                            kern.flat(),
                             &query.subset,
                             order,
                             &c_schema_vals,
@@ -254,6 +255,7 @@ impl ReverseSkylineAlgo for Trs {
                             prune_with_stack(
                                 &mut tree,
                                 ctx.dissim,
+                                kern.flat(),
                                 &query.subset,
                                 order,
                                 dpage.values(ei),
@@ -410,16 +412,19 @@ pub fn is_prunable(
 ) -> bool {
     let mut stack = Vec::new();
     is_prunable_with_stack(
-        tree, dt, subset, order, c_schema_vals, c_id, cache, stats, &mut stack,
+        tree, dt, None, subset, order, c_schema_vals, c_id, cache, stats, &mut stack,
     )
 }
 
 /// [`is_prunable`] with a caller-provided stack buffer, so tight loops over
-/// many candidates avoid one allocation per call.
+/// many candidates avoid one allocation per call. With `flat` present the
+/// per-child distance comes from the candidate's contiguous center row
+/// instead of the dissimilarity enum — same values, same check counting.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn is_prunable_with_stack(
     tree: &AlTree,
     dt: &DissimTable,
+    flat: Option<&FlatDissim>,
     subset: &AttrSubset,
     order: &[usize],
     c_schema_vals: &[ValueId],
@@ -460,10 +465,23 @@ pub(crate) fn is_prunable_with_stack(
         }
         let (c_val, d_q) = (c_schema_vals[attr], d_qc[attr]);
         stats.dist_checks += children.len() as u64;
-        for &p in children {
-            let d_pc = dt.d(attr, tree.value(p), c_val);
-            if d_pc <= d_q {
-                stack.push((p, found_closer || d_pc < d_q));
+        match flat {
+            Some(f) => {
+                let row = f.center_row(attr, c_val);
+                for &p in children {
+                    let d_pc = row[tree.value(p) as usize];
+                    if d_pc <= d_q {
+                        stack.push((p, found_closer || d_pc < d_q));
+                    }
+                }
+            }
+            None => {
+                for &p in children {
+                    let d_pc = dt.d(attr, tree.value(p), c_val);
+                    if d_pc <= d_q {
+                        stack.push((p, found_closer || d_pc < d_q));
+                    }
+                }
             }
         }
     }
@@ -490,14 +508,17 @@ pub fn prune_with(
     stats: &mut RunStats,
 ) -> u32 {
     let mut stack = Vec::new();
-    prune_with_stack(tree, dt, subset, order, e_schema_vals, e_id, cache, stats, &mut stack)
+    prune_with_stack(tree, dt, None, subset, order, e_schema_vals, e_id, cache, stats, &mut stack)
 }
 
-/// [`prune_with`] with a caller-provided stack buffer.
+/// [`prune_with`] with a caller-provided stack buffer. With `flat` present
+/// the per-child distance comes from the scanned object's contiguous moving
+/// row — same values, same check counting.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn prune_with_stack(
     tree: &mut AlTree,
     dt: &DissimTable,
+    flat: Option<&FlatDissim>,
     subset: &AttrSubset,
     order: &[usize],
     e_schema_vals: &[ValueId],
@@ -530,10 +551,14 @@ pub(crate) fn prune_with_stack(
         }
         let e_val = e_schema_vals[attr];
         stats.dist_checks += tree.children(s).len() as u64;
+        let row = flat.map(|f| f.moving_row(attr, e_val));
         for i in 0..tree.children(s).len() {
             let p = tree.children(s)[i];
             let u = tree.value(p);
-            let d_pe = dt.d(attr, e_val, u);
+            let d_pe = match row {
+                Some(r) => r[u as usize],
+                None => dt.d(attr, e_val, u),
+            };
             let d_pq = cache.d(attr, u);
             if d_pe <= d_pq {
                 stack.push((p, found_closer || d_pe < d_pq));

@@ -1,30 +1,310 @@
-//! Criterion micro-benchmarks of the hot kernels: the domination check, the
-//! AL-Tree build (plain vs hint-accelerated), the `IsPrunable` walk and the
-//! Z-order key.
+//! Micro-benchmarks of the hot kernels, scalar vs batched.
+//!
+//! Two layers of measurement:
+//!
+//! 1. **Engine level** — BRS/SRS/TRS single-threaded over synthetic-normal
+//!    data (default scale: 100 k objects, 5 attributes, 50 values — set
+//!    `RSKY_SCALE` to change), once under [`KernelMode::Scalar`] and once
+//!    under [`KernelMode::Batched`]. Ids and every `RunStats` counter are
+//!    asserted identical across the two modes — the kernel is a pure
+//!    execution strategy — and the wall-clock ratio is the headline speedup.
+//!    Results land in `BENCH_kernels.json` at the repository root.
+//! 2. **Inner-loop level** — the dominance loop in isolation: the same
+//!    512-candidate × 2048-row workload pushed through the scalar
+//!    `prunes_cached` loop (per-candidate early exit, exactly as the
+//!    engines run it) and through [`CandidateBlocks::scan`], with
+//!    survivors and counters asserted identical and the min-of-reps
+//!    wall-clock ratio reported. The historical AL-Tree / Z-order
+//!    criterion-style samplers ride along.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rsky_algos::kernels::{with_mode, CandidateBlocks, KernelMode};
+use rsky_algos::prep::{load_dataset, prepare_table};
 use rsky_algos::qcache::QueryDistCache;
 use rsky_algos::trs::is_prunable;
+use rsky_algos::{engine_by_name, layout_for, EngineCtx};
 use rsky_altree::{AlTree, InsertHint};
-use rsky_core::query::AttrSubset;
+use rsky_bench::{table::ms, BenchConfig, Table};
+use rsky_core::dataset::Dataset;
+use rsky_core::dissim::FlatDissim;
+use rsky_core::query::{AttrSubset, Query};
 use rsky_core::stats::RunStats;
-use rsky_order::multisort::sort_rows_lex;
+use rsky_storage::{ColumnarBatch, Disk, MemoryBudget};
 
-fn setup() -> (rsky_core::dataset::Dataset, rsky_core::query::Query) {
-    let mut rng = StdRng::seed_from_u64(9);
-    let ds = rsky_data::synthetic::normal_dataset(5, 50, 20_000, &mut rng).unwrap();
-    let q = rsky_data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
-    (ds, q)
+const MEM_PCT: f64 = 10.0;
+const ENGINES: [&str; 3] = ["brs", "srs", "trs"];
+
+struct ModeRun {
+    wall: Duration,
+    stats: RunStats,
+    ids: Vec<Vec<u32>>,
 }
 
-fn bench_domination(c: &mut Criterion) {
-    let (ds, q) = setup();
-    let subset = AttrSubset::all(5);
-    let cache = QueryDistCache::new(&ds.dissim, &ds.schema, &q);
+struct EngineLine {
+    engine: &'static str,
+    scalar: ModeRun,
+    kernel: ModeRun,
+}
+
+/// The dominance inner loop measured in isolation on one fixed workload,
+/// scalar loop vs batched kernel.
+struct InnerLoop {
+    cands: usize,
+    scan_rows: usize,
+    scalar: Duration,
+    kernel: Duration,
+    survivors: usize,
+    counters_identical: bool,
+}
+
+impl InnerLoop {
+    fn speedup(&self) -> f64 {
+        self.scalar.as_secs_f64() / self.kernel.as_secs_f64().max(1e-9)
+    }
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Kernel micro-benchmarks: scalar vs batched pruning"));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n(1_000_000);
+    let ds = rsky_data::synthetic::normal_dataset(5, 50, n, &mut rng).unwrap();
+    let qs = rsky_data::random_queries(&ds.schema, cfg.queries, &mut rng).unwrap();
+    println!("n = {}, {} queries/point", ds.len(), qs.len());
+
+    let lines: Vec<EngineLine> =
+        ENGINES.iter().map(|e| bench_engine(e, &ds, &qs, &cfg)).collect();
+
+    let mut t = Table::new(
+        "Engine wall-clock per query (mean), scalar vs batched kernel",
+        &["engine", "scalar", "kernel", "speedup", "ids", "counters"],
+    );
+    for l in &lines {
+        let (ids_ok, counters_ok) = l.verdicts();
+        t.row(vec![
+            l.engine.to_uppercase(),
+            ms(l.scalar.wall),
+            ms(l.kernel.wall),
+            format!("{:.2}x", l.speedup()),
+            if ids_ok { "match".into() } else { "MISMATCH".into() },
+            if counters_ok { "identical".into() } else { "DRIFT".into() },
+        ]);
+    }
+    t.print();
+
+    for l in &lines {
+        let (ids_ok, counters_ok) = l.verdicts();
+        assert!(ids_ok, "{}: batched kernel changed the result ids", l.engine);
+        assert!(counters_ok, "{}: batched kernel changed the counters", l.engine);
+    }
+    println!("both modes agree on ids and on every counter");
+
+    let inner = inner_loop_bench(&ds, &qs[0]);
+    println!(
+        "dominance inner loop ({} cands x {} rows): scalar {} kernel {} speedup {:.2}x \
+         survivors {} counters {}",
+        inner.cands,
+        inner.scan_rows,
+        ms(inner.scalar),
+        ms(inner.kernel),
+        inner.speedup(),
+        inner.survivors,
+        if inner.counters_identical { "identical" } else { "DRIFT" },
+    );
+    assert!(inner.counters_identical, "inner loop: batched kernel drifted from the scalar counters");
+
+    probe_level_benches(&ds, &qs[0]);
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+    std::fs::write(&path, render_json(&lines, &inner, &ds, qs.len())).unwrap();
+    println!("wrote {}", path.display());
+}
+
+impl EngineLine {
+    fn speedup(&self) -> f64 {
+        self.scalar.wall.as_secs_f64() / self.kernel.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn verdicts(&self) -> (bool, bool) {
+        let (a, b) = (&self.scalar.stats, &self.kernel.stats);
+        let counters_ok = a.dist_checks == b.dist_checks
+            && a.query_dist_checks == b.query_dist_checks
+            && a.obj_comparisons == b.obj_comparisons
+            && a.io == b.io
+            && a.phase1_survivors == b.phase1_survivors
+            && a.phase1_batches == b.phase1_batches
+            && a.phase2_batches == b.phase2_batches;
+        (self.scalar.ids == self.kernel.ids, counters_ok)
+    }
+}
+
+fn bench_engine(
+    name: &'static str,
+    ds: &Dataset,
+    qs: &[Query],
+    cfg: &BenchConfig,
+) -> EngineLine {
+    let run = |mode: KernelMode| -> ModeRun {
+        with_mode(mode, || {
+            let mut disk = Disk::new_mem(cfg.page_size);
+            let budget =
+                MemoryBudget::from_percent(ds.data_bytes(), MEM_PCT, cfg.page_size).unwrap();
+            let raw = load_dataset(&mut disk, ds).unwrap();
+            let layout = layout_for(name, 4).unwrap();
+            let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget).unwrap();
+            let engine = engine_by_name(name, &ds.schema, 1).unwrap();
+            // One untimed pass to warm the page cache and allocator.
+            {
+                let mut ctx =
+                    EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+                engine.run(&mut ctx, &prepared.file, &qs[0]).unwrap();
+            }
+            let mut wall = Duration::ZERO;
+            let mut stats = RunStats::default();
+            let mut ids = Vec::with_capacity(qs.len());
+            for q in qs {
+                let mut ctx =
+                    EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+                let t0 = Instant::now();
+                let r = engine.run(&mut ctx, &prepared.file, q).unwrap();
+                wall += t0.elapsed();
+                stats.merge(&r.stats);
+                ids.push(r.ids);
+            }
+            ModeRun { wall: wall / qs.len().max(1) as u32, stats, ids }
+        })
+    };
+    EngineLine { engine: name, scalar: run(KernelMode::Scalar), kernel: run(KernelMode::Batched) }
+}
+
+/// The dominance inner loop in isolation: identical candidate set and scan
+/// rows through the scalar loop and the batched kernel. The scalar side
+/// replays exactly what the engines do — probe each candidate against the
+/// rows in order, stop at its first pruner — so the wall-clock ratio is the
+/// inner-loop speedup and the counters must come out identical.
+///
+/// Candidates are the records *closest to the query* (smallest cached
+/// query-distance sum): those are the hard-to-prune records that actually
+/// populate phase-two batches and dominate engine time. Random candidates
+/// die within a handful of probes and measure chunk-teardown, not the loop.
+fn inner_loop_bench(ds: &Dataset, q: &Query) -> InnerLoop {
+    let m = ds.schema.num_attrs();
+    let subset = AttrSubset::all(m);
+    let cache = QueryDistCache::new(&ds.dissim, &ds.schema, q);
+    let flat = FlatDissim::build_for(&ds.schema, &ds.dissim).expect("bench domains are small");
+    let cands = 512.min(ds.rows.len());
+    let scan_rows = 2048.min(ds.rows.len());
+    let mut by_query_dist: Vec<usize> = (0..ds.rows.len()).collect();
+    by_query_dist.sort_by(|&a, &b| {
+        let score = |ri: usize| -> f64 {
+            let x = ds.rows.values(ri);
+            subset.indices().iter().map(|&k| cache.d(k, x[k])).sum()
+        };
+        score(a).total_cmp(&score(b)).then(a.cmp(&b))
+    });
+    let cand_row = |xi: usize| by_query_dist[xi];
+    let mut page = rsky_core::record::RowBuf::new(m);
+    for i in 0..scan_rows {
+        page.push(ds.rows.id(i), ds.rows.values(i));
+    }
+    let ys = ColumnarBatch::from_rows(&page);
+    const REPS: usize = 15;
+
+    let mut scalar = Duration::MAX;
+    let mut s_checks = 0u64;
+    let mut s_probes = 0u64;
+    let mut s_alive = 0usize;
+    for _ in 0..REPS {
+        let mut checks = 0u64;
+        let mut probes = 0u64;
+        let mut alive = 0usize;
+        let t0 = Instant::now();
+        for xi in 0..cands {
+            let x = ds.rows.values(cand_row(xi));
+            let mut pruned = false;
+            for yi in 0..scan_rows {
+                probes += 1;
+                if rsky_algos::engine::prunes_cached(
+                    &ds.dissim,
+                    &subset,
+                    page.values(yi),
+                    x,
+                    &cache,
+                    &mut checks,
+                ) {
+                    pruned = true;
+                    break;
+                }
+            }
+            alive += usize::from(!pruned);
+        }
+        scalar = scalar.min(t0.elapsed());
+        (s_checks, s_probes, s_alive) = (checks, probes, black_box(alive));
+    }
+
+    let mut kernel = Duration::MAX;
+    let mut k_stats = RunStats::default();
+    let mut k_alive = 0usize;
+    // The kernel side runs the engines' segmented scan: survivors are
+    // re-blocked into dense chunks between segments (counter-neutral, pure
+    // layout) so a chunk never drags one live lane at 1/8 occupancy.
+    for _ in 0..REPS {
+        let mut stats = RunStats::default();
+        let t0 = Instant::now();
+        let mut orig: Vec<usize> = (0..cands).collect();
+        let mut blocks = CandidateBlocks::build(&flat, &cache, &subset, cands, |xi| {
+            let ri = cand_row(xi);
+            (ds.rows.id(ri), ds.rows.values(ri))
+        });
+        let mut seg = 0;
+        while seg < scan_rows && blocks.alive_count() > 0 {
+            let seg_end = (seg + 256).min(scan_rows);
+            blocks.scan_range(&flat, &subset, &ys, seg, seg_end, false, &mut stats);
+            seg = seg_end;
+            if seg < scan_rows && blocks.alive_count() * 2 < orig.len() {
+                let survivors: Vec<usize> = orig
+                    .iter()
+                    .enumerate()
+                    .filter(|&(slot, _)| blocks.is_alive(slot))
+                    .map(|(_, &o)| o)
+                    .collect();
+                blocks = CandidateBlocks::build(&flat, &cache, &subset, survivors.len(), |xi| {
+                    let ri = cand_row(survivors[xi]);
+                    (ds.rows.id(ri), ds.rows.values(ri))
+                });
+                orig = survivors;
+            }
+        }
+        kernel = kernel.min(t0.elapsed());
+        (k_stats, k_alive) = (stats, black_box(blocks.alive_count()));
+    }
+
+    let counters_identical = s_alive == k_alive
+        && s_checks == k_stats.dist_checks
+        && s_probes == k_stats.obj_comparisons;
+    InnerLoop { cands, scan_rows, scalar, kernel, survivors: k_alive, counters_identical }
+}
+
+/// Criterion-style samplers for the remaining innermost loops (the shim
+/// prints min/mean/max per-iteration latency).
+fn probe_level_benches(ds: &Dataset, q: &Query) {
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let m = ds.schema.num_attrs();
+    let subset = AttrSubset::all(m);
+    let cache = QueryDistCache::new(&ds.dissim, &ds.schema, q);
+
+    // Scalar probe: one candidate against one scan object via the matrix.
     let mut checks = 0u64;
-    c.bench_function("prunes_cached (5 attrs)", |b| {
+    c.bench_function("prunes_cached scalar probe (5 attrs)", |b| {
         let mut i = 0;
         b.iter(|| {
             let y = ds.rows.values(i % ds.rows.len());
@@ -40,62 +320,49 @@ fn bench_domination(c: &mut Criterion) {
             ))
         })
     });
-}
 
-fn bench_tree_build(c: &mut Criterion) {
-    let (ds, _) = setup();
+    // Historical micro-benches: AL-Tree build, IsPrunable walk, Z-order key.
+    let order: Vec<usize> = (0..m).collect();
     let mut sorted = ds.rows.clone();
-    sort_rows_lex(&mut sorted, &[0, 1, 2, 3, 4]);
-
-    c.bench_function("altree build 20k plain", |b| {
+    rsky_order::multisort::sort_rows_lex(&mut sorted, &order);
+    let build_n = sorted.len().min(20_000);
+    c.bench_function("altree build plain", |b| {
         b.iter(|| {
-            let mut t = AlTree::new(5);
-            for i in 0..sorted.len() {
+            let mut t = AlTree::new(m);
+            for i in 0..build_n {
                 t.insert(sorted.values(i), sorted.id(i));
             }
             black_box(t.num_nodes())
         })
     });
-    c.bench_function("altree build 20k hinted (sorted input)", |b| {
+    c.bench_function("altree build hinted (sorted input)", |b| {
         b.iter(|| {
-            let mut t = AlTree::new(5);
+            let mut t = AlTree::new(m);
             let mut hint = InsertHint::default();
-            for i in 0..sorted.len() {
+            for i in 0..build_n {
                 t.insert_with_hint(sorted.values(i), sorted.id(i), &mut hint);
             }
             black_box(t.num_nodes())
         })
     });
-}
-
-fn bench_is_prunable(c: &mut Criterion) {
-    let (ds, q) = setup();
-    let order: Vec<usize> = (0..5).collect();
-    let mut tree = AlTree::new(5);
+    let mut tree = AlTree::new(m);
     let mut hint = InsertHint::default();
-    let mut sorted = ds.rows.clone();
-    sort_rows_lex(&mut sorted, &order);
     for i in 0..sorted.len() {
         tree.insert_with_hint(sorted.values(i), sorted.id(i), &mut hint);
     }
     tree.order_children_for_search();
-    let cache = QueryDistCache::new(&ds.dissim, &ds.schema, &q);
-    let subset = AttrSubset::all(5);
-    let mut stats = RunStats::default();
-    c.bench_function("is_prunable over 20k-record tree", |b| {
+    let mut tstats = RunStats::default();
+    c.bench_function("is_prunable over full tree", |b| {
         let mut i = 0;
         b.iter(|| {
             let cand = sorted.values(i % sorted.len());
             let id = sorted.id(i % sorted.len());
             i += 1;
             black_box(is_prunable(
-                &tree, &ds.dissim, &subset, &order, cand, id, &cache, &mut stats,
+                &tree, &ds.dissim, &subset, &order, cand, id, &cache, &mut tstats,
             ))
         })
     });
-}
-
-fn bench_z_order(c: &mut Criterion) {
     c.bench_function("z_order_key 7 dims", |b| {
         let mut i = 0u32;
         b.iter(|| {
@@ -113,9 +380,56 @@ fn bench_z_order(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_domination, bench_tree_build, bench_is_prunable, bench_z_order
+fn counters_json(s: &RunStats) -> String {
+    format!(
+        "{{\"dist_checks\": {}, \"query_dist_checks\": {}, \"obj_comparisons\": {}, \
+         \"seq_io\": {}, \"rand_io\": {}}}",
+        s.dist_checks,
+        s.query_dist_checks,
+        s.obj_comparisons,
+        s.io.sequential(),
+        s.io.random()
+    )
 }
-criterion_main!(benches);
+
+fn render_json(lines: &[EngineLine], inner: &InnerLoop, ds: &Dataset, queries: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"micro_kernels\",\n");
+    s.push_str(&format!(
+        "  \"dataset\": {{\"kind\": \"synthetic-normal\", \"n\": {}, \"attrs\": {}, \"queries\": {queries}}},\n",
+        ds.len(),
+        ds.schema.num_attrs()
+    ));
+    s.push_str("  \"engines\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        let (ids_ok, counters_ok) = l.verdicts();
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"scalar_ms\": {:.3}, \"kernel_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"ids_match\": {}, \"counters_identical\": {}, \
+             \"counters\": {}}}",
+            l.engine,
+            l.scalar.wall.as_secs_f64() * 1e3,
+            l.kernel.wall.as_secs_f64() * 1e3,
+            l.speedup(),
+            ids_ok,
+            counters_ok,
+            counters_json(&l.kernel.stats)
+        ));
+        s.push_str(if i + 1 < lines.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"inner_loop\": {{\"cands\": {}, \"scan_rows\": {}, \"scalar_ms\": {:.3}, \
+         \"kernel_ms\": {:.3}, \"speedup\": {:.3}, \"survivors\": {}, \
+         \"counters_identical\": {}}}\n",
+        inner.cands,
+        inner.scan_rows,
+        inner.scalar.as_secs_f64() * 1e3,
+        inner.kernel.as_secs_f64() * 1e3,
+        inner.speedup(),
+        inner.survivors,
+        inner.counters_identical
+    ));
+    s.push_str("}\n");
+    s
+}

@@ -204,6 +204,119 @@ impl DissimTable {
     }
 }
 
+/// Upper bound on the total number of matrix cells [`FlatDissim`] will
+/// materialize per orientation (≈ 128 MiB of `f64` per orientation at the
+/// cap). Above it, `FlatDissim::build` declines and callers stay on the
+/// enum-dispatch [`DissimTable`] path.
+pub const MAX_FLAT_CELLS: usize = 1 << 24;
+
+/// Contiguous, flattened view of a whole [`DissimTable`].
+///
+/// Every attribute's measure — including [`AttrDissim::Identity`] and
+/// [`AttrDissim::Linear`], which `DissimTable` computes on the fly — is
+/// materialized into one row-indexed `Vec<f64>` with cardinality-stride
+/// indexing, so the hot dominance loops read dissimilarities with a single
+/// slice index instead of an enum dispatch per check.
+///
+/// Both orientations are stored, because different scans hold different
+/// arguments fixed:
+///
+/// * **center-major** (`by_center`): `d(moving, center)` lives at
+///   `offset[i] + center·kᵢ + moving`. `center_row(i, center)` is the
+///   contiguous row swept when one candidate `X` is probed against many
+///   window objects `Y` (SRS radiating scans, AL-Tree descents).
+/// * **moving-major** (`by_moving`): the transpose; `moving_row(i, moving)`
+///   is contiguous when one window object `Y` is tested against many
+///   candidates `X` at once — the batched kernel's layout.
+///
+/// Build cost is `O(Σ kᵢ²)` time and space, once per `(schema, dissim)` —
+/// amortized over millions of checks per run.
+#[derive(Debug, Clone)]
+pub struct FlatDissim {
+    cards: Vec<u32>,
+    offsets: Vec<usize>,
+    by_center: Vec<f64>,
+    by_moving: Vec<f64>,
+}
+
+impl FlatDissim {
+    /// Flattens `table`, sizing `Identity`/`Linear` measures from the
+    /// schema's cardinalities. Returns `None` when the total matrix volume
+    /// exceeds [`MAX_FLAT_CELLS`] or the table does not fit the schema
+    /// (callers then keep the lazy table).
+    pub fn build_for(schema: &Schema, table: &DissimTable) -> Option<Self> {
+        let m = table.num_attrs();
+        if m != schema.num_attrs() {
+            return None;
+        }
+        let mut cards = Vec::with_capacity(m);
+        let mut offsets = Vec::with_capacity(m);
+        let mut total = 0usize;
+        for i in 0..m {
+            let k = table.attr(i).cardinality().unwrap_or_else(|| schema.cardinality(i));
+            offsets.push(total);
+            total = total.checked_add((k as usize).pow(2))?;
+            if total > MAX_FLAT_CELLS {
+                return None;
+            }
+            cards.push(k);
+        }
+        Some(Self::fill(table, cards, offsets, total))
+    }
+
+    fn fill(table: &DissimTable, cards: Vec<u32>, offsets: Vec<usize>, total: usize) -> Self {
+        let mut by_center = vec![0.0; total];
+        let mut by_moving = vec![0.0; total];
+        for (i, (&k, &off)) in cards.iter().zip(&offsets).enumerate() {
+            let k = k as usize;
+            for center in 0..k {
+                for moving in 0..k {
+                    let v = table.d(i, moving as ValueId, center as ValueId);
+                    by_center[off + center * k + moving] = v;
+                    by_moving[off + moving * k + center] = v;
+                }
+            }
+        }
+        Self { cards, offsets, by_center, by_moving }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Domain size of attribute `i`.
+    #[inline]
+    pub fn cardinality(&self, i: usize) -> u32 {
+        self.cards[i]
+    }
+
+    /// `d_i(moving, center)` — identical to [`DissimTable::d`].
+    #[inline]
+    pub fn d(&self, i: usize, moving: ValueId, center: ValueId) -> f64 {
+        let k = self.cards[i] as usize;
+        debug_assert!((moving as usize) < k && (center as usize) < k);
+        self.by_center[self.offsets[i] + center as usize * k + moving as usize]
+    }
+
+    /// Contiguous row of `d_i(·, center)`, indexed by the moving value.
+    #[inline]
+    pub fn center_row(&self, i: usize, center: ValueId) -> &[f64] {
+        let k = self.cards[i] as usize;
+        let start = self.offsets[i] + center as usize * k;
+        &self.by_center[start..start + k]
+    }
+
+    /// Contiguous row of `d_i(moving, ·)`, indexed by the center value.
+    #[inline]
+    pub fn moving_row(&self, i: usize, moving: ValueId) -> &[f64] {
+        let k = self.cards[i] as usize;
+        let start = self.offsets[i] + moving as usize * k;
+        &self.by_moving[start..start + k]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +374,49 @@ mod tests {
         let d = MatrixBuilder::new(2).set(0, 1, 0.2).set(1, 0, 0.9).build().unwrap();
         assert_eq!(d.d(0, 1), 0.2);
         assert_eq!(d.d(1, 0), 0.9);
+    }
+
+    #[test]
+    fn flat_dissim_matches_table_pointwise() {
+        let s = Schema::with_cardinalities(&[3, 5, 4]).unwrap();
+        let asym = MatrixBuilder::new(4).set(0, 1, 0.2).set(1, 0, 0.9).set(2, 3, 0.4).build();
+        let t = DissimTable::new(
+            &s,
+            vec![paper_d1(), AttrDissim::Linear { scale: 0.25 }, asym.unwrap()],
+        )
+        .unwrap();
+        let f = FlatDissim::build_for(&s, &t).unwrap();
+        assert_eq!(f.num_attrs(), 3);
+        for i in 0..3 {
+            let k = s.cardinality(i);
+            assert_eq!(f.cardinality(i), k);
+            for c in 0..k {
+                for m in 0..k {
+                    assert_eq!(f.d(i, m, c), t.d(i, m, c), "attr {i} d({m},{c})");
+                    assert_eq!(f.center_row(i, c)[m as usize], t.d(i, m, c));
+                    assert_eq!(f.moving_row(i, m)[c as usize], t.d(i, m, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_dissim_materializes_identity() {
+        let s = Schema::with_cardinalities(&[2]).unwrap();
+        let t = DissimTable::new(&s, vec![AttrDissim::Identity]).unwrap();
+        let f = FlatDissim::build_for(&s, &t).unwrap();
+        assert_eq!(f.center_row(0, 1), &[1.0, 0.0]);
+        assert_eq!(f.moving_row(0, 0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn flat_dissim_declines_oversized_domains() {
+        // One Linear attribute whose schema cardinality squared exceeds the
+        // cell cap: build_for must decline rather than allocate gigabytes.
+        let huge = (MAX_FLAT_CELLS as f64).sqrt() as u32 + 2;
+        let s = Schema::with_cardinalities(&[huge]).unwrap();
+        let t = DissimTable::new(&s, vec![AttrDissim::Linear { scale: 1.0 }]).unwrap();
+        assert!(FlatDissim::build_for(&s, &t).is_none());
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod stats;
 
 pub use cancel::CancelToken;
 pub use dataset::Dataset;
-pub use dissim::{AttrDissim, DissimTable};
+pub use dissim::{AttrDissim, DissimTable, FlatDissim};
 pub use dominate::{prunes, prunes_with_center_dists, query_center_dists};
 pub use error::{Error, Result};
 pub use obs::{JsonlSink, MemorySink, MetricsRegistry, ObsHandle, Recorder, RegistrySink, Span};

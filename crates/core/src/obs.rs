@@ -92,7 +92,8 @@ pub mod server_names {
 /// Canonical span names emitted by the sharded scatter-gather executor
 /// (`rsky-algos::shard`), mirroring [`server_names`]. The sharded stats
 /// contract (tests/obs_contract.rs) is written against exactly these names:
-/// Σ per-shard [`SPAN_LOCAL`](shard_names::SPAN_LOCAL) +
+/// [`SPAN_PLAN`](shard_names::SPAN_PLAN) + Σ per-shard
+/// [`SPAN_LOCAL`](shard_names::SPAN_LOCAL) +
 /// [`SPAN_VERIFY`](shard_names::SPAN_VERIFY) deltas must equal the merged
 /// `RunStats` the sharded run returns.
 pub mod shard_names {
@@ -100,6 +101,11 @@ pub mod shard_names {
     pub const PREFIX: &str = "shard";
     /// Span: the whole sharded run; closes with the merged totals.
     pub const SPAN_RUN: &str = "run";
+    /// Span: the coordinator's per-query planning step — it builds the
+    /// query-distance cache **once** and shares it with every shard, so the
+    /// cache-build cost appears here instead of once per shard. Carries
+    /// `query_dist_checks`.
+    pub const SPAN_PLAN: &str = "plan";
     /// Span: the scatter phase (all shards' local engine runs).
     pub const SPAN_PHASE1: &str = "phase1";
     /// Span: one shard's local engine run. Carries `shard`, `records`,

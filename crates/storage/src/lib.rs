@@ -33,6 +33,7 @@
 
 pub mod budget;
 pub mod cache;
+pub mod columnar;
 pub mod disk;
 pub mod recfile;
 pub mod shard;
@@ -40,6 +41,7 @@ pub mod shared;
 
 pub use budget::MemoryBudget;
 pub use cache::PageCache;
+pub use columnar::ColumnarBatch;
 pub use disk::{Backend, Disk, FileId, DEFAULT_PAGE_SIZE};
 pub use recfile::{RecordFile, RecordWriter};
 pub use shard::{partition_rows, ShardPolicy, ShardSpec};

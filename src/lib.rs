@@ -71,11 +71,13 @@ pub use rsky_storage as storage;
 pub mod prelude {
     pub use rsky_algos::prep::{load_dataset, prepare_table, Layout, PreparedTable};
     pub use rsky_algos::shard::{ShardCost, ShardedRun, ShardedTables};
+    pub use rsky_algos::kernels::{with_mode, KernelMode};
     pub use rsky_algos::{
         engine_by_name, layout_for, Brs, EngineCtx, Naive, ParBrs, ParSrs, ParTrs,
-        ReverseSkylineAlgo, RsRun, Srs, Trs,
+        ReverseSkylineAlgo, RsRun, SharedQueryCache, Srs, Trs,
     };
     pub use rsky_core::dataset::Dataset;
+    pub use rsky_core::dissim::FlatDissim;
     pub use rsky_core::obs::{MemorySink, MetricsRegistry, ObsHandle, TraceContext};
     pub use rsky_core::query::{AttrSubset, Query};
     pub use rsky_core::record::{RecordId, RowBuf, ValueId};
@@ -83,7 +85,7 @@ pub mod prelude {
     pub use rsky_core::skyline::reverse_skyline_by_definition;
     pub use rsky_core::{AttrDissim, DissimTable};
     pub use rsky_storage::{
-        partition_rows, Disk, MemoryBudget, RecordFile, ShardPolicy, ShardSpec,
+        partition_rows, ColumnarBatch, Disk, MemoryBudget, RecordFile, ShardPolicy, ShardSpec,
     };
 }
 

@@ -1,0 +1,233 @@
+//! Differential harness for the batched pruner kernels.
+//!
+//! The contract under test: [`KernelMode::Batched`] is a pure execution
+//! strategy. For **every** engine configuration, dataset shape, and shard
+//! count, running under the batched kernel must produce results *identical*
+//! to the scalar path — same ids, and the same `RunStats` counter by counter
+//! (`dist_checks`, `query_dist_checks`, `obj_comparisons`, IO, batch and
+//! survivor counts). The paper's cost model is the counters, so the kernel
+//! is only admissible if it is invisible in them. The one relaxation: for
+//! multi-threaded twins the seq/rand IO *split* is scheduling-dependent
+//! (per-worker read heads, first-come batch claiming), so only IO totals
+//! are asserted there.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsky::core::stats::RunStats;
+use rsky::prelude::*;
+
+/// All ten engine configurations (mirrors tests/shard_differential.rs).
+const ENGINE_CONFIGS: &[(&str, usize)] = &[
+    ("naive", 1),
+    ("brs", 1),
+    ("srs", 1),
+    ("trs", 1),
+    ("brs", 2),
+    ("brs", 5),
+    ("srs", 2),
+    ("srs", 5),
+    ("trs", 2),
+    ("trs", 5),
+];
+
+/// One single-node run of `engine` under the given kernel mode.
+fn run_mode(
+    ds: &Dataset,
+    q: &Query,
+    engine: &str,
+    threads: usize,
+    mem_pct: f64,
+    page: usize,
+    mode: KernelMode,
+) -> RsRun {
+    with_mode(mode, || {
+        let mut disk = Disk::new_mem(page);
+        let raw = load_dataset(&mut disk, ds).unwrap();
+        let budget = MemoryBudget::from_percent(ds.data_bytes(), mem_pct, page).unwrap();
+        let layout = layout_for(engine, 3).unwrap();
+        let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget).unwrap();
+        let algo = engine_by_name(engine, &ds.schema, threads).unwrap();
+        let mut ctx =
+            EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        algo.run(&mut ctx, &prepared.file, q).unwrap()
+    })
+}
+
+/// Counter-by-counter equality (wall-clock durations excluded, everything
+/// else must match exactly). `exact_io` compares the full seq/rand IO
+/// split; pass `threads == 1` — the parallel twins hand batches to workers
+/// first-come-first-served and each worker's scanner classifies seq vs
+/// rand against its own head, so for them only the totals are
+/// scheduling-independent (the set of pages read is still fixed).
+fn assert_counters_eq(a: &RunStats, b: &RunStats, exact_io: bool, label: &str) {
+    assert_eq!(a.dist_checks, b.dist_checks, "{label}: dist_checks");
+    assert_eq!(a.query_dist_checks, b.query_dist_checks, "{label}: query_dist_checks");
+    assert_eq!(a.obj_comparisons, b.obj_comparisons, "{label}: obj_comparisons");
+    if exact_io {
+        assert_eq!(a.io, b.io, "{label}: io");
+    } else {
+        let reads = |io: &rsky::core::stats::IoCounts| io.seq_reads + io.rand_reads;
+        let writes = |io: &rsky::core::stats::IoCounts| io.seq_writes + io.rand_writes;
+        assert_eq!(reads(&a.io), reads(&b.io), "{label}: total reads");
+        assert_eq!(writes(&a.io), writes(&b.io), "{label}: total writes");
+    }
+    assert_eq!(a.phase1_survivors, b.phase1_survivors, "{label}: phase1_survivors");
+    assert_eq!(a.phase1_batches, b.phase1_batches, "{label}: phase1_batches");
+    assert_eq!(a.phase2_batches, b.phase2_batches, "{label}: phase2_batches");
+    assert_eq!(a.result_size, b.result_size, "{label}: result_size");
+}
+
+fn assert_modes_agree(ds: &Dataset, q: &Query, mem_pct: f64, page: usize) {
+    let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, q);
+    for &(engine, threads) in ENGINE_CONFIGS {
+        let label = format!("{engine}×{threads} on {}", ds.label);
+        let scalar = run_mode(ds, q, engine, threads, mem_pct, page, KernelMode::Scalar);
+        let batched = run_mode(ds, q, engine, threads, mem_pct, page, KernelMode::Batched);
+        assert_eq!(scalar.ids, expect, "{label}: scalar vs oracle");
+        assert_eq!(batched.ids, expect, "{label}: batched vs oracle");
+        assert_counters_eq(&scalar.stats, &batched.stats, threads == 1, &label);
+    }
+}
+
+#[test]
+fn paper_example_modes_agree_for_all_configs() {
+    let (ds, q) = rsky::data::paper_example();
+    assert_modes_agree(&ds, &q, 50.0, 32);
+}
+
+#[test]
+fn synthetic_normal_modes_agree_for_all_configs() {
+    let mut rng = StdRng::seed_from_u64(400);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 150, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    assert_modes_agree(&ds, &q, 12.0, 128);
+}
+
+#[test]
+fn ragged_tail_sizes_agree() {
+    // Candidate counts that are not multiples of the 8-lane chunk width
+    // exercise the pad lanes: they must never contribute to any counter.
+    let mut rng = StdRng::seed_from_u64(401);
+    for n in [1usize, 7, 8, 9, 15, 17, 63] {
+        let ds = rsky::data::synthetic::uniform_dataset(3, 4, n, &mut rng).unwrap();
+        let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+        assert_modes_agree(&ds, &q, 25.0, 64);
+    }
+}
+
+#[test]
+fn single_attribute_schema_agrees() {
+    let mut rng = StdRng::seed_from_u64(402);
+    let ds = rsky::data::synthetic::normal_dataset(1, 7, 90, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    assert_modes_agree(&ds, &q, 20.0, 64);
+}
+
+#[test]
+fn attribute_subset_queries_agree() {
+    let mut rng = StdRng::seed_from_u64(403);
+    let ds = rsky::data::synthetic::normal_dataset(5, 6, 100, &mut rng).unwrap();
+    let q = rsky::data::workload::random_subset_queries(&ds.schema, &[1, 3], 1, &mut rng)
+        .unwrap()
+        .remove(0);
+    assert_modes_agree(&ds, &q, 15.0, 128);
+}
+
+#[test]
+fn empty_table_agrees() {
+    // A zero-row table short-circuits before any kernel work; both modes
+    // must report the same (empty) run.
+    let (ds, q) = rsky::data::paper_example();
+    for mode in [KernelMode::Scalar, KernelMode::Batched] {
+        let run = with_mode(mode, || {
+            let mut disk = Disk::new_mem(64);
+            let table = RecordFile::create(&mut disk, 3).unwrap();
+            let budget = MemoryBudget::from_bytes(192, 64).unwrap();
+            let mut ctx =
+                EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            Brs.run(&mut ctx, &table, &q).unwrap()
+        });
+        assert!(run.ids.is_empty(), "{mode:?}");
+        assert_eq!(run.stats.obj_comparisons, 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn sharded_modes_agree_including_empty_shards() {
+    let mut rng = StdRng::seed_from_u64(404);
+    let ds = rsky::data::synthetic::normal_dataset(3, 5, 60, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, &q);
+    // 8 shards over 60 records keeps every shard small; the paper example
+    // below additionally covers shards with zero rows.
+    for (engine, threads) in [("brs", 1), ("trs", 1), ("srs", 2)] {
+        for k in [1usize, 3, 8] {
+            let label = format!("{engine}×{threads} k={k}");
+            let mut runs = Vec::new();
+            for mode in [KernelMode::Scalar, KernelMode::Batched] {
+                let spec = ShardSpec::new(k, ShardPolicy::RoundRobin).unwrap();
+                let mut tables = ShardedTables::new(&ds, spec, 12.0, 64, 3).unwrap();
+                runs.push(with_mode(mode, || tables.run_query(engine, threads, &q).unwrap()));
+            }
+            let (scalar, batched) = (&runs[0], &runs[1]);
+            assert_eq!(scalar.ids, expect, "{label}: scalar vs oracle");
+            assert_eq!(batched.ids, expect, "{label}: batched vs oracle");
+            assert_counters_eq(&scalar.stats, &batched.stats, threads == 1, &label);
+            for (a, b) in scalar.per_shard.iter().zip(&batched.per_shard) {
+                assert_counters_eq(
+                    &a.local,
+                    &b.local,
+                    threads == 1,
+                    &format!("{label} shard {} local", a.shard),
+                );
+                assert_counters_eq(
+                    &a.verify,
+                    &b.verify,
+                    threads == 1,
+                    &format!("{label} shard {} verify", a.shard),
+                );
+            }
+        }
+    }
+    let (ds, q) = rsky::data::paper_example();
+    for mode in [KernelMode::Scalar, KernelMode::Batched] {
+        let spec = ShardSpec::new(8, ShardPolicy::HashById).unwrap();
+        let mut tables = ShardedTables::new(&ds, spec, 50.0, 32, 3).unwrap();
+        let run = with_mode(mode, || tables.run_query("trs", 1, &q).unwrap());
+        assert_eq!(run.ids, vec![3, 6], "{mode:?}: empty shards");
+    }
+}
+
+mod property {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Full sweep behind `--features property-tests`, smoke subset otherwise
+    /// (same strategies, same shrinking) — mirrors tests/property.rs.
+    const CASES: u32 = if cfg!(feature = "property-tests") { 48 } else { 8 };
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: CASES, ..ProptestConfig::default() })]
+
+        /// Arbitrary (dataset, query, engine config): scalar and batched
+        /// kernels agree on ids and on every counter. Sizes deliberately
+        /// straddle chunk boundaries and schemas go down to one attribute.
+        #[test]
+        fn modes_agree(
+            seed in 0u64..1_000_000,
+            n in 1usize..70,
+            m in 1usize..=4,
+            engine_idx in 0usize..10,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ds = rsky::data::synthetic::normal_dataset(m, 5, n, &mut rng).unwrap();
+            let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+            let (engine, threads) = super::ENGINE_CONFIGS[engine_idx];
+            let label = format!("{engine}×{threads} n={n} m={m}");
+            let scalar = run_mode(&ds, &q, engine, threads, 15.0, 64, KernelMode::Scalar);
+            let batched = run_mode(&ds, &q, engine, threads, 15.0, 64, KernelMode::Batched);
+            prop_assert_eq!(&scalar.ids, &batched.ids, "{}", label);
+            assert_counters_eq(&scalar.stats, &batched.stats, threads == 1, &label);
+        }
+    }
+}

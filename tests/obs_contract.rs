@@ -259,6 +259,20 @@ fn contract_holds_with_whole_db_in_memory() {
     exercise_dataset(&ds, 4096, 100.0);
 }
 
+/// The contract must hold identically on both kernel execution paths. The
+/// ambient default is [`KernelMode::Batched`], so the tests above already
+/// exercise the batched kernels; this test pins *both* modes explicitly so a
+/// future change of default cannot silently drop coverage of either, and so
+/// the batch-span deltas provably reconcile with `RunStats` when the batched
+/// pruner aggregates whole chunks of candidates per span.
+#[test]
+fn contract_holds_on_both_kernel_paths() {
+    let mut rng = StdRng::seed_from_u64(1006);
+    let ds = rsky::data::synthetic::uniform_dataset(3, 5, 120, &mut rng).unwrap();
+    with_mode(KernelMode::Scalar, || exercise_dataset(&ds, 64, 8.0));
+    with_mode(KernelMode::Batched, || exercise_dataset(&ds, 64, 8.0));
+}
+
 /// Cancellation mid-run (the serving layer's deadline path) must leave the
 /// observability stream and the disk in a sane state: the spans that closed
 /// before the cancel are a strict prefix of an uncancelled run's, and the
@@ -362,19 +376,29 @@ fn expired_deadline_cancels_all_engines_up_front() {
 }
 
 /// The sharded scatter-gather layer is held to the same stats contract:
-/// every shard's `shard.phase1.local` and `shard.phase2.verify` span deltas
-/// must tile the merged `RunStats` exactly, with no coordinator-side
-/// bookkeeping hiding work from the span stream.
+/// the coordinator's `shard.plan` span plus every shard's
+/// `shard.phase1.local` and `shard.phase2.verify` span deltas must tile the
+/// merged `RunStats` exactly, with no coordinator-side bookkeeping hiding
+/// work from the span stream.
 fn assert_sharded_tiling(sink: &MemorySink, run: &ShardedRun, k: usize, ctx: &str) {
+    const PLAN: &str = "shard.plan";
     const LOCAL: &str = "shard.phase1.local";
     const VERIFY: &str = "shard.phase2.verify";
     let s = &run.stats;
-    // One span per shard per phase — empty shards report zero-work spans
-    // rather than vanishing from the stream.
+    // One plan span per run, one span per shard per phase — empty shards
+    // report zero-work spans rather than vanishing from the stream.
+    assert_eq!(sink.span_count(PLAN), 1, "one plan span per run ({ctx})");
     assert_eq!(sink.span_count(LOCAL), k, "one local span per shard ({ctx})");
     assert_eq!(sink.span_count(VERIFY), k, "one verify span per shard ({ctx})");
 
-    // Σ per-shard span deltas ≡ merged RunStats, counter by counter.
+    // The plan span reports exactly the coordinator's one-time cache build.
+    assert_eq!(
+        sink.sum_field(PLAN, "query_dist_checks"),
+        run.plan.query_dist_checks,
+        "plan span query_dist_checks ({ctx})"
+    );
+
+    // Plan + Σ per-shard span deltas ≡ merged RunStats, counter by counter.
     let totals = [
         ("dist_checks", s.dist_checks),
         ("query_dist_checks", s.query_dist_checks),
@@ -386,7 +410,7 @@ fn assert_sharded_tiling(sink: &MemorySink, run: &ShardedRun, k: usize, ctx: &st
     ];
     for (key, total) in totals {
         assert_eq!(
-            sink.sum_field(LOCAL, key) + sink.sum_field(VERIFY, key),
+            sink.sum_field(PLAN, key) + sink.sum_field(LOCAL, key) + sink.sum_field(VERIFY, key),
             total,
             "shard span {key} don't tile the merged stats ({ctx})"
         );
@@ -414,8 +438,9 @@ fn assert_sharded_tiling(sink: &MemorySink, run: &ShardedRun, k: usize, ctx: &st
     assert_eq!(runs[0].field("dist_checks"), Some(s.dist_checks), "run span ({ctx})");
     assert_eq!(runs[0].field("result_size"), Some(run.ids.len() as u64), "run span ({ctx})");
 
-    // The query-side cache cost is counted once per cache actually built —
-    // shard-local engine runs plus the per-shard verify caches.
+    // The query-side cache is built exactly once per sharded run — the
+    // coordinator's plan step — and shared by every shard-local engine run
+    // and every verify task, so the counter equals the merged stat.
     assert_eq!(
         sink.registry().counter("qcache.build_checks"),
         s.query_dist_checks,

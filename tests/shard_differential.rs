@@ -49,14 +49,28 @@ fn single_node(
     algo.run(&mut ctx, &prepared.file, q).unwrap()
 }
 
-/// The per-shard cost rows must tile the merged counters: the coordinator
-/// only overwrites wall-clock times and the final result size.
+/// The coordinator's plan row plus the per-shard cost rows must tile the
+/// merged counters: the coordinator only overwrites wall-clock times and the
+/// final result size. The plan row carries exactly the one shared
+/// query-distance cache build and nothing else.
 fn assert_costs_tile(run: &ShardedRun, label: &str) {
-    let mut dist = 0u64;
-    let mut qdist = 0u64;
-    let mut pairs = 0u64;
-    let mut io = 0u64;
+    let mut dist = run.plan.dist_checks;
+    let mut qdist = run.plan.query_dist_checks;
+    let mut pairs = run.plan.obj_comparisons;
+    let mut io = run.plan.io.total();
+    assert_eq!(dist, 0, "{label}: plan does no object work");
+    assert_eq!(pairs, 0, "{label}: plan does no object work");
+    assert_eq!(io, 0, "{label}: plan does no IO");
+    assert!(qdist > 0, "{label}: plan must account the shared cache build");
     for c in &run.per_shard {
+        assert_eq!(
+            c.local.query_dist_checks, 0,
+            "{label}: shard-local runs must reuse the coordinator's cache"
+        );
+        assert_eq!(
+            c.verify.query_dist_checks, 0,
+            "{label}: verify tasks must reuse the coordinator's cache"
+        );
         for s in [&c.local, &c.verify] {
             dist += s.dist_checks;
             qdist += s.query_dist_checks;
