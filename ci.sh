@@ -34,6 +34,12 @@ full() {
     # across the two kernel modes and writes BENCH_kernels.json.
     RSKY_SCALE=0.5 RSKY_QUERIES=1 cargo bench -p rsky-bench --bench micro_kernels
     test -s BENCH_kernels.json
+    echo "=== smoke: shard pruner exchange (hard timeout) ==="
+    # The bench asserts every sharded run matches the single-node ids AND
+    # that the exchange kill pass shrinks every ballooned phase-2 candidate
+    # set (post-exchange < pre-exchange) before writing BENCH_shard.json.
+    RSKY_SCALE=0.5 RSKY_QUERIES=2 timeout 300 cargo bench -p rsky-bench --bench shard_scaling
+    test -s BENCH_shard.json
     echo "=== smoke: trace round-trip (generate → query --trace-out → trace) ==="
     smoke_dir=$(mktemp -d)
     trap 'rm -rf "$smoke_dir"' EXIT

@@ -11,7 +11,14 @@
 //! 1. **Scatter** — every shard runs the chosen engine (BRS/SRS/TRS,
 //!    sequential or parallel) over its own partition in parallel, producing
 //!    local candidate survivors;
-//! 2. **Gather** — every shard's candidates are verified against all
+//! 2. **Exchange** — each shard exports its strongest pruners (its local
+//!    reverse-skyline band, capped at a configurable budget), the
+//!    coordinator merges and broadcasts the combined band, and every shard
+//!    runs a pre-verification *kill pass* over its candidates against the
+//!    merged band through the batched dominance kernels
+//!    ([`CandidateBlocks`]). Only survivors of the global band reach full
+//!    verification;
+//! 3. **Gather** — every surviving candidate is verified against all
 //!    *foreign* shards' window pages (read-only snapshots of each shard's
 //!    data, scanned page-wise with per-scanner IO accounting); a candidate
 //!    pruned by any foreign record drops out.
@@ -21,6 +28,22 @@
 //! duplicate `Y` of candidate `X` has `d(y_i, x_i) = 0 ≤ d(q_i, x_i)` on
 //! every attribute, so `Y` prunes `X` unless `X` ties `Q` everywhere —
 //! identical to the single-node duplicate semantics.
+//!
+//! ## Why the exchange is safe
+//!
+//! Killing against the merged band can never drop a true reverse-skyline
+//! member. The band is a subset `P ⊆ D`, and the kill pass excludes a
+//! candidate's own id, so a kill means some *other* record of `D` prunes
+//! the candidate — by definition the candidate is not in `RS_D(Q)`, under
+//! any budget and any selection rule. The converse needs no care either: a
+//! band member that is itself killed still prunes (it remains a real record
+//! of `D`), so one pass suffices — no fixpoint iteration. Completeness is
+//! phase 2's job exactly as before; the exchange only shrinks its input.
+//! Why it shrinks it so much: a ballooned candidate is typically a record
+//! whose exact duplicates (or other near-query twins) live in *other*
+//! shards — each copy is locally unprunable, so each copy is a candidate,
+//! and the copies are precisely the foreign pruners that kill each other.
+//! The candidate bands therefore double as the effective kill band.
 //!
 //! ## Determinism
 //!
@@ -38,10 +61,15 @@
 //!
 //! A run emits `shard.*` spans ([`rsky_core::obs::shard_names`]): one
 //! `shard.phase1.local` per shard (the local run's counter and IO deltas),
-//! one `shard.phase2.verify` per shard (the verification deltas), phase
+//! one `shard.exchange.kill` per shard when the exchange runs (the kill
+//! pass's deltas, under a `shard.exchange` phase span), one
+//! `shard.phase2.verify` per shard (the verification deltas), phase
 //! spans, and a closing `shard.run` carrying the merged totals. The sharded
 //! stats contract (tests/obs_contract.rs) holds the span stream to the
-//! merged `RunStats` exactly, mirroring the single-node contract.
+//! merged `RunStats` exactly, mirroring the single-node contract. The
+//! exchange also exports `shard.exchange.pruners` and
+//! `shard.phase2.candidates.{pre,post}` counters through the metrics
+//! registry.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -53,7 +81,7 @@ use rsky_core::dissim::DissimTable;
 use rsky_core::dominate::prunes_with_center_dists;
 use rsky_core::error::{Error, Result};
 use rsky_core::obs::{self, shard_names as names};
-use rsky_core::query::Query;
+use rsky_core::query::{AttrSubset, Query};
 use rsky_core::record::{RecordId, RowBuf};
 use rsky_core::schema::Schema;
 use rsky_core::stats::RunStats;
@@ -66,6 +94,12 @@ use crate::influence::{Influence, InfluenceReport};
 use crate::kernels::{self, CandidateBlocks, PrunerKernel};
 use crate::prep::{prepare_table, Layout, PreparedTable};
 use crate::qcache::{self, QueryDistCache, SharedQueryCache};
+
+/// Default per-shard pruner-export budget for the exchange round. Generous
+/// relative to typical local candidate bands (tens of records per shard even
+/// at 100 k objects), so truncation is the exception; `0` disables the
+/// exchange entirely (the pre-exchange executor).
+pub const DEFAULT_PRUNER_BUDGET: usize = 256;
 
 /// The physical layout an engine expects, given the serving-layer `tiles`
 /// knob (shared by the worker state and the sharded executor).
@@ -132,10 +166,20 @@ pub struct ShardCost {
     pub records: usize,
     /// Local candidates the shard's phase-1 engine run produced.
     pub candidates: usize,
+    /// Pruners this shard exported to the exchange round (0 when the
+    /// exchange is disabled or the run has a single shard).
+    pub exported: usize,
+    /// Candidates still alive after the exchange kill pass — what
+    /// cross-shard verification actually scans for. Equals
+    /// [`candidates`](Self::candidates) when the exchange is off.
+    pub post_exchange: usize,
     /// Candidates that survived cross-shard verification.
     pub survivors: usize,
     /// The local engine run's stats.
     pub local: RunStats,
+    /// The exchange kill pass's stats (checks against the merged band;
+    /// zero when the exchange is off).
+    pub exchange: RunStats,
     /// The verification pass's stats (checks against foreign windows).
     pub verify: RunStats,
 }
@@ -158,8 +202,15 @@ pub struct ShardedRun {
     pub plan: RunStats,
     /// Per-shard breakdown, in shard order.
     pub per_shard: Vec<ShardCost>,
-    /// Total phase-1 candidates entering verification (`Σ candidates`).
+    /// Total phase-1 candidates (`Σ candidates`) — the pre-exchange count.
     pub candidates: usize,
+    /// Pruners in the merged band the exchange round broadcast (0 when the
+    /// exchange is off or the run has a single shard).
+    pub pruners: usize,
+    /// Candidates that survived the exchange kill pass and entered
+    /// cross-shard verification (`Σ post_exchange`); equals
+    /// [`candidates`](Self::candidates) when the exchange is off.
+    pub post_candidates: usize,
 }
 
 /// A dataset partitioned across K shard nodes, ready for scatter-gather
@@ -171,6 +222,7 @@ pub struct ShardedTables {
     schema: Schema,
     dissim: DissimTable,
     tiles: u32,
+    pruner_budget: usize,
     shards: Vec<ShardTable>,
 }
 
@@ -224,7 +276,28 @@ impl ShardedTables {
             .into_iter()
             .map(|rows| ShardTable::new(rows, page_size, budget))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self { spec, schema: schema.clone(), dissim: dissim.clone(), tiles, shards })
+        Ok(Self {
+            spec,
+            schema: schema.clone(),
+            dissim: dissim.clone(),
+            tiles,
+            pruner_budget: DEFAULT_PRUNER_BUDGET,
+            shards,
+        })
+    }
+
+    /// Sets the per-shard pruner-export budget for the exchange round
+    /// ([`DEFAULT_PRUNER_BUDGET`] unless overridden; `0` disables the
+    /// exchange). Any budget returns the same ids — the kill pass is sound
+    /// for every band subset — so this is purely a cost knob.
+    pub fn with_pruner_budget(mut self, budget: usize) -> Self {
+        self.pruner_budget = budget;
+        self
+    }
+
+    /// The per-shard pruner-export budget (0 = exchange disabled).
+    pub fn pruner_budget(&self) -> usize {
+        self.pruner_budget
     }
 
     /// The shard configuration.
@@ -345,8 +418,11 @@ impl ShardedTables {
                 shard: i,
                 records: self.shards[i].rows.len(),
                 candidates: ids.len(),
+                exported: 0,
+                post_exchange: ids.len(),
                 survivors: 0,
                 local,
+                exchange: RunStats::default(),
                 verify: RunStats::default(),
             });
             candidates.push(ids);
@@ -358,8 +434,82 @@ impl ShardedTables {
         }
         p1_span.close();
 
-        // --- Phase two (gather): verify candidates against foreign windows.
+        // --- Exchange: broadcast the strongest local pruners and kill
+        // doomed candidates before verification pays full window scans for
+        // them (see the module docs for the soundness argument). With one
+        // shard there is nothing to exchange — phase 2 is empty and the run
+        // must stay counter-identical to single-node — and a zero budget
+        // disables the round entirely. No candidates, no round: the band
+        // would be empty, so the exchange runs exactly when it broadcasts a
+        // non-empty band (the obs contract keys its span clauses on this).
         let t2 = Instant::now();
+        let mut pruner_total = 0usize;
+        if self.pruner_budget > 0 && k > 1 && total_candidates > 0 {
+            let mut ex_span = robs.span(names::SPAN_EXCHANGE);
+            robs.check_cancelled()?;
+            let pre_candidates = total_candidates;
+            // Coordinator side: gather each shard's exported band (shards
+            // ascending, ids ascending within a shard — a deterministic,
+            // kernel-mode-independent band layout) and broadcast the merge.
+            let mut band_rows = RowBuf::new(m);
+            for (i, st) in self.shards.iter().enumerate() {
+                per_shard[i].exported = select_pruners(
+                    &st.rows,
+                    &candidates[i],
+                    shared.cache(),
+                    &query.subset,
+                    self.pruner_budget,
+                    &mut band_rows,
+                );
+            }
+            pruner_total = band_rows.len();
+            let band = ColumnarBatch::from_rows(&band_rows);
+            let ex_ctx = ex_span.ctx();
+            let killed: Vec<Result<(Vec<RecordId>, RunStats)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..k)
+                    .map(|i| {
+                        let (robs, cands) = (&robs, &candidates[i]);
+                        let (band_rows, band) = (&band_rows, &band);
+                        let (cache, kern) = (shared.cache(), &kern);
+                        let rows = &self.shards[i].rows;
+                        s.spawn(move || {
+                            obs::with_parent(ex_ctx, || {
+                                exchange_kill(
+                                    i, cands, rows, band_rows, band, dissim, query, cache,
+                                    kern, robs,
+                                )
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard exchange panicked")).collect()
+            });
+            for (i, r) in killed.into_iter().enumerate() {
+                let (alive, ks) = r?;
+                stats.merge(&ks);
+                per_shard[i].post_exchange = alive.len();
+                per_shard[i].exchange = ks;
+                candidates[i] = alive;
+            }
+            let post: usize = candidates.iter().map(Vec::len).sum();
+            robs.handle().counter_add(names::CTR_EXCHANGE_PRUNERS, pruner_total as u64);
+            robs.handle().counter_add(names::CTR_CANDIDATES_PRE, pre_candidates as u64);
+            robs.handle().counter_add(names::CTR_CANDIDATES_POST, post as u64);
+            if ex_span.is_recording() {
+                ex_span
+                    .field("shards", k as u64)
+                    // `band`, not `pruners`: the flattened span field must
+                    // not alias the explicit `shard.exchange.pruners`
+                    // registry counter (one series, two writers).
+                    .field("band", pruner_total as u64)
+                    .field("candidates", pre_candidates as u64)
+                    .field("survivors", post as u64);
+            }
+            ex_span.close();
+        }
+        let post_candidates: usize = candidates.iter().map(Vec::len).sum();
+
+        // --- Phase two (gather): verify candidates against foreign windows.
         let mut p2_span = robs.span(names::SPAN_PHASE2);
         // Read-only snapshots of every non-empty shard's raw pages — the
         // shard "windows" the verification scans.
@@ -396,20 +546,32 @@ impl ShardedTables {
         }
         let gather_time = t2.elapsed();
         if p2_span.is_recording() {
-            p2_span.field("shards", k as u64).field("survivors", ids.len() as u64);
+            p2_span
+                .field("shards", k as u64)
+                .field("candidates", post_candidates as u64)
+                .field("survivors", ids.len() as u64);
         }
         p2_span.close();
 
         ids.sort_unstable();
         // Merged durations measure total work across shards; report the
         // coordinator's wall clock instead (the RunStats::merge contract).
+        // Phase 2 covers the whole gather side: exchange plus verification.
         stats.phase1_time = scatter_time;
         stats.phase2_time = gather_time;
         stats.total_time = t0.elapsed();
         stats.result_size = ids.len();
         finish_run_span(&mut run_span, &stats);
         run_span.close();
-        Ok(ShardedRun { ids, stats, plan, per_shard, candidates: total_candidates })
+        Ok(ShardedRun {
+            ids,
+            stats,
+            plan,
+            per_shard,
+            candidates: total_candidates,
+            pruners: pruner_total,
+            post_candidates,
+        })
     }
 
     /// Runs an influence workload through the sharded executor: `|RS(q)|`
@@ -481,6 +643,138 @@ fn local_run(
     }
     lspan.close();
     Ok((ids, stats))
+}
+
+/// Selects the pruners one shard exports to the exchange round and appends
+/// them to the merged band. The export set is the shard's local candidate
+/// band itself: every member survived the shard's own phase 1 (locally
+/// unprunable), and ballooned foreign candidates are typically killed by
+/// their cross-shard twins — which are candidates too — so the bands double
+/// as the effective kill band. Over budget, candidates are ranked by total
+/// query distance ascending (records near the query dominate the largest
+/// share of the space — the paper's midpoint intuition), ties by id, then
+/// the picks are re-sorted into id order so the band layout — and with it
+/// the kill pass's scan order and counters — is deterministic and
+/// kernel-mode independent. Returns the number of pruners exported.
+fn select_pruners(
+    rows: &RowBuf,
+    cands: &[RecordId],
+    cache: &QueryDistCache,
+    subset: &AttrSubset,
+    budget: usize,
+    band: &mut RowBuf,
+) -> usize {
+    if cands.is_empty() || budget == 0 {
+        return 0;
+    }
+    let index: HashMap<RecordId, usize> = (0..rows.len()).map(|ri| (rows.id(ri), ri)).collect();
+    let mut picked: Vec<RecordId>;
+    if cands.len() <= budget {
+        picked = cands.to_vec();
+    } else {
+        let mut scored: Vec<(f64, RecordId)> = cands
+            .iter()
+            .map(|&id| {
+                let vals = rows.values(index[&id]);
+                let score: f64 = subset.indices().iter().map(|&i| cache.d(i, vals[i])).sum();
+                (score, id)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        picked = scored[..budget].iter().map(|&(_, id)| id).collect();
+        picked.sort_unstable();
+    }
+    let exported = picked.len();
+    for &id in &picked {
+        band.push(id, rows.values(index[&id]));
+    }
+    exported
+}
+
+/// One shard's exchange step: a kill pass over its phase-2 candidates
+/// against the merged pruner band, through the batched kernel when the
+/// coordinator captured one. The band contains the shard's own candidates,
+/// so the scan excludes a candidate's own id (`skip_self`); any *other*
+/// band member that prunes a candidate disproves its membership outright.
+/// No IO moves (the band lives in memory) and no `query_dist_checks` move
+/// (query-side distances come from the coordinator's shared cache), so the
+/// pass costs at most `candidates × band × |subset|` dist checks — the
+/// bound the differential suite asserts. The scalar fallback replays the
+/// kernel's counter contract exactly (first-failing-attribute early exit,
+/// first-pruner early break), keeping the pass kernel-mode independent.
+#[allow(clippy::too_many_arguments)]
+fn exchange_kill(
+    shard: usize,
+    cands: &[RecordId],
+    rows: &RowBuf,
+    band_rows: &RowBuf,
+    band: &ColumnarBatch,
+    dissim: &DissimTable,
+    query: &Query,
+    cache: &QueryDistCache,
+    kern: &PrunerKernel,
+    robs: &RunObs<'_>,
+) -> Result<(Vec<RecordId>, RunStats)> {
+    robs.check_cancelled()?;
+    let mut kspan = robs.span(names::SPAN_KILL);
+    let mut ks = RunStats::default();
+    let mut alive = vec![true; cands.len()];
+    if !cands.is_empty() && !band_rows.is_empty() {
+        let subset = &query.subset;
+        let index: HashMap<RecordId, usize> =
+            (0..rows.len()).map(|ri| (rows.id(ri), ri)).collect();
+        match kern.flat() {
+            Some(flat) => {
+                let mut blocks = CandidateBlocks::build(flat, cache, subset, cands.len(), |xi| {
+                    let ri = *index.get(&cands[xi]).expect("candidate id belongs to this shard");
+                    (cands[xi], rows.values(ri))
+                });
+                blocks.scan(flat, subset, band, true, &mut ks);
+                for (xi, flag) in alive.iter_mut().enumerate() {
+                    *flag = blocks.is_alive(xi);
+                }
+            }
+            None => {
+                let mut dqx = Vec::with_capacity(subset.len());
+                for (xi, alive_flag) in alive.iter_mut().enumerate() {
+                    let ri = *index.get(&cands[xi]).expect("candidate id belongs to this shard");
+                    let x = rows.values(ri);
+                    cache.center_dists_into(subset, x, &mut dqx);
+                    for yi in 0..band_rows.len() {
+                        if band_rows.id(yi) == cands[xi] {
+                            continue; // a record never prunes itself
+                        }
+                        ks.obj_comparisons += 1;
+                        if prunes_with_center_dists(
+                            dissim,
+                            subset,
+                            band_rows.values(yi),
+                            x,
+                            &dqx,
+                            &mut ks.dist_checks,
+                        ) {
+                            *alive_flag = false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let survivors: Vec<RecordId> =
+        cands.iter().zip(&alive).filter(|(_, ok)| **ok).map(|(&id, _)| id).collect();
+    if kspan.is_recording() {
+        kspan
+            .field("shard", shard as u64)
+            .field("candidates", cands.len() as u64)
+            .field("survivors", survivors.len() as u64)
+            .field("dist_checks", ks.dist_checks)
+            .field("query_dist_checks", ks.query_dist_checks)
+            .field("obj_comparisons", ks.obj_comparisons)
+            .io_fields(ks.io);
+    }
+    kspan.close();
+    Ok((survivors, ks))
 }
 
 /// One shard's gather step: scan every *foreign* shard's window pages and
@@ -683,12 +977,77 @@ mod tests {
         let (ds, q) = rsky_data::paper_example();
         let mut st = sharded(&ds, 3, ShardPolicy::RoundRobin);
         let run = st.run_query("srs", 1, &q).unwrap();
-        let sum_checks: u64 =
-            run.per_shard.iter().map(|c| c.local.dist_checks + c.verify.dist_checks).sum();
+        let sum_checks: u64 = run
+            .per_shard
+            .iter()
+            .map(|c| c.local.dist_checks + c.exchange.dist_checks + c.verify.dist_checks)
+            .sum();
         assert_eq!(sum_checks, run.stats.dist_checks);
         let sum_surv: usize = run.per_shard.iter().map(|c| c.survivors).sum();
         assert_eq!(sum_surv, run.ids.len());
         assert_eq!(run.candidates, run.per_shard.iter().map(|c| c.candidates).sum::<usize>());
+        assert_eq!(
+            run.post_candidates,
+            run.per_shard.iter().map(|c| c.post_exchange).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn exchange_off_matches_exchange_on_ids_and_shrinks_nothing() {
+        let (ds, q) = rsky_data::paper_example();
+        let spec = ShardSpec::new(3, ShardPolicy::RoundRobin).unwrap();
+        let mut on = ShardedTables::new(&ds, spec, 50.0, 64, 4).unwrap();
+        let mut off =
+            ShardedTables::new(&ds, spec, 50.0, 64, 4).unwrap().with_pruner_budget(0);
+        assert_eq!(off.pruner_budget(), 0);
+        let a = on.run_query("trs", 1, &q).unwrap();
+        let b = off.run_query("trs", 1, &q).unwrap();
+        assert_eq!(a.ids, b.ids);
+        // Off: no band, no kill work, candidates pass through untouched.
+        assert_eq!(b.pruners, 0);
+        assert_eq!(b.post_candidates, b.candidates);
+        assert!(b.per_shard.iter().all(|c| c.exchange.obj_comparisons == 0));
+        assert!(b.per_shard.iter().all(|c| c.exported == 0));
+        // On: the band is every local candidate (well under the budget),
+        // and killed candidates never reach verification.
+        assert_eq!(a.pruners, a.candidates);
+        assert!(a.post_candidates <= a.candidates);
+        for c in &a.per_shard {
+            assert_eq!(c.exchange.query_dist_checks, 0, "kill pass must reuse the cache");
+            assert_eq!(c.exchange.io.total(), 0, "kill pass runs in memory");
+            assert!(c.post_exchange <= c.candidates);
+        }
+    }
+
+    #[test]
+    fn tiny_pruner_budgets_truncate_the_band_but_keep_ids_exact() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(91);
+        let ds = rsky_data::synthetic::normal_dataset(3, 6, 120, &mut rng).unwrap();
+        let q = rsky_data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+        let expect = {
+            let spec = ShardSpec::new(1, ShardPolicy::RoundRobin).unwrap();
+            let mut st = ShardedTables::new(&ds, spec, 15.0, 128, 4).unwrap();
+            st.run_query("trs", 1, &q).unwrap().ids
+        };
+        let spec = ShardSpec::new(4, ShardPolicy::HashById).unwrap();
+        for budget in [1usize, 2, 3, 7, DEFAULT_PRUNER_BUDGET] {
+            let mut st = ShardedTables::new(&ds, spec, 15.0, 128, 4)
+                .unwrap()
+                .with_pruner_budget(budget);
+            let run = st.run_query("trs", 1, &q).unwrap();
+            assert_eq!(run.ids, expect, "budget={budget}");
+            assert!(
+                run.per_shard.iter().all(|c| c.exported <= budget),
+                "budget={budget}: export cap violated"
+            );
+            assert_eq!(
+                run.pruners,
+                run.per_shard.iter().map(|c| c.exported).sum::<usize>(),
+                "budget={budget}"
+            );
+        }
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! bench doubles as a large-n instance of the differential harness
 //! (tests/shard_differential.rs). Besides the stdout tables it writes
 //! `BENCH_shard.json` at the repository root: per-engine, per-shard-count
-//! mean latency, speedup, and the merged `RunStats` counters (distance
-//! checks, object pairs, query-side evals, IO), so readers can see the
-//! verification overhead sharding pays for exactness.
+//! mean latency, speedup, the merged `RunStats` counters (distance checks,
+//! object pairs, query-side evals, IO), and the phase-2 candidate counts
+//! before/after the pruner exchange, so readers can see both the
+//! verification overhead sharding pays for exactness and how much of it the
+//! exchange kills. The run also asserts the exchange shrinks candidates
+//! (`post < pre`) whenever there is cross-shard ballooning to kill — this is
+//! the CI smoke contract (`ci.sh full`).
 
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -33,7 +37,15 @@ struct Point {
     shards: usize,
     wall: Duration,
     stats: RunStats,
+    /// Phase-2 candidates before the pruner exchange (summed over queries).
     candidates: usize,
+    /// Phase-2 candidates after the exchange kill pass.
+    post_candidates: usize,
+    /// Broadcast band size (summed over queries).
+    pruners: usize,
+    /// Result size (summed over queries) — the floor `post_candidates` can
+    /// reach, since true RS members are unprunable.
+    result: usize,
     ids_match: bool,
 }
 
@@ -78,12 +90,41 @@ fn main() {
     }
     t.print();
 
+    let mut t = Table::new("Phase-2 candidates (pre → post exchange)", &cols);
+    for l in &lines {
+        let mut row = vec![l.engine.to_uppercase(), "-".into()];
+        row.extend(l.points.iter().map(|p| format!("{} → {}", p.candidates, p.post_candidates)));
+        t.row(row);
+    }
+    t.print();
+
     for l in &lines {
         for p in &l.points {
             assert!(p.ids_match, "{} k={} returned different ids than single-node", l.engine, p.shards);
+            assert!(
+                p.post_candidates <= p.candidates,
+                "{} k={}: exchange grew the candidate set ({} -> {})",
+                l.engine,
+                p.shards,
+                p.candidates,
+                p.post_candidates
+            );
+            // Smoke contract: whenever sharding ballooned the candidate set
+            // past the true result, the exchange must kill at least one of
+            // the doomed candidates.
+            if p.shards > 1 && p.candidates > p.result {
+                assert!(
+                    p.post_candidates < p.candidates,
+                    "{} k={}: {} ballooned candidates survived the exchange untouched",
+                    l.engine,
+                    p.shards,
+                    p.candidates
+                );
+            }
         }
     }
     println!("all sharded runs returned the single-node id set");
+    println!("exchange kill pass shrinks every ballooned candidate set");
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_shard.json");
     std::fs::write(&path, render_json(&lines, &ds, qs.len(), host_cpus)).unwrap();
@@ -127,6 +168,9 @@ fn bench_engine(name: &'static str, ds: &Dataset, qs: &[Query], cfg: &BenchConfi
             let mut wall = Duration::ZERO;
             let mut stats = RunStats::default();
             let mut candidates = 0usize;
+            let mut post_candidates = 0usize;
+            let mut pruners = 0usize;
+            let mut result = 0usize;
             let mut ids_match = true;
             for (qi, q) in qs.iter().enumerate() {
                 let t0 = Instant::now();
@@ -134,6 +178,9 @@ fn bench_engine(name: &'static str, ds: &Dataset, qs: &[Query], cfg: &BenchConfi
                 wall += t0.elapsed();
                 stats.merge(&run.stats);
                 candidates += run.candidates;
+                post_candidates += run.post_candidates;
+                pruners += run.pruners;
+                result += run.ids.len();
                 ids_match &= run.ids == single_ids[qi];
             }
             Point {
@@ -141,6 +188,9 @@ fn bench_engine(name: &'static str, ds: &Dataset, qs: &[Query], cfg: &BenchConfi
                 wall: wall / qs.len().max(1) as u32,
                 stats,
                 candidates,
+                post_candidates,
+                pruners,
+                result,
                 ids_match,
             }
         })
@@ -166,6 +216,10 @@ fn render_json(lines: &[EngineLine], ds: &Dataset, queries: usize, host_cpus: us
     s.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     s.push_str("  \"policy\": \"round-robin\",\n");
     s.push_str(&format!(
+        "  \"pruner_budget\": {},\n",
+        rsky_algos::shard::DEFAULT_PRUNER_BUDGET
+    ));
+    s.push_str(&format!(
         "  \"dataset\": {{\"kind\": \"synthetic-normal\", \"n\": {}, \"attrs\": {}, \"queries\": {queries}}},\n",
         ds.len(),
         ds.schema.num_attrs()
@@ -183,12 +237,15 @@ fn render_json(lines: &[EngineLine], ds: &Dataset, queries: usize, host_cpus: us
                 s.push_str(", ");
             }
             s.push_str(&format!(
-                "{{\"shards\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \"candidates\": {}, \
-                 \"ids_match\": {}, \"counters\": {}}}",
+                "{{\"shards\": {}, \"ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"candidates_pre_exchange\": {}, \"candidates_post_exchange\": {}, \
+                 \"pruners\": {}, \"ids_match\": {}, \"counters\": {}}}",
                 p.shards,
                 p.wall.as_secs_f64() * 1e3,
                 l.single.as_secs_f64() / p.wall.as_secs_f64().max(1e-9),
                 p.candidates,
+                p.post_candidates,
+                p.pruners,
                 p.ids_match,
                 counters_json(&p.stats)
             ));

@@ -26,6 +26,8 @@ OPTIONS:
     --shards K        run each query as a K-shard scatter-gather;
                       same ranking as the single-node run         [off]
     --shard-policy P  round-robin | hash partitioning     [round-robin]
+    --pruner-budget B strongest phase-1 candidates each shard exports
+                      to the cross-shard kill pass (0 = off)    [256]
     --top K           how many top entries to print              [10]
     --stats-format F  report as human | json | prometheus        [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL";
@@ -48,7 +50,10 @@ pub fn run(argv: &[String]) -> Result<()> {
     let t0 = std::time::Instant::now();
     let report = match flags.shard_spec()? {
         Some(spec) => {
-            let mut tables = rsky_algos::shard::ShardedTables::new(&ds, spec, mem_pct, page, 4)?;
+            let budget: usize =
+                flags.num("pruner-budget", rsky_algos::shard::DEFAULT_PRUNER_BUDGET)?;
+            let mut tables = rsky_algos::shard::ShardedTables::new(&ds, spec, mem_pct, page, 4)?
+                .with_pruner_budget(budget);
             tables.run_influence(&workload, false)?
         }
         None => run_influence_parallel(&ds, &workload, mem_pct, page, threads, false)?,

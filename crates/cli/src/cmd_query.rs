@@ -31,6 +31,8 @@ OPTIONS:
     --shards K        scatter-gather over K horizontal shards; results
                       are identical to the single-node run        [off]
     --shard-policy P  round-robin | hash partitioning     [round-robin]
+    --pruner-budget B strongest phase-1 candidates each shard exports
+                      to the cross-shard kill pass (0 = off)    [256]
     --file-backend    store pages in real files (response-time mode)
     --stats-format F  cost profile as human | json | prometheus  [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL
@@ -72,7 +74,10 @@ pub fn run(argv: &[String]) -> Result<()> {
                     .into(),
             ));
         }
-        let mut tables = ShardedTables::new(&ds, spec, mem_pct, page, tiles)?;
+        let budget: usize =
+            flags.num("pruner-budget", rsky_algos::shard::DEFAULT_PRUNER_BUDGET)?;
+        let mut tables =
+            ShardedTables::new(&ds, spec, mem_pct, page, tiles)?.with_pruner_budget(budget);
         let sharded = tables.run_query(algo, threads, &query)?;
         let run = RsRun { ids: sharded.ids, stats: sharded.stats };
         if obs.format == StatsFormat::Prometheus {
@@ -86,8 +91,9 @@ pub fn run(argv: &[String]) -> Result<()> {
             return Ok(());
         }
         println!(
-            "sharding: {} × {} — {} candidate(s) verified across shards",
-            spec.shards, spec.policy, sharded.candidates
+            "sharding: {} × {} — {} candidate(s), {} after the pruner exchange \
+             ({} pruner(s) broadcast)",
+            spec.shards, spec.policy, sharded.candidates, sharded.post_candidates, sharded.pruners
         );
         for c in &sharded.per_shard {
             println!(

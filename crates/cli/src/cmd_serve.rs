@@ -39,6 +39,8 @@ OPTIONS:
     --shards K          serve every query as a K-shard scatter-
                         gather; results match single-node exactly [off]
     --shard-policy P    round-robin | hash partitioning   [round-robin]
+    --pruner-budget B   strongest phase-1 candidates each shard
+                        exports to the kill pass (0 = off)      [256]
     --slow-request-us US  capture span trees of requests slower than
                         US microseconds (0 = off)                 [0]
     --slowlog-cap N     slow-request ring capacity                [16]
@@ -61,6 +63,8 @@ pub fn run(argv: &[String]) -> Result<()> {
         page: flags.num("page", 4096)?,
         tiles: flags.num("tiles", 4)?,
         shard: flags.shard_spec()?,
+        pruner_budget: flags
+            .num("pruner-budget", rsky_algos::shard::DEFAULT_PRUNER_BUDGET)?,
         enable_test_ops: flags.switch("test-ops"),
         slow_request_us: flags.num("slow-request-us", 0)?,
         slowlog_cap: flags.num("slowlog-cap", 16)?,

@@ -94,6 +94,7 @@ pub mod server_names {
 /// contract (tests/obs_contract.rs) is written against exactly these names:
 /// [`SPAN_PLAN`](shard_names::SPAN_PLAN) + Σ per-shard
 /// [`SPAN_LOCAL`](shard_names::SPAN_LOCAL) +
+/// [`SPAN_KILL`](shard_names::SPAN_KILL) +
 /// [`SPAN_VERIFY`](shard_names::SPAN_VERIFY) deltas must equal the merged
 /// `RunStats` the sharded run returns.
 pub mod shard_names {
@@ -116,6 +117,25 @@ pub mod shard_names {
     /// Span: one shard's candidates verified against all foreign shards'
     /// windows. Carries `shard`, `candidates`, `survivors` and deltas.
     pub const SPAN_VERIFY: &str = "phase2.verify";
+    /// Span: the pruner-exchange round between scatter and gather — the
+    /// coordinator merges each shard's exported pruner band and broadcasts
+    /// it back. Present exactly when the exchange runs (`pruner_budget > 0`
+    /// and more than one shard); closes with `pruners`, `candidates` (pre)
+    /// and `survivors` (post).
+    pub const SPAN_EXCHANGE: &str = "exchange";
+    /// Span: one shard's pre-verification kill pass over its phase-2
+    /// candidates against the merged pruner band. Carries `shard`,
+    /// `candidates`, `survivors` and this pass's counter deltas (never any
+    /// `query_dist_checks` or IO — the band lives in memory and query-side
+    /// distances come from the shared cache).
+    pub const SPAN_KILL: &str = "exchange.kill";
+    /// Counter: pruners in the merged band one exchange round broadcast.
+    pub const CTR_EXCHANGE_PRUNERS: &str = "shard.exchange.pruners";
+    /// Counter: phase-2 candidates entering an exchange round (pre-kill).
+    pub const CTR_CANDIDATES_PRE: &str = "shard.phase2.candidates.pre";
+    /// Counter: phase-2 candidates surviving the kill pass (what cross-shard
+    /// verification actually scans for).
+    pub const CTR_CANDIDATES_POST: &str = "shard.phase2.candidates.post";
 }
 
 /// Canonical names for the ad-hoc metrics the engine layers emit outside

@@ -76,6 +76,11 @@ pub struct ServerConfig {
     /// executor over `spec.shards` partitions (results are identical, per
     /// the shard differential harness; the config is part of the cache key).
     pub shard: Option<ShardSpec>,
+    /// Pruner-exchange band budget per shard for the sharded executor
+    /// (`--pruner-budget`): the strongest `budget` phase-1 candidates each
+    /// shard exports for the broadcast kill pass. 0 disables the exchange;
+    /// irrelevant when `shard` is `None`.
+    pub pruner_budget: usize,
     /// Slow-request threshold in µs: a pooled request whose total latency
     /// (queue wait included) crosses it has its complete span tree retained
     /// in the slowlog ring, dumpable via the `slowlog` op. 0 disables the
@@ -99,6 +104,7 @@ impl Default for ServerConfig {
             tiles: 4,
             enable_test_ops: false,
             shard: None,
+            pruner_budget: rsky_algos::shard::DEFAULT_PRUNER_BUDGET,
             slow_request_us: 0,
             slowlog_cap: 16,
         }
@@ -176,7 +182,8 @@ impl Server {
                     shared.config.mem_pct,
                     shared.config.tiles,
                 )?
-                .with_shards(shared.config.shard);
+                .with_shards(shared.config.shard)
+                .with_pruner_budget(shared.config.pruner_budget);
                 Ok(std::thread::spawn(move || worker_loop(&shared, ws)))
             })
             .collect::<Result<_>>()?;

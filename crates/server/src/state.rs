@@ -213,6 +213,7 @@ pub struct WorkerState {
     multisort: Option<PreparedTable>,
     tiled: Option<PreparedTable>,
     shard_spec: Option<ShardSpec>,
+    pruner_budget: usize,
     sharded: Option<ShardedTables>,
 }
 
@@ -231,6 +232,7 @@ impl WorkerState {
             multisort: None,
             tiled: None,
             shard_spec: None,
+            pruner_budget: rsky_algos::shard::DEFAULT_PRUNER_BUDGET,
             sharded: None,
         })
     }
@@ -239,6 +241,13 @@ impl WorkerState {
     /// keeps single-node execution).
     pub fn with_shards(mut self, spec: Option<ShardSpec>) -> Self {
         self.shard_spec = spec;
+        self
+    }
+
+    /// Sets the pruner-exchange band budget for sharded execution (0
+    /// disables the exchange). No effect without a shard spec.
+    pub fn with_pruner_budget(mut self, budget: usize) -> Self {
+        self.pruner_budget = budget;
         self
     }
 
@@ -266,7 +275,8 @@ impl WorkerState {
                 self.mem_pct,
                 self.page,
                 self.tiles,
-            )?);
+            )?
+            .with_pruner_budget(self.pruner_budget));
             self.generation = version.generation;
             return Ok(());
         }

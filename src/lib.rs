@@ -70,7 +70,7 @@ pub use rsky_storage as storage;
 /// The most common imports in one place.
 pub mod prelude {
     pub use rsky_algos::prep::{load_dataset, prepare_table, Layout, PreparedTable};
-    pub use rsky_algos::shard::{ShardCost, ShardedRun, ShardedTables};
+    pub use rsky_algos::shard::{ShardCost, ShardedRun, ShardedTables, DEFAULT_PRUNER_BUDGET};
     pub use rsky_algos::kernels::{with_mode, KernelMode};
     pub use rsky_algos::{
         engine_by_name, layout_for, Brs, EngineCtx, Naive, ParBrs, ParSrs, ParTrs,

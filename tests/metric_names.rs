@@ -93,6 +93,17 @@ fn canonical_name_constants_are_pairwise_distinct() {
         }
     }
     assert!(all.len() >= 10, "suspiciously few constants parsed: {all:?}");
+    // The pruner-exchange counters are part of the public metric surface
+    // (registry-exported, scraped by the Prometheus endpoint) — losing one
+    // in a refactor is a contract break, not a cleanup.
+    for required in
+        ["shard.exchange.pruners", "shard.phase2.candidates.pre", "shard.phase2.candidates.post"]
+    {
+        assert!(
+            all.iter().any(|(_, v)| v == required),
+            "exchange metric {required:?} missing from the canonical vocabulary"
+        );
+    }
     for (i, (path_a, a)) in all.iter().enumerate() {
         for (path_b, b) in &all[i + 1..] {
             assert_ne!(

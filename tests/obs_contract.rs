@@ -383,13 +383,46 @@ fn expired_deadline_cancels_all_engines_up_front() {
 fn assert_sharded_tiling(sink: &MemorySink, run: &ShardedRun, k: usize, ctx: &str) {
     const PLAN: &str = "shard.plan";
     const LOCAL: &str = "shard.phase1.local";
+    const KILL: &str = "shard.exchange.kill";
     const VERIFY: &str = "shard.phase2.verify";
     let s = &run.stats;
     // One plan span per run, one span per shard per phase — empty shards
-    // report zero-work spans rather than vanishing from the stream.
+    // report zero-work spans rather than vanishing from the stream. The
+    // exchange round runs exactly when the run broadcast a band (more than
+    // one shard, budget on); it then emits one phase span and one kill span
+    // per shard.
     assert_eq!(sink.span_count(PLAN), 1, "one plan span per run ({ctx})");
     assert_eq!(sink.span_count(LOCAL), k, "one local span per shard ({ctx})");
     assert_eq!(sink.span_count(VERIFY), k, "one verify span per shard ({ctx})");
+    let exchanges = sink.spans_ending_with("shard.exchange");
+    if run.pruners > 0 {
+        assert_eq!(exchanges.len(), 1, "one exchange span per exchanging run ({ctx})");
+        assert_eq!(sink.span_count(KILL), k, "one kill span per shard ({ctx})");
+        assert_eq!(
+            exchanges[0].field("band"),
+            Some(run.pruners as u64),
+            "exchange pruner band size ({ctx})"
+        );
+        assert_eq!(
+            exchanges[0].field("candidates"),
+            Some(run.candidates as u64),
+            "exchange pre-kill candidates ({ctx})"
+        );
+        assert_eq!(
+            exchanges[0].field("survivors"),
+            Some(run.post_candidates as u64),
+            "exchange post-kill candidates ({ctx})"
+        );
+        // The kill pass runs in memory off the shared cache: counters may
+        // move, IO and query-side evals must not.
+        assert_eq!(sink.sum_field(KILL, "query_dist_checks"), 0, "kill qdc leak ({ctx})");
+        for key in ["seq_reads", "rand_reads", "seq_writes", "rand_writes"] {
+            assert_eq!(sink.sum_field(KILL, key), 0, "kill {key} leak ({ctx})");
+        }
+    } else {
+        assert_eq!(exchanges.len(), 0, "no exchange span without a band ({ctx})");
+        assert_eq!(sink.span_count(KILL), 0, "no kill spans without a band ({ctx})");
+    }
 
     // The plan span reports exactly the coordinator's one-time cache build.
     assert_eq!(
@@ -410,7 +443,10 @@ fn assert_sharded_tiling(sink: &MemorySink, run: &ShardedRun, k: usize, ctx: &st
     ];
     for (key, total) in totals {
         assert_eq!(
-            sink.sum_field(PLAN, key) + sink.sum_field(LOCAL, key) + sink.sum_field(VERIFY, key),
+            sink.sum_field(PLAN, key)
+                + sink.sum_field(LOCAL, key)
+                + sink.sum_field(KILL, key)
+                + sink.sum_field(VERIFY, key),
             total,
             "shard span {key} don't tile the merged stats ({ctx})"
         );
@@ -553,6 +589,80 @@ fn sharded_cancellation_mid_phase2_keeps_contract_and_disks_intact() {
     assert_eq!(rerun.stats.query_dist_checks, baseline.stats.query_dist_checks);
     assert_eq!(rerun.stats.obj_comparisons, baseline.stats.obj_comparisons);
     assert_sharded_tiling(&sink, &rerun, 3, "post-cancel rerun");
+}
+
+/// Cancellation that fires **mid-exchange** (after the scatter barrier,
+/// during the pruner kill pass) must leave every shard's disk reusable and
+/// the contract intact. Detection: the phase-1 span closed with its summary
+/// fields, an exchange span exists, but it never closed with its `pruners`
+/// field — the cancel cut the round short.
+#[test]
+fn sharded_cancellation_mid_exchange_keeps_disks_reusable() {
+    use rsky::core::cancel::{self, CancelToken};
+
+    let mut rng = StdRng::seed_from_u64(1008);
+    let ds = rsky::data::synthetic::uniform_dataset(3, 5, 140, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let spec = ShardSpec::new(3, ShardPolicy::RoundRobin).unwrap();
+    let mut tables = ShardedTables::new(&ds, spec, 8.0, 64, 3).unwrap();
+    let baseline = tables.run_query("trs", 1, &q).unwrap();
+    assert!(baseline.pruners > 0, "need a real exchange round to interrupt");
+
+    let mut fired_mid_exchange = false;
+    for checks in 1..10_000u64 {
+        let sink = MemorySink::new();
+        let result = obs::with_recorder(sink.handle(), || {
+            cancel::with_token(CancelToken::after_checks(checks), || {
+                tables.run_query("trs", 1, &q)
+            })
+        });
+        match result {
+            Err(err) => {
+                assert!(
+                    matches!(err, rsky::core::error::Error::Cancelled(_)),
+                    "expected Cancelled, got {err}"
+                );
+                let phase1_done = sink
+                    .spans_ending_with("shard.phase1")
+                    .iter()
+                    .any(|s| s.field("candidates").is_some());
+                let exchange_open = sink
+                    .spans_ending_with("shard.exchange")
+                    .iter()
+                    .any(|s| s.field("band").is_none());
+                if phase1_done && exchange_open {
+                    // The cancel fired inside the exchange round: phase 2
+                    // never started, and the aborted run closed no totals.
+                    assert_eq!(sink.span_count("shard.phase2.verify"), 0, "phase 2 ran anyway");
+                    assert!(
+                        sink.spans_ending_with("shard.run")
+                            .iter()
+                            .all(|s| s.field("result_size").is_none()),
+                        "a cancelled run must not close its run span with totals"
+                    );
+                    fired_mid_exchange = true;
+                    break;
+                }
+            }
+            Ok(run) => {
+                assert_eq!(run.ids, baseline.ids);
+                break;
+            }
+        }
+    }
+    assert!(fired_mid_exchange, "no poll budget produced a mid-exchange cancellation");
+
+    // Same tables, same per-shard disks, immediately after the cancel: the
+    // full contract holds and the counters replay exactly.
+    let sink = MemorySink::new();
+    let rerun = obs::with_recorder(sink.handle(), || tables.run_query("trs", 1, &q).unwrap());
+    assert_eq!(rerun.ids, baseline.ids, "post-cancel sharded run changed the result");
+    assert_eq!(rerun.stats.dist_checks, baseline.stats.dist_checks);
+    assert_eq!(rerun.stats.query_dist_checks, baseline.stats.query_dist_checks);
+    assert_eq!(rerun.stats.obj_comparisons, baseline.stats.obj_comparisons);
+    assert_eq!(rerun.pruners, baseline.pruners);
+    assert_eq!(rerun.post_candidates, baseline.post_candidates);
+    assert_sharded_tiling(&sink, &rerun, 3, "post-cancel mid-exchange rerun");
 }
 
 /// Acceptance: requests served over TCP — on a *sharded* server, so the

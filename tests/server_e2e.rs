@@ -200,7 +200,9 @@ fn full_queue_sheds_while_admitted_work_completes() {
 /// error; the same connection then completes the same query without one.
 #[test]
 fn sub_deadline_request_times_out_and_server_stays_healthy() {
-    let ds = small_dataset(9003, 400);
+    // Large enough that a full TRS run cannot finish inside 1 ms even on a
+    // fast host — 400 records completed in ~0.4 ms and flaked this test.
+    let ds = small_dataset(9003, 30_000);
     let config = ServerConfig { workers: 1, page: 128, ..test_config() };
     let handle = Server::start(config, ds).unwrap();
 
