@@ -40,6 +40,12 @@ full() {
     # set (post-exchange < pre-exchange) before writing BENCH_shard.json.
     RSKY_SCALE=0.5 RSKY_QUERIES=2 timeout 300 cargo bench -p rsky-bench --bench shard_scaling
     test -s BENCH_shard.json
+    echo "=== smoke: view maintenance (incremental vs naive, hard timeout) ==="
+    # The bench cross-checks every sampled naive recompute against the
+    # maintained view's member set and asserts incremental maintenance
+    # beats the recompute mean for every mutation mix at the largest size.
+    RSKY_SCALE=0.5 timeout 300 cargo bench -p rsky-bench --bench view_maintenance
+    test -s BENCH_view.json
     echo "=== smoke: trace round-trip (generate → query --trace-out → trace) ==="
     smoke_dir=$(mktemp -d)
     trap 'rm -rf "$smoke_dir"' EXIT

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod brs;
+pub mod delta;
 pub mod engine;
 pub mod explain;
 pub mod hybrid;
@@ -44,6 +45,7 @@ pub mod naive;
 pub mod par;
 pub mod prep;
 pub mod qcache;
+pub mod rank;
 pub mod shard;
 pub mod skyline_bnl;
 pub mod srs;
@@ -56,10 +58,12 @@ pub use explain::{all_witnesses, explain, Explanation, Membership};
 pub use hybrid::{hybrid_trs, HybridDataset, HybridQuery, NumericAttr};
 pub use influence::{run_influence_parallel, InfluenceEngine, InfluenceReport};
 pub use kernels::{KernelMode, PrunerKernel};
+pub use delta::{first_pruners, pruner_band};
 pub use naive::Naive;
 pub use par::{ParBrs, ParSrs, ParTrs};
 pub use prep::{prepare_table, Layout, PreparedTable};
 pub use qcache::{with_shared, QueryDistCache, SharedQueryCache};
+pub use rank::{rank_members, RankedMember};
 pub use shard::{layout_for, ShardCost, ShardedRun, ShardedTables};
 pub use skyline_bnl::{dynamic_skyline_bnl, SkylineRun};
 pub use streaming::{StreamStats, StreamingReverseSkyline};

@@ -60,6 +60,11 @@ pub fn ms(d: std::time::Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e3)
 }
 
+/// Formats a microsecond value compactly (sub-millisecond benches).
+pub fn us(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

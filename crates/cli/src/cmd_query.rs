@@ -33,6 +33,9 @@ OPTIONS:
     --shard-policy P  round-robin | hash partitioning     [round-robin]
     --pruner-budget B strongest phase-1 candidates each shard exports
                       to the cross-shard kill pass (0 = off)    [256]
+    --top-k K         additionally rank the result members by influence
+                      strength |RS(member)| (ties: ascending id) and
+                      report the K strongest                     [off]
     --file-backend    store pages in real files (response-time mode)
     --stats-format F  cost profile as human | json | prometheus  [human]
     --trace-out FILE  stream span/counter events to FILE as JSONL
@@ -57,6 +60,13 @@ pub fn run(argv: &[String]) -> Result<()> {
     let page: usize = flags.num("page", 4096)?;
     let tiles: u32 = flags.num("tiles", 4)?;
     let cache: usize = flags.num("cache", 0)?;
+    let top_k = match flags.get("top-k") {
+        None => None,
+        Some(_) => match flags.num::<usize>("top-k", 0)? {
+            0 => return Err(Error::InvalidConfig("--top-k must be at least 1".into())),
+            k => Some(k),
+        },
+    };
     if algo == "naive" && requested_threads > 1 {
         return Err(Error::InvalidConfig("--algo naive has no parallel variant".into()));
     }
@@ -80,13 +90,17 @@ pub fn run(argv: &[String]) -> Result<()> {
             ShardedTables::new(&ds, spec, mem_pct, page, tiles)?.with_pruner_budget(budget);
         let sharded = tables.run_query(algo, threads, &query)?;
         let run = RsRun { ids: sharded.ids, stats: sharded.stats };
+        let ranked = rank_result(&ds, &query, &run, top_k)?;
         if obs.format == StatsFormat::Prometheus {
             print!("{}", obs.metrics_prometheus());
             obs.finish()?;
             return Ok(());
         }
         if obs.format == StatsFormat::Json {
-            println!("{}", render_json(algo, &run, Some((&spec, sharded.candidates)), &obs));
+            println!(
+                "{}",
+                render_json(algo, &run, Some((&spec, sharded.candidates)), ranked.as_deref(), &obs)
+            );
             obs.finish()?;
             return Ok(());
         }
@@ -102,6 +116,9 @@ pub fn run(argv: &[String]) -> Result<()> {
             );
         }
         print_result(algo, &run);
+        if let Some(ranked) = &ranked {
+            print_ranked(ranked);
+        }
         if flags.switch("explain") {
             print_explain(&ds, &query, run.ids.len());
         }
@@ -130,6 +147,7 @@ pub fn run(argv: &[String]) -> Result<()> {
     let engine = engine_by_name(algo, &ds.schema, threads)?;
     let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
     let run = engine.run(&mut ctx, &prepared.file, &query)?;
+    let ranked = rank_result(&ds, &query, &run, top_k)?;
 
     if obs.format == StatsFormat::Prometheus {
         print!("{}", obs.metrics_prometheus());
@@ -137,12 +155,15 @@ pub fn run(argv: &[String]) -> Result<()> {
         return Ok(());
     }
     if obs.format == StatsFormat::Json {
-        println!("{}", render_json(engine.name(), &run, None, &obs));
+        println!("{}", render_json(engine.name(), &run, None, ranked.as_deref(), &obs));
         obs.finish()?;
         return Ok(());
     }
 
     print_result(engine.name(), &run);
+    if let Some(ranked) = &ranked {
+        print_ranked(ranked);
+    }
     if let Some((hits, misses)) = ctx.disk.cache_stats() {
         println!("buffer pool:       {hits} hits / {misses} misses");
     }
@@ -152,6 +173,28 @@ pub fn run(argv: &[String]) -> Result<()> {
     }
     obs.finish()?;
     Ok(())
+}
+
+/// Ranks the result members by influence strength when `--top-k` was given.
+fn rank_result(
+    ds: &Dataset,
+    query: &Query,
+    run: &RsRun,
+    top_k: Option<usize>,
+) -> Result<Option<Vec<rsky_algos::RankedMember>>> {
+    let Some(k) = top_k else {
+        return Ok(None);
+    };
+    let subset = if query.subset.is_full() { None } else { Some(query.subset.indices()) };
+    Ok(Some(rsky_algos::rank_members(ds, subset, &run.ids, k)?))
+}
+
+/// Prints the `--top-k` ranking.
+fn print_ranked(ranked: &[rsky_algos::RankedMember]) {
+    println!("\ntop-{} by influence strength:", ranked.len());
+    for (i, r) in ranked.iter().enumerate() {
+        println!("  {}. object {} (|RS| = {})", i + 1, r.id, r.strength);
+    }
 }
 
 /// Prints the result ids and the human-readable cost profile.
@@ -196,6 +239,7 @@ fn render_json(
     algo: &str,
     run: &RsRun,
     shard: Option<(&ShardSpec, usize)>,
+    ranked: Option<&[rsky_algos::RankedMember]>,
     obs: &CliObs,
 ) -> String {
     use std::fmt::Write;
@@ -216,6 +260,15 @@ fn render_json(
             out.push(',');
         }
         let _ = write!(out, "{id}");
+    }
+    if let Some(ranked) = ranked {
+        out.push_str("],\"ranked\":[");
+        for (i, r) in ranked.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":{},\"strength\":{}}}", r.id, r.strength);
+        }
     }
     let _ = write!(
         out,

@@ -21,6 +21,7 @@ mod cmd_info;
 mod cmd_query;
 mod cmd_serve;
 mod cmd_skyline;
+mod cmd_subscribe;
 mod cmd_trace;
 mod obs_setup;
 
@@ -41,6 +42,7 @@ COMMANDS:
     influence   rank a workload of random queries by |RS| (influence)
     compare     compare the engines over random queries on one dataset
     serve       serve queries over TCP (admission control, deadlines, cache)
+    subscribe   stream +id/-id delta frames for a query from a server
     trace       render the span trees from a --trace-out JSONL file
     help        show this message, or details for one command
 
@@ -62,6 +64,7 @@ fn main() -> ExitCode {
         "influence" => cmd_influence::run(rest),
         "compare" => cmd_compare::run(rest),
         "serve" => cmd_serve::run(rest),
+        "subscribe" => cmd_subscribe::run(rest),
         "trace" => cmd_trace::run(rest),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
@@ -72,6 +75,7 @@ fn main() -> ExitCode {
                 Some("skyline") => println!("{}", cmd_skyline::HELP),
                 Some("compare") => println!("{}", cmd_compare::HELP),
                 Some("serve") => println!("{}", cmd_serve::HELP),
+                Some("subscribe") => println!("{}", cmd_subscribe::HELP),
                 Some("trace") => println!("{}", cmd_trace::HELP),
                 Some("demo") => println!("{}", cmd_demo::HELP),
                 _ => println!("{USAGE}"),

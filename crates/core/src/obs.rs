@@ -138,6 +138,35 @@ pub mod shard_names {
     pub const CTR_CANDIDATES_POST: &str = "shard.phase2.candidates.post";
 }
 
+/// Canonical span and metric names emitted by the view-maintenance
+/// subsystem (`rsky-view` + the server's subscription plumbing), mirroring
+/// [`server_names`]. The obs contract (tests/obs_contract.rs) asserts that
+/// mutation-driven delta pushes nest their [`SPAN_DELTA`](view_names::SPAN_DELTA)
+/// spans under a `server.request` root.
+pub mod view_names {
+    /// Span prefix for all view-maintenance spans (`view.<what>`).
+    pub const PREFIX: &str = "view";
+    /// Span: one view's incremental delta for one mutation. Carries `add`,
+    /// `remove` and `epoch`.
+    pub const SPAN_DELTA: &str = "delta";
+    /// Span: a full view (re)build — the initial subscription snapshot or a
+    /// deferred-recompute fallback. Carries `members`.
+    pub const SPAN_BUILD: &str = "build";
+    /// Counter: ids added to a view by incremental deltas.
+    pub const CTR_DELTA_ADD: &str = "view.delta.add";
+    /// Counter: ids evicted from a view by incremental deltas.
+    pub const CTR_DELTA_REMOVE: &str = "view.delta.remove";
+    /// Counter: mutations a view answered with a full rebuild instead of an
+    /// incremental delta (bookkeeping exhausted or generation gap).
+    pub const CTR_FALLBACK: &str = "view.fallback";
+    /// Counter: query/influence requests answered from a live view.
+    pub const CTR_CACHE_HIT: &str = "view.cache.hit";
+    /// Counter: delta/resync frames pushed to subscribers.
+    pub const CTR_FRAMES: &str = "view.frames";
+    /// Gauge: materialized views currently live.
+    pub const GAUGE_LIVE: &str = "view.live";
+}
+
 /// Canonical names for the ad-hoc metrics the engine layers emit outside
 /// any span (plus the metric-name contract: every string passed to
 /// `counter_add` / `gauge_set` / `histogram_record` anywhere in the
@@ -222,6 +251,26 @@ pub fn with_parent<T>(parent: Option<TraceContext>, f: impl FnOnce() -> T) -> T 
     SPAN_STACK.with(|s| s.borrow_mut().push(ctx));
     let _guard = Guard(ctx);
     f()
+}
+
+/// Runs `f` with an **empty** span stack, so a span `f` opens roots a fresh
+/// trace even while other spans are open on this thread. This is how the
+/// server roots a mutation's `server.request` span from inside a connection
+/// thread whose long-lived `server.conn` span is still open — without the
+/// detach the mutation's trace would nest under the connection's and the
+/// one-tree-per-request contract would break. Panic-safe via an RAII guard
+/// that restores the caller's stack.
+pub fn with_detached<T>(f: impl FnOnce() -> T) -> T {
+    struct Guard(Vec<TraceContext>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SPAN_STACK.with(|s| *s.borrow_mut() = std::mem::take(&mut self.0));
+        }
+    }
+    let guard = Guard(SPAN_STACK.with(|s| std::mem::take(&mut *s.borrow_mut())));
+    let out = f();
+    drop(guard);
+    out
 }
 
 // ---------------------------------------------------------------------------

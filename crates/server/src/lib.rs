@@ -42,6 +42,7 @@ pub mod queue;
 pub mod server;
 pub mod slowlog;
 pub mod state;
+pub mod views;
 
 pub use cache::{CacheKey, ResultCache};
 pub use client::Client;
@@ -49,3 +50,4 @@ pub use proto::{ErrKind, Request};
 pub use server::{resolve_threads, Server, ServerConfig, ServerHandle};
 pub use slowlog::{SlowEntry, SlowLog};
 pub use state::{DataState, ShardParts};
+pub use views::{SubscribeAck, ViewRegistry};

@@ -26,6 +26,21 @@ pub enum Request {
         subset: Option<Vec<usize>>,
         /// Per-request deadline; `None` uses the server default.
         deadline_ms: Option<u64>,
+        /// When set, return only the `k` most influential members, ranked
+        /// by influence strength (ties by ascending id).
+        top_k: Option<usize>,
+    },
+    /// Registers a continuous query on this connection:
+    /// `{"op":"subscribe","engine":"trs","values":[..]}` with optional
+    /// `"subset"`. Answered with the RS(Q) snapshot; afterwards every
+    /// dataset mutation pushes one delta frame on this connection.
+    Subscribe {
+        /// Engine backing the view's fallback recomputes.
+        engine: String,
+        /// Query value ids, one per schema attribute.
+        values: Vec<ValueId>,
+        /// Attribute subset (`None` = all attributes).
+        subset: Option<Vec<usize>>,
     },
     /// Influence ranking over a seeded random workload:
     /// `{"op":"influence","queries":20,"seed":7,"top":10}`.
@@ -82,26 +97,16 @@ impl Request {
         let op = v.get("op").and_then(JsonValue::as_str).ok_or("missing string member \"op\"")?;
         match op {
             "query" => {
-                let engine = v
-                    .get("engine")
-                    .and_then(JsonValue::as_str)
-                    .unwrap_or("trs")
-                    .to_string();
-                let values = v
-                    .get("values")
-                    .and_then(JsonValue::as_u32_list)
-                    .ok_or("query needs \"values\": an array of non-negative integers")?;
-                let subset = match v.get("subset") {
-                    None | Some(JsonValue::Null) => None,
-                    Some(s) => Some(
-                        s.as_u32_list()
-                            .ok_or("\"subset\" must be an array of attribute indices")?
-                            .into_iter()
-                            .map(|i| i as usize)
-                            .collect(),
-                    ),
+                let (engine, values, subset) = query_key(&v, "query")?;
+                let top_k = match req_u64(&v, "top_k")? {
+                    Some(0) => return Err("\"top_k\" must be at least 1".into()),
+                    other => other.map(|k| k as usize),
                 };
-                Ok(Request::Query { engine, values, subset, deadline_ms: deadline(&v)? })
+                Ok(Request::Query { engine, values, subset, deadline_ms: deadline(&v)?, top_k })
+            }
+            "subscribe" => {
+                let (engine, values, subset) = query_key(&v, "subscribe")?;
+                Ok(Request::Subscribe { engine, values, subset })
             }
             "influence" => Ok(Request::Influence {
                 queries: req_u64(&v, "queries")?.unwrap_or(20) as usize,
@@ -144,6 +149,7 @@ impl Request {
     pub fn op(&self) -> &'static str {
         match self {
             Request::Query { .. } => "query",
+            Request::Subscribe { .. } => "subscribe",
             Request::Influence { .. } => "influence",
             Request::Insert { .. } => "insert",
             Request::Expire { .. } => "expire",
@@ -154,6 +160,31 @@ impl Request {
             Request::Sleep { .. } => "sleep",
         }
     }
+}
+
+/// The shared key shape of `query` and `subscribe`: engine (default trs),
+/// values, optional subset.
+#[allow(clippy::type_complexity)]
+fn query_key(
+    v: &JsonValue,
+    op: &str,
+) -> Result<(String, Vec<ValueId>, Option<Vec<usize>>), String> {
+    let engine = v.get("engine").and_then(JsonValue::as_str).unwrap_or("trs").to_string();
+    let values = v
+        .get("values")
+        .and_then(JsonValue::as_u32_list)
+        .ok_or_else(|| format!("{op} needs \"values\": an array of non-negative integers"))?;
+    let subset = match v.get("subset") {
+        None | Some(JsonValue::Null) => None,
+        Some(s) => Some(
+            s.as_u32_list()
+                .ok_or("\"subset\" must be an array of attribute indices")?
+                .into_iter()
+                .map(|i| i as usize)
+                .collect(),
+        ),
+    };
+    Ok((engine, values, subset))
 }
 
 fn req_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
@@ -230,6 +261,98 @@ pub fn ok_query(
         let _ = write!(out, "{id}");
     }
     out.push_str("]}");
+    out
+}
+
+/// Renders a successful top-k query response: `ranked` is `(id, strength)`
+/// pairs, most influential member first.
+pub fn ok_query_ranked(
+    engine: &str,
+    generation: u64,
+    ranked: &[(RecordId, usize)],
+    cached: bool,
+    elapsed_us: u128,
+) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"query\",\"engine\":\"");
+    json::escape(engine, &mut out);
+    let _ = write!(
+        out,
+        "\",\"generation\":{generation},\"cached\":{cached},\"elapsed_us\":{elapsed_us},\"result_size\":{},\"ranked\":[",
+        ranked.len()
+    );
+    for (i, (id, strength)) in ranked.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"id\":{id},\"strength\":{strength}}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the subscription acknowledgement: the initial RS(Q) snapshot
+/// plus the subscription id, generation and epoch the delta feed starts
+/// from.
+pub fn ok_subscribe(
+    sub: u64,
+    engine: &str,
+    generation: u64,
+    epoch: u64,
+    ids: &[RecordId],
+) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"subscribe\",\"sub\":");
+    let _ = write!(out, "{sub},\"engine\":\"");
+    json::escape(engine, &mut out);
+    let _ = write!(
+        out,
+        "\",\"generation\":{generation},\"epoch\":{epoch},\"result_size\":{},\"ids\":[",
+        ids.len()
+    );
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{id}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one pushed delta frame. Epochs increase by exactly 1 per frame
+/// on a subscription; a client seeing a gap must resync. A `resync` frame
+/// carries the full snapshot in `"ids"` (apply it instead of the diff).
+pub fn delta_frame(
+    sub: u64,
+    generation: u64,
+    epoch: u64,
+    added: &[RecordId],
+    removed: &[RecordId],
+    resync: Option<&[RecordId]>,
+) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"delta\",\"sub\":");
+    let _ = write!(out, "{sub},\"generation\":{generation},\"epoch\":{epoch}");
+    let list = |out: &mut String, key: &str, ids: &[RecordId]| {
+        let _ = write!(out, ",\"{key}\":[");
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{id}");
+        }
+        out.push(']');
+    };
+    match resync {
+        Some(ids) => {
+            out.push_str(",\"resync\":true");
+            list(&mut out, "ids", ids);
+        }
+        None => {
+            out.push_str(",\"resync\":false");
+            list(&mut out, "add", added);
+            list(&mut out, "remove", removed);
+        }
+    }
+    out.push('}');
     out
 }
 
@@ -313,11 +436,12 @@ mod tests {
                 engine: "trs".into(),
                 values: vec![1, 2, 3],
                 subset: None,
-                deadline_ms: None
+                deadline_ms: None,
+                top_k: None
             }
         );
         let q = Request::parse(
-            r#"{"op":"query","engine":"brs","values":[4],"subset":[0,2],"deadline_ms":50}"#,
+            r#"{"op":"query","engine":"brs","values":[4],"subset":[0,2],"deadline_ms":50,"top_k":3}"#,
         )
         .unwrap();
         assert_eq!(
@@ -326,11 +450,30 @@ mod tests {
                 engine: "brs".into(),
                 values: vec![4],
                 subset: Some(vec![0, 2]),
-                deadline_ms: Some(50)
+                deadline_ms: Some(50),
+                top_k: Some(3)
             }
         );
         assert!(q.is_pooled());
         assert_eq!(q.op(), "query");
+    }
+
+    #[test]
+    fn parses_subscribe() {
+        let s = Request::parse(r#"{"op":"subscribe","values":[1,2]}"#).unwrap();
+        assert_eq!(
+            s,
+            Request::Subscribe { engine: "trs".into(), values: vec![1, 2], subset: None }
+        );
+        assert!(!s.is_pooled(), "subscribe registers on the connection thread");
+        assert_eq!(s.op(), "subscribe");
+        let s = Request::parse(r#"{"op":"subscribe","engine":"brs","values":[4],"subset":[1]}"#)
+            .unwrap();
+        assert_eq!(
+            s,
+            Request::Subscribe { engine: "brs".into(), values: vec![4], subset: Some(vec![1]) }
+        );
+        assert!(Request::parse(r#"{"op":"subscribe"}"#).is_err(), "values required");
     }
 
     #[test]
@@ -378,6 +521,8 @@ mod tests {
             r#"{"op":"query","values":[1.5]}"#,
             r#"{"op":"insert","values":[1]}"#,
             r#"{"op":"query","values":[1],"deadline_ms":-2}"#,
+            r#"{"op":"query","values":[1],"top_k":0}"#,
+            r#"{"op":"subscribe","values":[1.5]}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
         }
@@ -387,6 +532,10 @@ mod tests {
     fn responses_are_single_line_json() {
         let lines = [
             ok_query("trs", 1, &[3, 6], false, 120),
+            ok_query_ranked("trs", 1, &[(6, 4), (3, 2)], false, 120),
+            ok_subscribe(1, "trs", 1, 0, &[3, 6]),
+            delta_frame(1, 2, 1, &[9], &[3], None),
+            delta_frame(1, 5, 2, &[], &[], Some(&[3, 6, 9])),
             ok_influence(1, &[(2, 9), (0, 4)], 999),
             ok_health(true, 1, 14, 0, 4),
             ok_metrics("{}"),
@@ -408,7 +557,23 @@ mod tests {
             r#"{"ok":true,"op":"query","engine":"trs","generation":1,"cached":false,"elapsed_us":120,"result_size":2,"ids":[3,6]}"#
         );
         assert_eq!(
-            lines[9],
+            lines[1],
+            r#"{"ok":true,"op":"query","engine":"trs","generation":1,"cached":false,"elapsed_us":120,"result_size":2,"ranked":[{"id":6,"strength":4},{"id":3,"strength":2}]}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"ok":true,"op":"subscribe","sub":1,"engine":"trs","generation":1,"epoch":0,"result_size":2,"ids":[3,6]}"#
+        );
+        assert_eq!(
+            lines[3],
+            r#"{"ok":true,"op":"delta","sub":1,"generation":2,"epoch":1,"resync":false,"add":[9],"remove":[3]}"#
+        );
+        assert_eq!(
+            lines[4],
+            r#"{"ok":true,"op":"delta","sub":1,"generation":5,"epoch":2,"resync":true,"ids":[3,6,9]}"#
+        );
+        assert_eq!(
+            lines[13],
             r#"{"ok":false,"error":"overloaded","detail":"queue full"}"#
         );
     }

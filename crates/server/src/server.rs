@@ -20,7 +20,7 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -30,17 +30,20 @@ use rsky_core::cancel::{self, CancelToken};
 use rsky_core::dataset::Dataset;
 use rsky_core::error::{Error, Result};
 use rsky_core::obs::{
-    self, server_names as names, MemorySink, MetricsRegistry, ObsHandle, RegistrySink,
+    self, server_names as names, view_names, MemorySink, MetricsRegistry, ObsHandle, RegistrySink,
 };
 use rsky_core::query::Query;
+use rsky_core::record::RecordId;
 
-use rsky_storage::ShardSpec;
+use rsky_storage::{MutationEvent, ShardSpec};
+use rsky_view::ViewSpec;
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::proto::{self, ErrKind, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::slowlog::{SlowEntry, SlowLog};
 use crate::state::{DataState, DatasetVersion, WorkerState};
+use crate::views::ViewRegistry;
 
 /// How often an idle connection thread wakes up to notice a shutdown.
 const IDLE_POLL: Duration = Duration::from_millis(50);
@@ -138,6 +141,11 @@ struct Shared {
     registry: Arc<MetricsRegistry>,
     obs: ObsHandle,
     slowlog: SlowLog,
+    views: ViewRegistry,
+    /// Serializes the mutation → view-maintenance path so the event feed
+    /// the views consume arrives in generation order (an out-of-order
+    /// event would force every view into a resync rebuild).
+    mutation_order: Mutex<()>,
     accepting: AtomicBool,
     shutdown: AtomicBool,
 }
@@ -169,6 +177,8 @@ impl Server {
             registry,
             obs,
             slowlog: SlowLog::new(if config.slow_request_us > 0 { config.slowlog_cap } else { 0 }),
+            views: ViewRegistry::new(),
+            mutation_order: Mutex::new(()),
             accepting: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             config,
@@ -314,6 +324,10 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut requests = 0u64;
+    // This connection's subscriptions: delta frames queue up in these
+    // receivers (the mutating thread renders and sends them) and are
+    // written to the socket between request lines and on idle polls.
+    let mut subs: Vec<(u64, mpsc::Receiver<String>)> = Vec::new();
     'conn: loop {
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
@@ -324,7 +338,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
             }
             requests += 1;
             let (response, shutdown_after) =
-                handle_line(shared, line, &reply_tx, &reply_rx);
+                handle_line(shared, line, &reply_tx, &reply_rx, &mut subs);
             // Line + terminator in one write: one TCP segment per response.
             let mut framed = response.into_bytes();
             framed.push(b'\n');
@@ -335,6 +349,9 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
             if write.is_err() {
                 break 'conn;
             }
+        }
+        if drain_frames(&mut stream, &subs).is_err() {
+            break;
         }
         match stream.read(&mut chunk) {
             Ok(0) => break,
@@ -353,8 +370,33 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
             Err(_) => break,
         }
     }
+    if !subs.is_empty() {
+        let ids: Vec<u64> = subs.iter().map(|(sub, _)| *sub).collect();
+        shared.views.drop_subs(&ids);
+    }
     conn_span.field("requests", requests);
     conn_span.close();
+}
+
+/// Writes every pending delta frame onto the socket, newest-subscription
+/// last; frames within one subscription stay in mutation order.
+fn drain_frames(
+    stream: &mut TcpStream,
+    subs: &[(u64, mpsc::Receiver<String>)],
+) -> std::io::Result<()> {
+    let mut wrote = false;
+    for (_, rx) in subs {
+        while let Ok(frame) = rx.try_recv() {
+            let mut framed = frame.into_bytes();
+            framed.push(b'\n');
+            stream.write_all(&framed)?;
+            wrote = true;
+        }
+    }
+    if wrote {
+        stream.flush()?;
+    }
+    Ok(())
 }
 
 /// Parses and answers one request line. Returns the response plus whether
@@ -364,6 +406,7 @@ fn handle_line(
     line: &str,
     reply_tx: &mpsc::Sender<String>,
     reply_rx: &mpsc::Receiver<String>,
+    subs: &mut Vec<(u64, mpsc::Receiver<String>)>,
 ) -> (String, bool) {
     let request = match Request::parse(line) {
         Ok(r) => r,
@@ -410,6 +453,34 @@ fn handle_line(
             shared.data.insert(id, &values)
         }), false),
         Request::Expire { id } => (mutate(shared, "expire", id, || shared.data.expire(id)), false),
+        Request::Subscribe { engine, values, subset } => {
+            let (tx, rx) = mpsc::channel::<String>();
+            let spec = ViewSpec { engine: engine.clone(), values, subset };
+            // The build runs detached from the connection span so its
+            // `view.build` trace is a fresh `server.request`-rooted tree.
+            let built = obs::with_recorder(shared.obs.clone(), || {
+                obs::with_detached(|| {
+                    let span = shared.obs.span(names::PREFIX, names::SPAN_REQUEST);
+                    let r = shared.views.subscribe(&shared.data, spec, tx);
+                    span.close();
+                    r
+                })
+            });
+            match built {
+                Ok(ack) => {
+                    subs.push((ack.sub, rx));
+                    shared.obs.counter_add(names::CTR_SERVED, 1);
+                    (
+                        proto::ok_subscribe(ack.sub, &engine, ack.generation, ack.epoch, &ack.ids),
+                        false,
+                    )
+                }
+                Err(e) => {
+                    shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
+                    (proto::err_line(ErrKind::BadRequest, &e.to_string()), false)
+                }
+            }
+        }
         Request::Query { .. } | Request::Influence { .. } | Request::Sleep { .. } => {
             unreachable!("pooled ops handled above")
         }
@@ -420,13 +491,32 @@ fn mutate(
     shared: &Shared,
     op: &str,
     id: u32,
-    apply: impl FnOnce() -> Result<DatasetVersion>,
+    apply: impl FnOnce() -> Result<(DatasetVersion, MutationEvent)>,
 ) -> String {
+    // Mutations reach the views one at a time and in generation order; the
+    // data mutation itself happens under this lock too so the event feed
+    // cannot interleave.
+    let _order = shared.mutation_order.lock().unwrap();
     match apply() {
-        Ok(version) => {
+        Ok((version, event)) => {
             // Results computed against older generations can no longer be
             // served; drop them eagerly.
             shared.cache.invalidate_before(version.generation);
+            if shared.views.live() > 0 {
+                // Maintain the views detached from the connection span so
+                // each mutation's `view.delta` spans root a fresh
+                // `server.request` trace (the slowlog/trace contract).
+                obs::with_recorder(shared.obs.clone(), || {
+                    obs::with_detached(|| {
+                        let mut span = shared.obs.span(names::PREFIX, names::SPAN_REQUEST);
+                        if span.is_recording() {
+                            span.field("generation", version.generation);
+                        }
+                        shared.views.apply(&version, &event);
+                        span.close();
+                    })
+                });
+            }
             shared.obs.counter_add(names::CTR_SERVED, 1);
             proto::ok_mutation(op, id, version.generation, version.dataset.len())
         }
@@ -545,8 +635,21 @@ fn execute(
             shared.obs.counter_add(names::CTR_SERVED, 1);
             proto::ok_sleep(*ms)
         }
-        Request::Query { engine, values, subset, .. } => {
+        Request::Query { engine, values, subset, top_k, .. } => {
             let version = shared.data.current();
+            // A live materialized view doubles as a hot-query cache: when
+            // one matches this key at exactly the current generation (the
+            // equality check is what keeps a racing mutation from serving
+            // a stale snapshot), answer in O(|RS(Q)|) without an engine.
+            if let Some(ids) =
+                shared.views.lookup(values, subset.as_deref(), version.generation)
+            {
+                shared.obs.counter_add(view_names::CTR_CACHE_HIT, 1);
+                if span.is_recording() {
+                    span.field("view_hit", 1);
+                }
+                return finish_query(shared, &version, engine, subset.as_deref(), &ids, *top_k, true, 0);
+            }
             let key = CacheKey {
                 generation: version.generation,
                 engine: engine.clone(),
@@ -556,11 +659,10 @@ fn execute(
             };
             if let Some(ids) = shared.cache.get(&key) {
                 shared.obs.counter_add(names::CTR_CACHE_HIT, 1);
-                shared.obs.counter_add(names::CTR_SERVED, 1);
                 if span.is_recording() {
                     span.field("cache_hit", 1);
                 }
-                return proto::ok_query(engine, version.generation, &ids, true, 0);
+                return finish_query(shared, &version, engine, subset.as_deref(), &ids, *top_k, true, 0);
             }
             shared.obs.counter_add(names::CTR_CACHE_MISS, 1);
             if span.is_recording() {
@@ -586,11 +688,13 @@ fn execute(
             match result {
                 Ok(run) => {
                     shared.cache.insert(key, run.ids.clone());
-                    shared.obs.counter_add(names::CTR_SERVED, 1);
-                    proto::ok_query(
+                    finish_query(
+                        shared,
+                        &version,
                         engine,
-                        version.generation,
+                        subset.as_deref(),
                         &run.ids,
+                        *top_k,
                         false,
                         t0.elapsed().as_micros(),
                     )
@@ -609,6 +713,22 @@ fn execute(
                         return proto::err_line(ErrKind::BadRequest, &e.to_string());
                     }
                 };
+            // When every workload query has a live view at this generation,
+            // the ranking is a counting exercise — no engine runs at all.
+            if let Some(cards) =
+                shared.views.influence_cardinalities(&workload, version.generation)
+            {
+                let mut order: Vec<usize> = (0..cards.len()).collect();
+                order.sort_by_key(|&i| std::cmp::Reverse(cards[i]));
+                let ranking: Vec<(usize, usize)> =
+                    order.into_iter().take(*top).map(|qi| (qi, cards[qi])).collect();
+                shared.obs.counter_add(view_names::CTR_CACHE_HIT, 1);
+                shared.obs.counter_add(names::CTR_SERVED, 1);
+                if span.is_recording() {
+                    span.field("view_hit", 1);
+                }
+                return proto::ok_influence(version.generation, &ranking, 0);
+            }
             let t0 = Instant::now();
             let result = obs::with_recorder(req_obs.clone(), || {
                 cancel::with_token(job.token.clone(), || {
@@ -644,6 +764,37 @@ fn execute(
             shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
             proto::err_line(ErrKind::Internal, &format!("op {:?} is not pooled", other.op()))
         }
+    }
+}
+
+/// Renders a query result, optionally ranking the members by influence
+/// strength (`top_k`). Counts `CTR_SERVED` on success; ranking failures go
+/// through [`engine_error`] (which counts instead).
+#[allow(clippy::too_many_arguments)]
+fn finish_query(
+    shared: &Shared,
+    version: &DatasetVersion,
+    engine: &str,
+    subset: Option<&[usize]>,
+    ids: &[RecordId],
+    top_k: Option<usize>,
+    cached: bool,
+    elapsed_us: u128,
+) -> String {
+    match top_k {
+        None => {
+            shared.obs.counter_add(names::CTR_SERVED, 1);
+            proto::ok_query(engine, version.generation, ids, cached, elapsed_us)
+        }
+        Some(k) => match rsky_algos::rank_members(&version.dataset, subset, ids, k) {
+            Ok(ranked) => {
+                let ranked: Vec<(RecordId, usize)> =
+                    ranked.into_iter().map(|r| (r.id, r.strength)).collect();
+                shared.obs.counter_add(names::CTR_SERVED, 1);
+                proto::ok_query_ranked(engine, version.generation, &ranked, cached, elapsed_us)
+            }
+            Err(e) => engine_error(shared, e),
+        },
     }
 }
 

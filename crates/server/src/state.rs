@@ -34,7 +34,7 @@ use rsky_core::dataset::Dataset;
 use rsky_core::error::{Error, Result};
 use rsky_core::query::Query;
 use rsky_core::record::{RecordId, RowBuf, ValueId};
-use rsky_storage::{partition_rows, Disk, MemoryBudget, RecordFile, ShardSpec};
+use rsky_storage::{partition_rows, Disk, MemoryBudget, MutationEvent, RecordFile, ShardSpec};
 
 /// The served dataset partitioned into shard parts, versioned together with
 /// the flat dataset it partitions.
@@ -118,9 +118,15 @@ impl DataState {
         self.current.read().unwrap().clone()
     }
 
-    /// Adds a record, returning the new version. Fails without bumping the
-    /// generation when the id is taken or the values don't fit the schema.
-    pub fn insert(&self, id: RecordId, values: &[ValueId]) -> Result<DatasetVersion> {
+    /// Adds a record, returning the new version together with the mutation
+    /// event downstream maintainers (materialized views) consume. Fails
+    /// without bumping the generation when the id is taken or the values
+    /// don't fit the schema.
+    pub fn insert(
+        &self,
+        id: RecordId,
+        values: &[ValueId],
+    ) -> Result<(DatasetVersion, MutationEvent)> {
         let mut cur = self.current.write().unwrap();
         let ds = Arc::clone(&cur.dataset);
         if values.len() != ds.schema.num_attrs() {
@@ -154,11 +160,13 @@ impl DataState {
         };
         cur.generation += 1;
         cur.dataset = Arc::new(next);
-        Ok(cur.clone())
+        let event = MutationEvent::insert(id, values.to_vec(), cur.generation);
+        Ok((cur.clone(), event))
     }
 
-    /// Removes a record by id, returning the new version.
-    pub fn expire(&self, id: RecordId) -> Result<DatasetVersion> {
+    /// Removes a record by id, returning the new version and the mutation
+    /// event.
+    pub fn expire(&self, id: RecordId) -> Result<(DatasetVersion, MutationEvent)> {
         let mut cur = self.current.write().unwrap();
         let ds = Arc::clone(&cur.dataset);
         let mut rows = RowBuf::with_capacity(ds.rows.num_attrs(), ds.rows.len().saturating_sub(1));
@@ -193,7 +201,8 @@ impl DataState {
         };
         cur.generation += 1;
         cur.dataset = Arc::new(next);
-        Ok(cur.clone())
+        let event = MutationEvent::expire(id, cur.generation);
+        Ok((cur.clone(), event))
     }
 }
 
@@ -367,13 +376,16 @@ mod tests {
         let state = DataState::new(ds);
         assert_eq!(state.current().generation, 1);
 
-        let v2 = state.insert(100, &vec![0; m]).unwrap();
+        let (v2, e2) = state.insert(100, &vec![0; m]).unwrap();
         assert_eq!(v2.generation, 2);
         assert_eq!(v2.dataset.len(), n + 1);
+        assert_eq!(e2, MutationEvent::insert(100, vec![0; m], 2));
 
-        let v3 = state.expire(100).unwrap();
+        let (v3, e3) = state.expire(100).unwrap();
         assert_eq!(v3.generation, 3);
         assert_eq!(v3.dataset.len(), n);
+        assert_eq!(e3, MutationEvent::expire(100, 3));
+        assert!(e3.follows(e2.generation), "events form a gap-free feed");
 
         // Failed mutations leave the generation untouched.
         assert!(state.insert(100, &vec![0; m + 1]).is_err(), "wrong width");
@@ -401,7 +413,7 @@ mod tests {
         }
 
         // Mutate, then verify the worker rebuilds and agrees again.
-        let v2 = state.insert(100, &q.values.clone()).unwrap();
+        let (v2, _) = state.insert(100, &q.values.clone()).unwrap();
         let run = worker.run_query(&v2, "trs", 1, &q).unwrap();
         let expect = rsky_core::skyline::reverse_skyline_by_definition(
             &v2.dataset.dissim,
@@ -445,7 +457,7 @@ mod tests {
             let v1 = state.current();
             assert_parts_cover(&v1);
 
-            let v2 = state.insert(100, &q.values.clone()).unwrap();
+            let (v2, _) = state.insert(100, &q.values.clone()).unwrap();
             assert_parts_cover(&v2);
             // Exactly one part was rewritten; the others still share their
             // buffers with v1 (copy-on-write).
@@ -455,7 +467,7 @@ mod tests {
                 .count();
             assert_eq!(rewritten, 1, "{policy}: insert rewrites exactly one shard part");
 
-            let v3 = state.expire(100).unwrap();
+            let (v3, _) = state.expire(100).unwrap();
             assert_parts_cover(&v3);
             let s3 = v3.shards.as_ref().unwrap();
             let rewritten = (0..3)

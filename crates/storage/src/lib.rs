@@ -35,6 +35,7 @@ pub mod budget;
 pub mod cache;
 pub mod columnar;
 pub mod disk;
+pub mod mutation;
 pub mod recfile;
 pub mod shard;
 pub mod shared;
@@ -43,6 +44,7 @@ pub use budget::MemoryBudget;
 pub use cache::PageCache;
 pub use columnar::ColumnarBatch;
 pub use disk::{Backend, Disk, FileId, DEFAULT_PAGE_SIZE};
+pub use mutation::{MutationEvent, MutationKind};
 pub use recfile::{RecordFile, RecordWriter};
 pub use shard::{partition_rows, ShardPolicy, ShardSpec};
 pub use shared::{PageScanner, RecordScanner, SharedFile, SharedRecords};

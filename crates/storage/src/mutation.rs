@@ -1,0 +1,69 @@
+//! Mutation events: the change feed that view maintenance consumes.
+//!
+//! A mutation of the served dataset (`insert`/`expire`) is more than a new
+//! snapshot — downstream maintainers (materialized views, caches) need to
+//! know *what* changed, not just that something did. [`MutationEvent`]
+//! carries the record-level description of one mutation together with the
+//! generation it produced, so a consumer can decide between applying the
+//! change incrementally (`generation == seen + 1`) and resynchronizing from
+//! the snapshot (a gap means events were missed).
+
+use rsky_core::record::{RecordId, ValueId};
+
+/// What one mutation did to the dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationKind {
+    /// A record was added with these attribute values.
+    Insert {
+        /// The new record's values, one per schema attribute.
+        values: Vec<ValueId>,
+    },
+    /// A record was removed.
+    Expire,
+}
+
+/// One dataset mutation, as seen by downstream maintainers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationEvent {
+    /// The mutated record's id.
+    pub id: RecordId,
+    /// What happened to it.
+    pub kind: MutationKind,
+    /// The generation this mutation produced (`base + 1`).
+    pub generation: u64,
+}
+
+impl MutationEvent {
+    /// An insert event producing `generation`.
+    pub fn insert(id: RecordId, values: Vec<ValueId>, generation: u64) -> Self {
+        Self { id, kind: MutationKind::Insert { values }, generation }
+    }
+
+    /// An expire event producing `generation`.
+    pub fn expire(id: RecordId, generation: u64) -> Self {
+        Self { id, kind: MutationKind::Expire, generation }
+    }
+
+    /// Whether a consumer that has applied every mutation up to
+    /// `seen_generation` can apply this event incrementally (no gap).
+    pub fn follows(&self, seen_generation: u64) -> bool {
+        self.generation == seen_generation + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_generation_continuity() {
+        let e = MutationEvent::insert(7, vec![1, 2], 5);
+        assert_eq!(e.kind, MutationKind::Insert { values: vec![1, 2] });
+        assert!(e.follows(4));
+        assert!(!e.follows(5), "same generation is a replay, not a successor");
+        assert!(!e.follows(2), "a gap forces a resync");
+        let x = MutationEvent::expire(7, 6);
+        assert_eq!(x.kind, MutationKind::Expire);
+        assert!(x.follows(5));
+    }
+}

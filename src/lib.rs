@@ -66,6 +66,7 @@ pub use rsky_data as data;
 pub use rsky_order as order;
 pub use rsky_server as server;
 pub use rsky_storage as storage;
+pub use rsky_view as view;
 
 /// The most common imports in one place.
 pub mod prelude {

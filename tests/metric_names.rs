@@ -1,6 +1,6 @@
 //! The *metric-name contract*: every metric emitted anywhere in the
 //! workspace uses a name from the canonical vocabulary in
-//! `rsky_core::obs::{names, server_names, shard_names}`.
+//! `rsky_core::obs::{names, server_names, shard_names, view_names}`.
 //!
 //! Two clauses, both enforced by reading the source tree (no macro or
 //! proc-macro machinery — the contract survives refactors because it checks
@@ -87,7 +87,7 @@ fn literal_first_args(src: &str) -> Vec<String> {
 fn canonical_name_constants_are_pairwise_distinct() {
     let obs = fs::read_to_string(workspace_root().join("crates/core/src/obs.rs")).unwrap();
     let mut all = Vec::new();
-    for module in ["names", "server_names", "shard_names"] {
+    for module in ["names", "server_names", "shard_names", "view_names"] {
         for (name, value) in extract_consts(&obs, module) {
             all.push((format!("{module}::{name}"), value));
         }
@@ -96,9 +96,20 @@ fn canonical_name_constants_are_pairwise_distinct() {
     // The pruner-exchange counters are part of the public metric surface
     // (registry-exported, scraped by the Prometheus endpoint) — losing one
     // in a refactor is a contract break, not a cleanup.
-    for required in
-        ["shard.exchange.pruners", "shard.phase2.candidates.pre", "shard.phase2.candidates.post"]
-    {
+    // Same for the view-maintenance surface: the delta/fallback counters
+    // are what lets an operator tell incremental maintenance from silent
+    // full recomputes.
+    for required in [
+        "shard.exchange.pruners",
+        "shard.phase2.candidates.pre",
+        "shard.phase2.candidates.post",
+        "view.delta.add",
+        "view.delta.remove",
+        "view.fallback",
+        "view.cache.hit",
+        "view.frames",
+        "view.live",
+    ] {
         assert!(
             all.iter().any(|(_, v)| v == required),
             "exchange metric {required:?} missing from the canonical vocabulary"
@@ -119,7 +130,7 @@ fn every_literal_metric_name_comes_from_the_canonical_vocabulary() {
     let root = workspace_root();
     let obs = fs::read_to_string(root.join("crates/core/src/obs.rs")).unwrap();
     let mut vocabulary: Vec<String> = Vec::new();
-    for module in ["names", "server_names", "shard_names"] {
+    for module in ["names", "server_names", "shard_names", "view_names"] {
         vocabulary.extend(extract_consts(&obs, module).into_iter().map(|(_, v)| v));
     }
 
@@ -156,7 +167,7 @@ fn every_literal_metric_name_comes_from_the_canonical_vocabulary() {
     }
     assert!(
         violations.is_empty(),
-        "metric names not in obs::names/server_names/shard_names:\n{}",
+        "metric names not in obs::names/server_names/shard_names/view_names:\n{}",
         violations.join("\n")
     );
 }

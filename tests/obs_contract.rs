@@ -22,7 +22,8 @@
 //! least the sum of its direct children's (children on the root's thread
 //! run sequentially inside it). The same clauses are applied to requests
 //! served over TCP, where the tree must span server → engine → shard →
-//! influence layers.
+//! influence layers, and to the view-maintenance work a mutation triggers
+//! on a server with live subscriptions (`server.request` → `view.delta`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -760,6 +761,77 @@ fn served_requests_trace_as_single_rooted_trees() {
         .find(|t| t.iter().any(|s| s.name == "influence.query"))
         .expect("no influence trace");
     assert!(infl_trace.iter().any(|s| s.name.ends_with("server.request")));
+}
+
+/// View maintenance traces: on a server with a live subscription, the
+/// subscribe handshake roots one `server.request` trace containing the
+/// `view.build` span, and **every mutation** roots its own `server.request`
+/// trace containing the `view.delta` maintenance span — so the delta pushed
+/// to subscribers is attributable to the mutation that caused it. A
+/// mutation with no live views opens no request trace at all (the
+/// mutation fast path stays span-free).
+#[test]
+fn view_maintenance_traces_as_single_rooted_trees() {
+    use rsky::server::{Client, Server, ServerConfig};
+    use std::time::Duration;
+
+    let mut rng = StdRng::seed_from_u64(1009);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 40, &mut rng).unwrap();
+    let sink = MemorySink::new();
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() };
+    let handle = obs::with_recorder(sink.handle(), || Server::start(config, ds)).unwrap();
+
+    let mut mutator = Client::connect(handle.local_addr()).unwrap();
+    mutator.set_timeout(Duration::from_secs(10)).unwrap();
+    // No live view yet: this mutation must not open a request span.
+    let reply = mutator.send(r#"{"op":"insert","id":9000,"values":[1,1,1]}"#).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    let mut subscriber = Client::connect(handle.local_addr()).unwrap();
+    subscriber.set_timeout(Duration::from_secs(10)).unwrap();
+    let ack = subscriber.send(r#"{"op":"subscribe","engine":"trs","values":[2,3,1]}"#).unwrap();
+    assert!(ack.contains("\"ok\":true"), "{ack}");
+
+    for body in
+        [r#"{"op":"insert","id":9001,"values":[2,3,1]}"#, r#"{"op":"expire","id":9001}"#]
+    {
+        let reply = mutator.send(body).unwrap();
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        // One frame per mutation reaches the subscriber.
+        subscriber.read_line().unwrap();
+    }
+
+    drop(subscriber);
+    mutator.send(r#"{"op":"shutdown"}"#).unwrap();
+    handle.join();
+
+    let mut by_trace: std::collections::BTreeMap<u64, Vec<rsky::core::obs::SpanEvent>> =
+        Default::default();
+    for e in sink.events() {
+        by_trace.entry(e.trace_id).or_default().push(e);
+    }
+    let request_traces: Vec<&Vec<_>> = by_trace
+        .values()
+        .filter(|t| t.iter().any(|s| s.name.ends_with("server.request")))
+        .collect();
+    // Subscribe + two maintained mutations; the pre-subscription insert
+    // contributed nothing.
+    assert_eq!(request_traces.len(), 3, "one trace per subscribe/maintained mutation");
+    for t in &request_traces {
+        let root = assert_single_trace_tree(t, true, "view maintenance");
+        assert!(root.name.ends_with("server.request"), "trace rooted at {}", root.name);
+    }
+    let builds = request_traces
+        .iter()
+        .filter(|t| t.iter().any(|s| s.name.ends_with("view.build")))
+        .count();
+    assert_eq!(builds, 1, "the subscribe handshake traces the view build");
+    let deltas = request_traces
+        .iter()
+        .filter(|t| t.iter().any(|s| s.name.ends_with("view.delta")))
+        .count();
+    assert_eq!(deltas, 2, "each maintained mutation traces its view.delta span");
 }
 
 #[test]
