@@ -46,6 +46,12 @@ full() {
     # beats the recompute mean for every mutation mix at the largest size.
     RSKY_SCALE=0.5 timeout 300 cargo bench -p rsky-bench --bench view_maintenance
     test -s BENCH_view.json
+    echo "=== smoke: best-first tree search (differential + node-visit win, hard timeout) ==="
+    # The bench asserts trs-bf returns trs's exact id list on every dataset
+    # and visits strictly fewer AL-Tree nodes on both hub shapes before
+    # writing BENCH_bftree.json.
+    RSKY_SCALE=0.5 timeout 300 cargo bench -p rsky-bench --bench bftree_scaling
+    test -s BENCH_bftree.json
     echo "=== smoke: trace round-trip (generate → query --trace-out → trace) ==="
     smoke_dir=$(mktemp -d)
     trap 'rm -rf "$smoke_dir"' EXIT

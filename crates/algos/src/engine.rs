@@ -93,17 +93,18 @@ pub trait ReverseSkylineAlgo {
 }
 
 /// Looks up an engine by its CLI/bench name (`naive | brs | srs | trs |
-/// tsrs | ttrs`), parallelized across `threads` worker threads when
+/// trs-bf | tsrs | ttrs`), parallelized across `threads` worker threads when
 /// `threads > 1` (the tiled variants share engines with their flat twins —
-/// the layout, not the algorithm, differs). `naive` has no parallel variant
-/// and always runs sequentially.
+/// the layout, not the algorithm, differs). `naive` and `trs-bf` have no
+/// parallel variant and always run sequentially (the best-first queue is a
+/// global traversal order, not a batch partition).
 pub fn engine_by_name(
     name: &str,
     schema: &Schema,
     threads: usize,
 ) -> Result<Box<dyn ReverseSkylineAlgo>> {
     use crate::par::{ParBrs, ParSrs, ParTrs};
-    use crate::{Brs, Naive, Srs, Trs};
+    use crate::{Brs, Naive, Srs, Trs, TrsBf};
     let t = threads.max(1);
     Ok(match name {
         "naive" => Box::new(Naive),
@@ -113,9 +114,10 @@ pub fn engine_by_name(
         "srs" | "tsrs" => Box::new(Srs),
         "trs" | "ttrs" if t > 1 => Box::new(ParTrs::for_schema(schema, t)),
         "trs" | "ttrs" => Box::new(Trs::for_schema(schema)),
+        "trs-bf" => Box::new(TrsBf::for_schema(schema)),
         other => {
             return Err(rsky_core::error::Error::InvalidConfig(format!(
-                "unknown engine {other:?} (naive|brs|srs|trs|tsrs|ttrs)"
+                "unknown engine {other:?} (naive|brs|srs|trs|trs-bf|tsrs|ttrs)"
             )))
         }
     })
@@ -240,6 +242,7 @@ pub(crate) fn finish_run_span(span: &mut Span, stats: &RunStats) {
     span.field("dist_checks", stats.dist_checks)
         .field("query_dist_checks", stats.query_dist_checks)
         .field("obj_comparisons", stats.obj_comparisons)
+        .field("tree_nodes_visited", stats.tree_nodes_visited)
         .field("phase1_batches", stats.phase1_batches as u64)
         .field("phase1_survivors", stats.phase1_survivors as u64)
         .field("phase2_batches", stats.phase2_batches as u64)

@@ -9,6 +9,7 @@
 //! | [`Brs`]   | Alg. 2 | two-phase block processing: intra-batch pruning, then filter survivors against a full scan |
 //! | [`Srs`]   | §4.2  | BRS over the multi-attribute-sorted file; phase-one pruner search radiates outward from each object |
 //! | [`Trs`]   | Alg. 3–5 | batches are AL-Trees; group-level reasoning + early pruning |
+//! | [`TrsBf`] | §5 + BBS | best-first TRS: max-heap over group bounds, subtree kills, tree-grouped verification |
 //! | T-SRS / T-TRS | §5.6 | the same engines over the tile/Z-ordered file (see [`prep`]) |
 //! | [`hybrid`] | §6 | numeric attributes via discretization inside the TRS framework |
 //!
@@ -34,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bf;
 pub mod brs;
 pub mod delta;
 pub mod engine;
@@ -52,6 +54,7 @@ pub mod srs;
 pub mod streaming;
 pub mod trs;
 
+pub use bf::{BoundHeap, TrsBf};
 pub use brs::Brs;
 pub use engine::{engine_by_name, EngineCtx, ReverseSkylineAlgo, RsRun};
 pub use explain::{all_witnesses, explain, Explanation, Membership};

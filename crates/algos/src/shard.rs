@@ -106,10 +106,10 @@ pub const DEFAULT_PRUNER_BUDGET: usize = 256;
 pub fn layout_for(engine_name: &str, tiles: u32) -> Result<Layout> {
     match engine_name {
         "naive" | "brs" => Ok(Layout::Original),
-        "srs" | "trs" => Ok(Layout::MultiSort),
+        "srs" | "trs" | "trs-bf" => Ok(Layout::MultiSort),
         "tsrs" | "ttrs" => Ok(Layout::Tiled { tiles_per_attr: tiles }),
         other => Err(Error::InvalidConfig(format!(
-            "unknown engine {other:?} (naive|brs|srs|trs|tsrs|ttrs)"
+            "unknown engine {other:?} (naive|brs|srs|trs|trs-bf|tsrs|ttrs)"
         ))),
     }
 }
@@ -928,7 +928,7 @@ mod tests {
         for k in [1, 2, 3, 8] {
             for policy in [ShardPolicy::RoundRobin, ShardPolicy::HashById] {
                 let mut st = sharded(&ds, k, policy);
-                for engine in ["naive", "brs", "srs", "trs", "tsrs", "ttrs"] {
+                for engine in ["naive", "brs", "srs", "trs", "trs-bf", "tsrs", "ttrs"] {
                     let run = st.run_query(engine, 1, &q).unwrap();
                     assert_eq!(run.ids, vec![3, 6], "{engine} k={k} {policy}");
                 }

@@ -444,6 +444,7 @@ pub(crate) fn is_prunable_with_stack(
     stack.clear();
     stack.push((ROOT, false));
     while let Some((s, found_closer)) = stack.pop() {
+        stats.tree_nodes_visited += 1;
         if tree.is_leaf(s) {
             if found_closer {
                 let ids = tree.leaf_ids(s);
@@ -534,6 +535,7 @@ pub(crate) fn prune_with_stack(
     stack.clear();
     stack.push((ROOT, false));
     while let Some((s, found_closer)) = stack.pop() {
+        stats.tree_nodes_visited += 1;
         if tree.is_leaf(s) {
             if found_closer {
                 removed += tree.remove_leaf_except(s, Some(e_id));

@@ -1,0 +1,281 @@
+//! Best-first vs batch AL-Tree search: wall-clock, tree-node visits, and
+//! distance checks for `trs-bf` against `trs` on three dataset shapes —
+//! skewed "hub" data (one universal pruner, the best-first engine's home
+//! turf), low-cardinality hub data (tiny domains, dense duplicates), and
+//! neutral synthetic-normal data (no skew to exploit; the overhead case).
+//!
+//! Every `trs-bf` run is asserted to return `trs`'s exact id list — the
+//! bench doubles as a large-n instance of the differential harness
+//! (tests/bftree_fixtures.rs). On both hub shapes the run asserts the
+//! best-first engine visits strictly fewer AL-Tree nodes than batch TRS —
+//! this is the CI smoke contract (`ci.sh full`). Besides the stdout tables
+//! it writes `BENCH_bftree.json` at the repository root: per-dataset,
+//! per-engine mean latency, the `RunStats` counters (tree-node visits,
+//! distance checks, object pairs, IO), and the visit ratio.
+//!
+//! Group killers are batch-local (phase 1 resets the survivor pool per
+//! batch tree), so the hub datasets run with the whole batch tree in
+//! memory — the regime the best-first bound argument covers — while the
+//! neutral dataset runs the paper's 10%-memory batching.
+//!
+//! Scale with `RSKY_SCALE` (percent of the paper-style 200 k-row hub
+//! datasets); `RSKY_QUERIES` repeats per measurement.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsky_algos::prep::{load_dataset, prepare_table};
+use rsky_algos::{engine_by_name, layout_for, EngineCtx};
+use rsky_bench::{table::ms, BenchConfig, Table};
+use rsky_core::dataset::Dataset;
+use rsky_core::dissim::{DissimTable, MatrixBuilder};
+use rsky_core::query::Query;
+use rsky_core::record::{RecordId, RowBuf, ValueId};
+use rsky_core::schema::Schema;
+use rsky_core::stats::RunStats;
+use rsky_storage::{Disk, MemoryBudget};
+
+const MEM_PCT: f64 = 10.0;
+const ENGINES: [&str; 2] = ["trs", "trs-bf"];
+
+/// One `(dataset, engine)` measurement, aggregated over the query repeats.
+struct Point {
+    engine: &'static str,
+    wall: Duration,
+    stats: RunStats,
+    ids: Vec<RecordId>,
+}
+
+struct DatasetLine {
+    label: &'static str,
+    n: usize,
+    /// The hub shapes promise a strict node-visit win; normal data doesn't.
+    assert_win: bool,
+    points: Vec<Point>,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("{}", cfg.banner("Best-first AL-Tree search vs batch TRS"));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let hub_n = cfg.n(200_000);
+    // Skewed plateau: on attributes 0..m−2 every filler ties the query's
+    // distance to the center (d = d_q, dominance holds but never strictly);
+    // the last attribute rejects any non-equal filler pair. The hub is the
+    // only strict dominator anywhere.
+    let m = 4usize;
+    let k = 16u32;
+    let (skew_ds, skew_q) = hub_dataset(m, k, hub_n, &mut rng, |ai, _u, v| {
+        if ai == m - 1 { 100.0 } else { (k as f64 - 1.0 - v as f64).abs() }
+    });
+    let (low_ds, low_q) =
+        hub_dataset(5, 4, hub_n, &mut rng, |_ai, u, v| (u as f64 - v as f64).abs());
+    let norm_n = cfg.n(100_000);
+    let norm_ds = rsky_data::synthetic::normal_dataset(4, 12, norm_n, &mut rng).unwrap();
+    let norm_q = rsky_data::random_queries(&norm_ds.schema, 1, &mut rng).unwrap().remove(0);
+
+    let lines = vec![
+        bench_dataset("skewed-hub", &skew_ds, &skew_q, true, &cfg),
+        bench_dataset("low-cardinality", &low_ds, &low_q, true, &cfg),
+        bench_dataset("normal", &norm_ds, &norm_q, false, &cfg),
+    ];
+
+    let mut t = Table::new("Wall-clock per query (mean)", &["dataset", "n", "trs", "trs-bf"]);
+    for l in &lines {
+        t.row(vec![
+            l.label.into(),
+            l.n.to_string(),
+            ms(l.points[0].wall),
+            ms(l.points[1].wall),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "AL-Tree nodes visited",
+        &["dataset", "trs", "trs-bf", "ratio"],
+    );
+    for l in &lines {
+        let (a, b) =
+            (l.points[0].stats.tree_nodes_visited, l.points[1].stats.tree_nodes_visited);
+        t.row(vec![
+            l.label.into(),
+            a.to_string(),
+            b.to_string(),
+            format!("{:.3}", b as f64 / a.max(1) as f64),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new("Distance checks", &["dataset", "trs", "trs-bf"]);
+    for l in &lines {
+        t.row(vec![
+            l.label.into(),
+            l.points[0].stats.dist_checks.to_string(),
+            l.points[1].stats.dist_checks.to_string(),
+        ]);
+    }
+    t.print();
+
+    for l in &lines {
+        assert_eq!(
+            l.points[0].ids, l.points[1].ids,
+            "{}: trs-bf returned different ids than trs",
+            l.label
+        );
+        if l.assert_win {
+            // Smoke contract: on skewed data the group-kill pass must pay
+            // for the heap — strictly fewer tree nodes than batch TRS.
+            assert!(
+                l.points[1].stats.tree_nodes_visited < l.points[0].stats.tree_nodes_visited,
+                "{}: best-first visited {} tree nodes, batch TRS only {}",
+                l.label,
+                l.points[1].stats.tree_nodes_visited,
+                l.points[0].stats.tree_nodes_visited
+            );
+        }
+    }
+    println!("all trs-bf runs returned the trs id list");
+    println!("best-first visits strictly fewer tree nodes on both hub shapes");
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_bftree.json");
+    std::fs::write(&path, render_json(&lines, &cfg)).unwrap();
+    println!("wrote {}", path.display());
+}
+
+/// A hub dataset at bench scale: value `0` on every attribute is a
+/// universal pruner (`d(0, v) = 0` for all `v`) that nothing can prune
+/// (`d(u, 0) = 2k − u` stays above the query's hub distance `k + 1`), the
+/// fillers draw from `1..=k−2`, and the query sits at `k − 1` — so the hub
+/// subtree carries the largest bound, pops first, and group-kills the rest.
+///
+/// Filler-to-filler distances come from `filler_d(attr, moving, center)`.
+/// The *plateau* shape (`plateau_d`) ties the query's distance on every
+/// attribute but the last and fails hard there: batch TRS's per-leaf pruner
+/// walks then descend the whole internal tree before reaching the hub,
+/// while the hub still strictly dominates everything.
+fn hub_dataset(
+    m: usize,
+    k: u32,
+    n: usize,
+    rng: &mut StdRng,
+    filler_d: impl Fn(usize, u32, u32) -> f64,
+) -> (Dataset, Query) {
+    let schema = Schema::with_cardinalities(&vec![k; m]).unwrap();
+    let measures = (0..m)
+        .map(|ai| {
+            let mut b = MatrixBuilder::new(k);
+            for u in 1..k {
+                b = b.set(0, u, 0.0).set(u, 0, (2 * k - u) as f64);
+                for v in 1..k {
+                    if u != v {
+                        b = b.set(u, v, filler_d(ai, u, v));
+                    }
+                }
+            }
+            b.build().unwrap()
+        })
+        .collect();
+    let dissim = DissimTable::new(&schema, measures).unwrap();
+    let mut rows = RowBuf::new(m);
+    rows.push(0, &vec![0u32; m]);
+    for id in 1..n as RecordId {
+        let combo: Vec<ValueId> = (0..m).map(|_| rng.gen_range(1..=k - 2)).collect();
+        rows.push(id, &combo);
+    }
+    let q = Query::new(&schema, vec![k - 1; m]).unwrap();
+    (Dataset { schema, dissim, rows, label: "hub".into() }, q)
+}
+
+fn bench_dataset(
+    label: &'static str,
+    ds: &Dataset,
+    q: &Query,
+    assert_win: bool,
+    cfg: &BenchConfig,
+) -> DatasetLine {
+    let points = ENGINES
+        .iter()
+        .map(|&name| {
+            let mut disk = Disk::new_mem(cfg.page_size);
+            // Hub shapes: whole batch tree in memory (see module docs).
+            let budget = if assert_win {
+                MemoryBudget::from_bytes(ds.data_bytes() * 8, cfg.page_size).unwrap()
+            } else {
+                MemoryBudget::from_percent(ds.data_bytes(), MEM_PCT, cfg.page_size).unwrap()
+            };
+            let raw = load_dataset(&mut disk, ds).unwrap();
+            let layout = layout_for(name, 4).unwrap();
+            let prepared = prepare_table(&mut disk, &ds.schema, &raw, layout, &budget).unwrap();
+            let engine = engine_by_name(name, &ds.schema, 1).unwrap();
+
+            let mut wall = Duration::ZERO;
+            let mut stats = RunStats::default();
+            let mut ids = Vec::new();
+            for _ in 0..cfg.queries {
+                let mut ctx =
+                    EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+                let t0 = Instant::now();
+                let run = engine.run(&mut ctx, &prepared.file, q).unwrap();
+                wall += t0.elapsed();
+                stats.merge(&run.stats);
+                ids = run.ids;
+            }
+            if assert_win {
+                assert_eq!(
+                    stats.phase1_batches,
+                    cfg.queries,
+                    "{label}/{name}: hub datasets must run phase 1 in one batch"
+                );
+            }
+            Point { engine: name, wall: wall / cfg.queries.max(1) as u32, stats, ids }
+        })
+        .collect();
+    DatasetLine { label, n: ds.len(), assert_win, points }
+}
+
+fn counters_json(s: &RunStats) -> String {
+    format!(
+        "{{\"tree_nodes_visited\": {}, \"dist_checks\": {}, \"query_dist_checks\": {}, \
+         \"obj_comparisons\": {}, \"seq_io\": {}, \"rand_io\": {}}}",
+        s.tree_nodes_visited,
+        s.dist_checks,
+        s.query_dist_checks,
+        s.obj_comparisons,
+        s.io.sequential(),
+        s.io.random()
+    )
+}
+
+fn render_json(lines: &[DatasetLine], cfg: &BenchConfig) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"bftree_scaling\",\n");
+    s.push_str(&format!("  \"queries\": {},\n", cfg.queries));
+    s.push_str("  \"datasets\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        let visits: Vec<u64> = l.points.iter().map(|p| p.stats.tree_nodes_visited).collect();
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"result_size\": {}, \
+             \"visit_ratio\": {:.4}, \"engines\": [",
+            l.label,
+            l.n,
+            l.points[0].ids.len(),
+            visits[1] as f64 / visits[0].max(1) as f64
+        ));
+        for (j, p) in l.points.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"engine\": \"{}\", \"mean_ms\": {:.3}, \"counters\": {}}}{}",
+                p.engine,
+                p.wall.as_secs_f64() * 1e3,
+                counters_json(&p.stats),
+                if j + 1 < l.points.len() { ", " } else { "" }
+            ));
+        }
+        s.push_str(&format!("]}}{}\n", if i + 1 < lines.len() { "," } else { "" }));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

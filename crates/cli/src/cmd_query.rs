@@ -19,7 +19,7 @@ Computes the reverse skyline of the query object over the dataset.
 OPTIONS:
     --data DIR        dataset directory from `rsky generate`     (required)
     --query V,V,…     query value ids, one per attribute         (required)
-    --algo A          naive | brs | srs | trs | tsrs | ttrs      [trs]
+    --algo A          naive | brs | srs | trs | trs-bf | tsrs | ttrs [trs]
     --threads N       worker threads for brs/srs/trs/tsrs/ttrs   [1]
                       (0 = one per core; N > 1 uses the parallel
                       engines; same results either way)

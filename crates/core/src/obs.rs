@@ -178,6 +178,12 @@ pub mod names {
     pub const QCACHE_BUILD_CHECKS: &str = "qcache.build_checks";
     /// Histogram: time a TRS-P worker waited on the shared tree loader (µs).
     pub const PAR_BATCH_WAIT_US: &str = "par.batch.wait_us";
+    /// Counter: nodes the best-first TRS engine pushed onto its priority
+    /// queue during phase-1 traversals.
+    pub const BF_HEAP_PUSHES: &str = "trs-bf.heap.pushes";
+    /// Counter: whole subtrees the best-first TRS engine discarded by a
+    /// group-level kill before descending into them.
+    pub const BF_GROUP_KILLS: &str = "trs-bf.group.kills";
 }
 
 // ---------------------------------------------------------------------------

@@ -74,6 +74,11 @@ pub struct RunStats {
     /// Object-vs-object pruning attempts (pairs for which at least one
     /// attribute was compared).
     pub obj_comparisons: u64,
+    /// AL-Tree nodes examined by tree-based engines: stack pops of the
+    /// group-level walks (Alg. 4/5) plus, for the best-first variant, every
+    /// priority-queue pop and verification-walk step. Zero for engines that
+    /// never touch a tree; the best-first fixtures compare engines on it.
+    pub tree_nodes_visited: u64,
     /// Page-IO counters accumulated over the whole run.
     pub io: IoCounts,
     /// Objects surviving phase one (the paper's intermediate result `R`).
@@ -115,6 +120,7 @@ impl RunStats {
             dist_checks,
             query_dist_checks,
             obj_comparisons,
+            tree_nodes_visited,
             io,
             phase1_survivors,
             phase1_batches,
@@ -127,6 +133,7 @@ impl RunStats {
         self.dist_checks += dist_checks;
         self.query_dist_checks += query_dist_checks;
         self.obj_comparisons += obj_comparisons;
+        self.tree_nodes_visited += tree_nodes_visited;
         self.io.add(*io);
         self.phase1_survivors += phase1_survivors;
         self.phase1_batches += phase1_batches;
@@ -170,6 +177,7 @@ mod tests {
             dist_checks: 10,
             query_dist_checks: 3,
             obj_comparisons: 7,
+            tree_nodes_visited: 6,
             io: IoCounts { seq_reads: 1, rand_reads: 2, seq_writes: 3, rand_writes: 4 },
             phase1_survivors: 5,
             phase1_batches: 2,
@@ -183,6 +191,7 @@ mod tests {
             dist_checks: 100,
             query_dist_checks: 30,
             obj_comparisons: 70,
+            tree_nodes_visited: 60,
             io: IoCounts { seq_reads: 10, rand_reads: 20, seq_writes: 30, rand_writes: 40 },
             phase1_survivors: 50,
             phase1_batches: 20,
@@ -197,6 +206,7 @@ mod tests {
         assert_eq!(m.dist_checks, 110);
         assert_eq!(m.query_dist_checks, 33);
         assert_eq!(m.obj_comparisons, 77);
+        assert_eq!(m.tree_nodes_visited, 66);
         assert_eq!(
             m.io,
             IoCounts { seq_reads: 11, rand_reads: 22, seq_writes: 33, rand_writes: 44 }
@@ -216,6 +226,7 @@ mod tests {
             dist_checks: 9,
             query_dist_checks: 2,
             obj_comparisons: 5,
+            tree_nodes_visited: 11,
             io: IoCounts { seq_reads: 4, rand_reads: 3, seq_writes: 2, rand_writes: 1 },
             phase1_survivors: 8,
             phase1_batches: 3,
@@ -230,6 +241,7 @@ mod tests {
         assert_eq!(m.dist_checks, a.dist_checks);
         assert_eq!(m.query_dist_checks, a.query_dist_checks);
         assert_eq!(m.obj_comparisons, a.obj_comparisons);
+        assert_eq!(m.tree_nodes_visited, a.tree_nodes_visited);
         assert_eq!(m.io, a.io);
         assert_eq!(m.phase1_survivors, a.phase1_survivors);
         assert_eq!(m.phase1_batches, a.phase1_batches);

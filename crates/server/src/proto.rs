@@ -18,7 +18,7 @@ pub enum Request {
     /// Reverse-skyline query: `{"op":"query","engine":"trs","values":[..]}`
     /// with optional `"subset"` (attribute indices) and `"deadline_ms"`.
     Query {
-        /// Engine name (`naive | brs | srs | trs | tsrs | ttrs`).
+        /// Engine name (`naive | brs | srs | trs | trs-bf | tsrs | ttrs`).
         engine: String,
         /// Query value ids, one per schema attribute.
         values: Vec<ValueId>,

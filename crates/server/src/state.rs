@@ -402,7 +402,7 @@ mod tests {
         let mut worker = WorkerState::new(64, 50.0, 4).unwrap();
 
         let v1 = state.current();
-        for engine in ["naive", "brs", "srs", "trs", "tsrs", "ttrs"] {
+        for engine in ["naive", "brs", "srs", "trs", "trs-bf", "tsrs", "ttrs"] {
             let run = worker.run_query(&v1, engine, 1, &q).unwrap();
             let expect = rsky_core::skyline::reverse_skyline_by_definition(
                 &v1.dataset.dissim,

@@ -73,7 +73,7 @@ const FALLBACK_TILES: u32 = 4;
 /// recomputes and the query key (values + optional attribute subset).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewSpec {
-    /// Engine used for fallback recomputes (`naive|brs|srs|trs|tsrs|ttrs`).
+    /// Engine used for fallback recomputes (`naive|brs|srs|trs|trs-bf|tsrs|ttrs`).
     pub engine: String,
     /// Query values, one per schema attribute.
     pub values: Vec<ValueId>,

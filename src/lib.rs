@@ -75,7 +75,7 @@ pub mod prelude {
     pub use rsky_algos::kernels::{with_mode, KernelMode};
     pub use rsky_algos::{
         engine_by_name, layout_for, Brs, EngineCtx, Naive, ParBrs, ParSrs, ParTrs,
-        ReverseSkylineAlgo, RsRun, SharedQueryCache, Srs, Trs,
+        ReverseSkylineAlgo, RsRun, SharedQueryCache, Srs, Trs, TrsBf,
     };
     pub use rsky_core::dataset::Dataset;
     pub use rsky_core::dissim::FlatDissim;

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsky::prelude::*;
 
-/// Runs all six engine/layout combinations and asserts equality with the
+/// Runs all eight engine/layout combinations and asserts equality with the
 /// oracle.
 fn assert_all_engines(ds: &Dataset, q: &Query, page: usize, mem_pct: f64) {
     let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, q);
@@ -18,14 +18,17 @@ fn assert_all_engines(ds: &Dataset, q: &Query, page: usize, mem_pct: f64) {
         prepare_table(&mut disk, &ds.schema, &raw, Layout::Tiled { tiles_per_attr: 3 }, &budget)
             .unwrap();
     let trs = Trs::for_schema(&ds.schema);
+    let bf = TrsBf::for_schema(&ds.schema);
 
     let runs: Vec<(&str, Vec<u32>)> = vec![
         ("Naive", run(&Naive, &mut disk, ds, &raw, q, budget)),
         ("BRS", run(&Brs, &mut disk, ds, &raw, q, budget)),
         ("SRS", run(&Srs, &mut disk, ds, &sorted.file, q, budget)),
         ("TRS", run(&trs, &mut disk, ds, &sorted.file, q, budget)),
+        ("TRS-BF", run(&bf, &mut disk, ds, &sorted.file, q, budget)),
         ("T-SRS", run(&Srs, &mut disk, ds, &tiled.file, q, budget)),
         ("T-TRS", run(&trs, &mut disk, ds, &tiled.file, q, budget)),
+        ("T-TRS-BF", run(&bf, &mut disk, ds, &tiled.file, q, budget)),
     ];
     for (name, ids) in runs {
         assert_eq!(

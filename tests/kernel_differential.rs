@@ -16,12 +16,13 @@ use rand::SeedableRng;
 use rsky::core::stats::RunStats;
 use rsky::prelude::*;
 
-/// All ten engine configurations (mirrors tests/shard_differential.rs).
+/// All eleven engine configurations (mirrors tests/shard_differential.rs).
 const ENGINE_CONFIGS: &[(&str, usize)] = &[
     ("naive", 1),
     ("brs", 1),
     ("srs", 1),
     ("trs", 1),
+    ("trs-bf", 1),
     ("brs", 2),
     ("brs", 5),
     ("srs", 2),
@@ -63,6 +64,7 @@ fn assert_counters_eq(a: &RunStats, b: &RunStats, exact_io: bool, label: &str) {
     assert_eq!(a.dist_checks, b.dist_checks, "{label}: dist_checks");
     assert_eq!(a.query_dist_checks, b.query_dist_checks, "{label}: query_dist_checks");
     assert_eq!(a.obj_comparisons, b.obj_comparisons, "{label}: obj_comparisons");
+    assert_eq!(a.tree_nodes_visited, b.tree_nodes_visited, "{label}: tree_nodes_visited");
     if exact_io {
         assert_eq!(a.io, b.io, "{label}: io");
     } else {
@@ -160,7 +162,7 @@ fn sharded_modes_agree_including_empty_shards() {
     let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, &q);
     // 8 shards over 60 records keeps every shard small; the paper example
     // below additionally covers shards with zero rows.
-    for (engine, threads) in [("brs", 1), ("trs", 1), ("srs", 2)] {
+    for (engine, threads) in [("brs", 1), ("trs", 1), ("trs-bf", 1), ("srs", 2)] {
         for k in [1usize, 3, 8] {
             let label = format!("{engine}×{threads} k={k}");
             let mut runs = Vec::new();
@@ -217,7 +219,7 @@ mod property {
             seed in 0u64..1_000_000,
             n in 1usize..70,
             m in 1usize..=4,
-            engine_idx in 0usize..10,
+            engine_idx in 0usize..11,
         ) {
             let mut rng = StdRng::seed_from_u64(seed);
             let ds = rsky::data::synthetic::normal_dataset(m, 5, n, &mut rng).unwrap();

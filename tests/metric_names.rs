@@ -98,8 +98,12 @@ fn canonical_name_constants_are_pairwise_distinct() {
     // in a refactor is a contract break, not a cleanup.
     // Same for the view-maintenance surface: the delta/fallback counters
     // are what lets an operator tell incremental maintenance from silent
-    // full recomputes.
+    // full recomputes. And for the best-first search counters: heap pushes
+    // and group kills are the only external signal that the bound ordering
+    // is actually cutting subtrees.
     for required in [
+        "trs-bf.heap.pushes",
+        "trs-bf.group.kills",
         "shard.exchange.pruners",
         "shard.phase2.candidates.pre",
         "shard.phase2.candidates.post",

@@ -172,6 +172,11 @@ fn assert_contract(
         Some(s.phase2_batches as u64),
         "run span phase2_batches ({ctx})"
     );
+    assert_eq!(
+        r.field("tree_nodes_visited"),
+        Some(s.tree_nodes_visited),
+        "run span tree_nodes_visited ({ctx})"
+    );
     assert_eq!(r.field("result_size"), Some(run.ids.len() as u64), "run span result_size ({ctx})");
     assert_eq!(r.field("seq_reads"), Some(s.io.seq_reads), "run span seq_reads ({ctx})");
     assert_eq!(r.field("rand_reads"), Some(s.io.rand_reads), "run span rand_reads ({ctx})");
@@ -208,13 +213,15 @@ fn exercise_dataset(ds: &Dataset, page: usize, mem_pct: f64) {
     let budget = MemoryBudget::from_percent(ds.data_bytes(), mem_pct, page).unwrap();
     let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
     let trs = Trs::for_schema(&ds.schema);
+    let bf = TrsBf::for_schema(&ds.schema);
 
     let mut ids = Vec::new();
-    let seq: [(&dyn ReverseSkylineAlgo, &str, &RecordFile); 4] = [
+    let seq: [(&dyn ReverseSkylineAlgo, &str, &RecordFile); 5] = [
         (&Naive, "naive", &raw),
         (&Brs, "brs", &raw),
         (&Srs, "srs", &sorted.file),
         (&trs, "trs", &sorted.file),
+        (&bf, "trs-bf", &sorted.file),
     ];
     for (engine, prefix, table) in seq {
         let run = assert_contract(engine, prefix, ds, table, &q, &mut disk, budget, false);
@@ -272,6 +279,43 @@ fn contract_holds_on_both_kernel_paths() {
     let ds = rsky::data::synthetic::uniform_dataset(3, 5, 120, &mut rng).unwrap();
     with_mode(KernelMode::Scalar, || exercise_dataset(&ds, 64, 8.0));
     with_mode(KernelMode::Batched, || exercise_dataset(&ds, 64, 8.0));
+}
+
+/// Beyond the generic contract (covered above), the best-first engine's
+/// extra telemetry must reconcile: the per-batch `tree_nodes_visited` deltas
+/// tile the run total, and the `trs-bf.heap.pushes` / `trs-bf.group.kills`
+/// registry counters repeat the phase-1 span's summary fields exactly.
+#[test]
+fn best_first_span_deltas_and_counters_reconcile() {
+    let mut rng = StdRng::seed_from_u64(1010);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 160, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let mut disk = Disk::new_mem(128);
+    let raw = load_dataset(&mut disk, &ds).unwrap();
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), 6.0, 128).unwrap();
+    let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+    let bf = TrsBf::for_schema(&ds.schema);
+
+    let sink = MemorySink::new();
+    let run = obs::with_recorder(sink.handle(), || {
+        let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        bf.run(&mut ctx, &sorted.file, &q).unwrap()
+    });
+    let s = &run.stats;
+    assert!(s.tree_nodes_visited > 0, "best-first run visited no tree nodes");
+    assert_eq!(
+        sink.sum_field("trs-bf.phase1.batch", "tree_nodes_visited")
+            + sink.sum_field("trs-bf.phase2.batch", "tree_nodes_visited"),
+        s.tree_nodes_visited,
+        "batch tree_nodes_visited deltas don't tile the total"
+    );
+    let p1 = sink.spans_ending_with("trs-bf.phase1");
+    assert_eq!(p1.len(), 1, "exactly one phase-1 span");
+    let pushes = sink.registry().counter("trs-bf.heap.pushes");
+    let kills = sink.registry().counter("trs-bf.group.kills");
+    assert!(pushes > 0, "phase 1 never pushed a bound");
+    assert_eq!(p1[0].field("heap_pushes"), Some(pushes), "heap_pushes field vs counter");
+    assert_eq!(p1[0].field("group_kills"), Some(kills), "group_kills field vs counter");
 }
 
 /// Cancellation mid-run (the serving layer's deadline path) must leave the
@@ -338,6 +382,41 @@ fn cancellation_mid_run_keeps_contract_and_disk_intact() {
     assert!(matches!(err, rsky::core::error::Error::Cancelled(_)), "parallel: {err}");
     let run = assert_contract(&par, "trs-p", &ds, &sorted.file, &q, &mut disk, budget, true);
     assert_eq!(run.ids, baseline.ids, "post-cancel parallel run changed the result");
+
+    // Best-first twin: mid-traversal cancellation (the heap-driven phase 1
+    // polls at batch tops, phase 2 at chunk and batch boundaries) must leave
+    // the same disk reusable and the rerun bit-identical.
+    let bf = TrsBf::for_schema(&ds.schema);
+    let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+    let bf_baseline = bf.run(&mut ctx, &sorted.file, &q).unwrap();
+    assert_eq!(bf_baseline.ids, baseline.ids, "best-first baseline disagrees with TRS");
+    assert!(
+        bf_baseline.stats.phase1_batches + bf_baseline.stats.phase2_batches >= 3,
+        "need a multi-batch best-first run for a mid-run cancel"
+    );
+    let sink = MemorySink::new();
+    let err = obs::with_recorder(sink.handle(), || {
+        cancel::with_token(CancelToken::after_checks(2), || {
+            let mut ctx =
+                EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+            bf.run(&mut ctx, &sorted.file, &q).unwrap_err()
+        })
+    });
+    assert!(matches!(err, rsky::core::error::Error::Cancelled(_)), "best-first: {err}");
+    let cancelled =
+        sink.span_count("trs-bf.phase1.batch") + sink.span_count("trs-bf.phase2.batch");
+    assert!(cancelled <= 2, "token fired after 2 polls, saw {cancelled} batches");
+    assert!(
+        cancelled < bf_baseline.stats.phase1_batches + bf_baseline.stats.phase2_batches,
+        "cancellation must cut the best-first run short"
+    );
+    // Every batch span that did close carries its visit delta — no
+    // half-written spans from an abandoned traversal.
+    for span in sink.spans_ending_with("trs-bf.phase1.batch") {
+        assert!(span.field("tree_nodes_visited").is_some(), "half-written batch span: {span:?}");
+    }
+    let run = assert_contract(&bf, "trs-bf", &ds, &sorted.file, &q, &mut disk, budget, false);
+    assert_eq!(run.ids, baseline.ids, "post-cancel best-first run changed the result");
 }
 
 /// An already-expired deadline cancels every engine before real work
@@ -353,12 +432,14 @@ fn expired_deadline_cancels_all_engines_up_front() {
     let budget = MemoryBudget::from_percent(ds.data_bytes(), 50.0, disk.page_size()).unwrap();
     let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
     let trs = Trs::for_schema(&ds.schema);
+    let bf = TrsBf::for_schema(&ds.schema);
     let par_trs = ParTrs::for_schema(&ds.schema, 2);
-    let engines: [(&dyn ReverseSkylineAlgo, &RecordFile); 6] = [
+    let engines: [(&dyn ReverseSkylineAlgo, &RecordFile); 7] = [
         (&Naive, &raw),
         (&Brs, &raw),
         (&Srs, &sorted.file),
         (&trs, &sorted.file),
+        (&bf, &sorted.file),
         (&ParBrs { threads: 2 }, &raw),
         (&par_trs, &sorted.file),
     ];
@@ -694,11 +775,13 @@ fn served_requests_trace_as_single_rooted_trees() {
     let mut client = Client::connect(handle.local_addr()).unwrap();
     let reply = client.send(r#"{"op":"query","engine":"trs","values":[1,1,1]}"#).unwrap();
     assert!(reply.contains("\"ok\":true"), "{reply}");
+    let reply = client.send(r#"{"op":"query","engine":"trs-bf","values":[1,1,1]}"#).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
     let reply = client.send(r#"{"op":"influence","queries":4,"seed":9,"top":2}"#).unwrap();
     assert!(reply.contains("\"ok\":true"), "{reply}");
 
     // Prometheus exposition over the wire: valid text with queue-wait
-    // quantiles (the two pooled requests above recorded waits).
+    // quantiles (the three pooled requests above recorded waits).
     let reply = client.send(r#"{"op":"metrics","format":"prometheus"}"#).unwrap();
     assert!(reply.contains("\"format\":\"prometheus\""), "{reply}");
     for needle in
@@ -707,12 +790,12 @@ fn served_requests_trace_as_single_rooted_trees() {
         assert!(reply.contains(needle), "prometheus body missing {needle}: {reply}");
     }
 
-    // Slowlog over the wire: with a 1µs threshold both pooled requests are
+    // Slowlog over the wire: with a 1µs threshold every pooled request is
     // slow, and each retained entry carries its complete span tree.
     let reply = client.send(r#"{"op":"slowlog"}"#).unwrap();
     let v = json::parse(&reply).unwrap_or_else(|e| panic!("bad slowlog reply {reply:?}: {e}"));
     let entries = v.get("entries").and_then(JsonValue::as_arr).expect("entries array");
-    assert_eq!(entries.len(), 2, "both pooled requests cross the 1µs threshold");
+    assert_eq!(entries.len(), 3, "all pooled requests cross the 1µs threshold");
     for e in entries {
         let spans = e.get("spans").and_then(JsonValue::as_arr).expect("spans array");
         assert!(!spans.is_empty(), "slowlog entry without spans");
@@ -737,23 +820,27 @@ fn served_requests_trace_as_single_rooted_trees() {
         .values()
         .filter(|t| t.iter().any(|s| s.name.ends_with("server.request")))
         .collect();
-    assert_eq!(request_traces.len(), 2, "one trace per pooled request");
+    assert_eq!(request_traces.len(), 3, "one trace per pooled request");
     for t in &request_traces {
         let root = assert_single_trace_tree(t, true, "served request");
         assert!(root.name.ends_with("server.request"), "request trace rooted at {}", root.name);
     }
 
-    // The sharded query's trace spans every layer of the system.
-    let query_trace = request_traces
-        .iter()
-        .find(|t| t.iter().any(|s| s.name.ends_with("shard.run")))
-        .expect("no sharded query trace");
-    for needle in ["server.request", "shard.run", "shard.phase1.local", "shard.phase2.verify", "trs.run"]
-    {
-        assert!(
-            query_trace.iter().any(|s| s.name.ends_with(needle)),
-            "query trace missing a {needle} span"
-        );
+    // Each sharded query's trace spans every layer of the system — the
+    // best-first engine roots under the same server → shard layering as TRS.
+    for engine_run in ["trs.run", "trs-bf.run"] {
+        let query_trace = request_traces
+            .iter()
+            .find(|t| t.iter().any(|s| s.name.ends_with(engine_run)))
+            .unwrap_or_else(|| panic!("no sharded query trace for {engine_run}"));
+        for needle in
+            ["server.request", "shard.run", "shard.phase1.local", "shard.phase2.verify", engine_run]
+        {
+            assert!(
+                query_trace.iter().any(|s| s.name.ends_with(needle)),
+                "query trace missing a {needle} span"
+            );
+        }
     }
     // The influence request's trace reaches the per-query influence spans.
     let infl_trace = request_traces

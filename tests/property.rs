@@ -79,11 +79,45 @@ proptest! {
         let budget = MemoryBudget::from_percent(ds.data_bytes().max(1), pct, page).unwrap();
         let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
         let trs = Trs::for_schema(&ds.schema);
+        let bf = TrsBf::for_schema(&ds.schema);
 
         let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
         prop_assert_eq!(&Brs.run(&mut ctx, &raw, &q).unwrap().ids, &expect);
         prop_assert_eq!(&Srs.run(&mut ctx, &sorted.file, &q).unwrap().ids, &expect);
         prop_assert_eq!(&trs.run(&mut ctx, &sorted.file, &q).unwrap().ids, &expect);
+        prop_assert_eq!(&bf.run(&mut ctx, &sorted.file, &q).unwrap().ids, &expect);
+    }
+
+    /// The best-first queue's heap invariant: however entries are pushed —
+    /// including interleaved with pops — the popped bound sequence is
+    /// non-increasing, and equal bounds pop in ascending node order.
+    #[test]
+    fn bound_heap_pops_non_increasing(
+        entries in proptest::collection::vec((0u32..1000, 0usize..=100, proptest::bool::ANY), 1..80),
+    ) {
+        use rsky::algos::BoundHeap;
+        let mut heap = BoundHeap::default();
+        let mut popped: Vec<(f64, u32)> = Vec::new();
+        for (node, bound_scaled, pop_now) in entries {
+            heap.push(bound_scaled as f64 / 10.0, node);
+            if pop_now {
+                // Interleaved pops restart the monotone run; check ties only
+                // within one drain below.
+                heap.pop();
+            }
+        }
+        while let Some(e) = heap.pop() {
+            popped.push(e);
+        }
+        prop_assert!(heap.is_empty());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 >= w[1].0, "bound increased: {:?} then {:?}", w[0], w[1]);
+            if w[0].0 == w[1].0 {
+                // `<=` not `<`: the generator may push the same (bound, node)
+                // entry twice, and duplicates pop adjacently.
+                prop_assert!(w[0].1 <= w[1].1, "tie broke out of node order: {:?} then {:?}", w[0], w[1]);
+            }
+        }
     }
 
     /// Both oracle formulations (no-pruner and Q-in-skyline) coincide.

@@ -21,7 +21,7 @@ use rsky::server::json::{self, JsonValue};
 use rsky::server::server::resolve_threads;
 use rsky::server::{Client, Server, ServerConfig};
 
-const ENGINES: [&str; 6] = ["naive", "brs", "srs", "trs", "tsrs", "ttrs"];
+const ENGINES: [&str; 7] = ["naive", "brs", "srs", "trs", "trs-bf", "tsrs", "ttrs"];
 
 fn small_dataset(seed: u64, n: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -40,13 +40,14 @@ const SLACK: u64 = 4;
 /// meaningless.
 const FLOOR: u64 = 64;
 
-/// All ten engine configurations the scatter-gather layer accepts: the four
-/// sequential engines plus the three parallel ones at two thread counts.
+/// All eleven engine configurations the scatter-gather layer accepts: the
+/// five sequential engines plus the three parallel ones at two thread counts.
 const ENGINE_CONFIGS: &[(&str, usize)] = &[
     ("naive", 1),
     ("brs", 1),
     ("srs", 1),
     ("trs", 1),
+    ("trs-bf", 1),
     ("brs", 2),
     ("brs", 5),
     ("srs", 2),
@@ -409,7 +410,7 @@ fn skewed_partition_one_shard_owns_the_whole_skyline() {
     let subset_len = q.subset.len() as u64;
     for mode in [KernelMode::Scalar, KernelMode::Batched] {
         with_mode(mode, || {
-            for &(engine, threads) in &[("naive", 1), ("brs", 1), ("srs", 5), ("trs", 2)] {
+            for &(engine, threads) in &[("naive", 1), ("brs", 1), ("srs", 5), ("trs", 2), ("trs-bf", 1)] {
                 let label = format!("skewed {engine}×{threads} {mode:?}");
                 let single = single_node(&ds, &q, engine, threads, 12.0, 128);
                 assert_eq!(single.ids, expect, "{label}: single-node vs oracle");
@@ -455,7 +456,7 @@ fn hash_policy_pathological_all_records_land_in_one_shard() {
     let expect = reverse_skyline_by_definition(&ds.dissim, &ds.rows, &q);
     for mode in [KernelMode::Scalar, KernelMode::Batched] {
         with_mode(mode, || {
-            for &(engine, threads) in &[("naive", 1), ("srs", 1), ("trs", 2), ("brs", 5)] {
+            for &(engine, threads) in &[("naive", 1), ("srs", 1), ("trs", 2), ("trs-bf", 1), ("brs", 5)] {
                 let label = format!("hash-pathological {engine}×{threads} {mode:?}");
                 let mut tables = ShardedTables::new(&ds, spec, 12.0, 128, 3).unwrap();
                 let run = tables.run_query(engine, threads, &q).unwrap();
@@ -527,7 +528,7 @@ mod property {
             n in 20usize..90,
             k in 1usize..=8,
             use_hash in proptest::bool::ANY,
-            engine_idx in 0usize..10,
+            engine_idx in 0usize..11,
             scalar in proptest::bool::ANY,
             budget_raw in 0usize..12,
         ) {

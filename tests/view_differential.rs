@@ -31,7 +31,7 @@ use rsky::prelude::*;
 use rsky::view::{MaterializedView, ViewSpec};
 use rsky_storage::{MutationEvent, MutationKind};
 
-const ENGINES: &[&str] = &["naive", "brs", "srs", "trs", "tsrs", "ttrs"];
+const ENGINES: &[&str] = &["naive", "brs", "srs", "trs", "trs-bf", "tsrs", "ttrs"];
 const PART_COUNTS: &[Option<usize>] = &[None, Some(2), Some(3)];
 const MODES: &[KernelMode] = &[KernelMode::Scalar, KernelMode::Batched];
 
@@ -305,7 +305,7 @@ proptest! {
         n in 5usize..50,
         vals in 3u32..9,
         muts in 20u64..60,
-        engine_at in 0usize..6,
+        engine_at in 0usize..7,
         parts_at in 0usize..4,
     ) {
         let engine = ENGINES[engine_at];
