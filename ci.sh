@@ -29,6 +29,12 @@ full() {
     echo "=== smoke: observability overhead bench ==="
     RSKY_SCALE=0.05 cargo bench -p rsky-bench --bench obs_overhead
     test -s BENCH_obs.json
+    echo "=== smoke: telemetry sampler + profile-fold bench (hard timeout) ==="
+    # Asserts windowed rates reconcile with the per-tick increments and
+    # that the sampler's p99 tick stays under the 200 µs budget, then
+    # merges a "timeseries" member into BENCH_obs.json.
+    RSKY_SCALE=0.05 timeout 300 cargo bench -p rsky-bench --bench obs_timeseries
+    grep -q '"timeseries"' BENCH_obs.json
     echo "=== smoke: kernel micro-bench (scalar vs batched differential) ==="
     # Tiny scale: the run itself asserts ids and every counter are identical
     # across the two kernel modes and writes BENCH_kernels.json.

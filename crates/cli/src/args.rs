@@ -13,7 +13,7 @@ pub struct Flags {
 }
 
 /// Flag names that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["explain", "file-backend", "keep-ids", "test-ops"];
+const SWITCHES: &[&str] = &["explain", "file-backend", "keep-ids", "test-ops", "tree"];
 
 impl Flags {
     /// Parses `--key value` pairs and bare switches.

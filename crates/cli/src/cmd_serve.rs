@@ -15,11 +15,18 @@ Serves reverse-skyline queries over TCP, speaking newline-delimited JSON.
 Send {\"op\":\"shutdown\"} to stop: the server drains in-flight requests,
 answers each one, and exits.
 
-Ops: query, influence, insert, expire, health, metrics, slowlog, shutdown.
-The metrics op takes an optional \"format\": \"json\" (default) or
-\"prometheus\" (text exposition in the \"body\" member). With
+Ops: query, influence, insert, expire, health, metrics, timeseries,
+slowlog, shutdown. The metrics op takes an optional \"format\": \"json\"
+(default) or \"prometheus\" (text exposition in the \"body\" member;
+\"buckets\": true adds cumulative histogram buckets). With
 --slow-request-us set, requests slower than the threshold retain their
-complete span tree in a ring dumped by the slowlog op.
+complete span tree — and a computed self-time profile — in a ring dumped
+by the slowlog op ({\"op\":\"slowlog\",\"clear\":true} also empties it).
+A sampler thread snapshots every metric into a time-series ring each
+--sample-interval-ms and evaluates the SLO health rules against it;
+{\"op\":\"health\",\"detail\":true} returns the full report and
+{\"op\":\"timeseries\",\"metric\":N} windowed rates/quantiles (see
+`rsky top` for a live console).
 Example session (one request per line):
     {\"op\":\"query\",\"engine\":\"trs\",\"values\":[3,17,25],\"deadline_ms\":250}
     {\"op\":\"health\"}
@@ -44,7 +51,13 @@ OPTIONS:
     --slow-request-us US  capture span trees of requests slower than
                         US microseconds (0 = off)                 [0]
     --slowlog-cap N     slow-request ring capacity                [16]
-    --test-ops          enable test-only ops (sleep) — e2e only
+    --sample-interval-ms MS  telemetry sampling period; 0 disables
+                        the sampler thread                        [1000]
+    --ts-cap N          time-series ring capacity (samples kept)  [512]
+    --health-rules S    override SLO thresholds: comma-separated
+                        rule=warn:critical pairs, e.g.
+                        shed_rate=1:10,request_p99_us=1e5:1e6     [defaults]
+    --test-ops          enable test-only ops (sleep, tick) — e2e only
     --trace-out FILE    stream span/counter events to FILE as JSONL";
 
 pub fn run(argv: &[String]) -> Result<()> {
@@ -68,6 +81,10 @@ pub fn run(argv: &[String]) -> Result<()> {
         enable_test_ops: flags.switch("test-ops"),
         slow_request_us: flags.num("slow-request-us", 0)?,
         slowlog_cap: flags.num("slowlog-cap", 16)?,
+        sample_interval_ms: flags.num("sample-interval-ms", 1000)?,
+        ts_capacity: flags.num("ts-cap", 512)?,
+        health_rules: flags.get("health-rules").map(str::to_string),
+        clock: None,
     };
     let workers = resolve_threads(config.workers);
     let handle = Server::start(config, ds)?;

@@ -18,10 +18,12 @@ mod cmd_demo;
 mod cmd_generate;
 mod cmd_influence;
 mod cmd_info;
+mod cmd_profile;
 mod cmd_query;
 mod cmd_serve;
 mod cmd_skyline;
 mod cmd_subscribe;
+mod cmd_top;
 mod cmd_trace;
 mod obs_setup;
 
@@ -44,6 +46,8 @@ COMMANDS:
     serve       serve queries over TCP (admission control, deadlines, cache)
     subscribe   stream +id/-id delta frames for a query from a server
     trace       render the span trees from a --trace-out JSONL file
+    profile     fold a trace file or a server's slowlog into a self-time profile
+    top         live telemetry console against a running server
     help        show this message, or details for one command
 
 Run `rsky help <command>` for per-command options.";
@@ -66,6 +70,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve::run(rest),
         "subscribe" => cmd_subscribe::run(rest),
         "trace" => cmd_trace::run(rest),
+        "profile" => cmd_profile::run(rest),
+        "top" => cmd_top::run(rest),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("generate") => println!("{}", cmd_generate::HELP),
@@ -77,6 +83,8 @@ fn main() -> ExitCode {
                 Some("serve") => println!("{}", cmd_serve::HELP),
                 Some("subscribe") => println!("{}", cmd_subscribe::HELP),
                 Some("trace") => println!("{}", cmd_trace::HELP),
+                Some("profile") => println!("{}", cmd_profile::HELP),
+                Some("top") => println!("{}", cmd_top::HELP),
                 Some("demo") => println!("{}", cmd_demo::HELP),
                 _ => println!("{USAGE}"),
             }

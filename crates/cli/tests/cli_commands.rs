@@ -407,6 +407,101 @@ fn stats_json_and_trace_jsonl_reconcile() {
     let _ = std::fs::remove_dir_all(&data);
 }
 
+/// `rsky profile` over a trace file, and `rsky profile` + `rsky top`
+/// against a live server: the full telemetry loop through real processes.
+#[test]
+fn profile_and_top_round_trip() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let data = tmpdata("profile");
+    let (ok, t) = run(&[
+        "generate", "--kind", "normal", "--n", "300", "--attrs", "3", "--values", "6", "--out",
+        &data,
+    ]);
+    assert!(ok, "{t}");
+
+    // File mode: a traced query profiles into self-time rows whose paths
+    // are rooted at the run span, plus the --tree view.
+    let trace = std::env::temp_dir()
+        .join(format!("rsky-clitest-profile-{}.jsonl", std::process::id()));
+    let (ok, text) = run(&[
+        "query", "--data", &data, "--query", "2,2,2", "--algo", "trs", "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    let (ok, text) = run(&["profile", "--in", trace.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("1 trace(s)"), "{text}");
+    assert!(text.contains("self_us"), "{text}");
+    assert!(text.contains("trs.run"), "{text}");
+    let (ok, tree) = run(&["profile", "--in", trace.to_str().unwrap(), "--tree"]);
+    assert!(ok, "{tree}");
+    assert!(tree.lines().next().is_some_and(|l| l.starts_with("trs.run")), "{tree}");
+    assert!(tree.contains("\n  trs.phase1 "), "tree view indents phases: {tree}");
+    let _ = std::fs::remove_file(&trace);
+
+    // Server mode: slow-request capture feeds `profile --addr`, the
+    // sampler feeds `top --addr`.
+    let mut child = std::process::Command::new(bin())
+        .args([
+            "serve", "--data", &data, "--addr", "127.0.0.1:0", "--threads", "1",
+            "--slow-request-us", "1", "--sample-interval-ms", "25",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn rsky serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read listening banner");
+    let addr = banner
+        .trim_start_matches("listening on ")
+        .split_whitespace()
+        .next()
+        .expect("address in banner")
+        .to_string();
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |req: &str| {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim().to_string()
+    };
+    let reply = send(r#"{"op":"query","engine":"trs","values":[2,2,2]}"#);
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    // Give the 25ms sampler a few ticks so `top` sees moving windows.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    let (ok, text) = run(&["profile", "--addr", &addr]);
+    assert!(ok, "{text}");
+    assert!(text.contains("server.request"), "slowlog profile misses the request root: {text}");
+    assert!(text.contains("server.request > "), "no nested path under the request: {text}");
+
+    let (ok, text) = run(&["top", "--addr", &addr, "--frames", "1", "--window-ms", "5000"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("health: ok"), "{text}");
+    assert!(text.contains("counters (by rate):"), "{text}");
+    assert!(text.contains("server.served"), "{text}");
+    assert!(text.contains("histograms (windowed):"), "{text}");
+
+    let bye = send(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+    assert!(child.wait().expect("serve exit").success());
+
+    // Flag validation: the two sources are exclusive, and one is required.
+    let (ok, text) = run(&["profile"]);
+    assert!(!ok);
+    assert!(text.contains("--in or --addr"), "{text}");
+    let (ok, text) = run(&["profile", "--in", "x", "--addr", "y"]);
+    assert!(!ok);
+    assert!(text.contains("mutually exclusive"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&data);
+}
+
 #[test]
 fn helpful_errors() {
     let (ok, text) = run(&["frobnicate"]);

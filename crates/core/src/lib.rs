@@ -20,7 +20,13 @@
 //! * [`obs`] — structured tracing and metrics: spans with counter deltas,
 //!   pluggable [`Recorder`] sinks (no-op / in-memory / JSONL) and a
 //!   [`MetricsRegistry`], making the paper's cost model observable *during*
-//!   a run and testable after it.
+//!   a run and testable after it;
+//! * [`obs_ts`] — continuous telemetry: a fixed-capacity [`TimeSeriesRing`]
+//!   of periodic registry snapshots with windowed counter rates and
+//!   per-window histogram quantiles, driven by an injectable [`Clock`];
+//! * [`profile`] — span-derived self-time/total-time [`Profile`]s keyed by
+//!   call path, the aggregate behind `rsky profile` and per-slowlog-entry
+//!   summaries.
 //!
 //! ## The problem in one paragraph
 //!
@@ -45,6 +51,9 @@
 //! [`AttrSubset`]: query::AttrSubset
 //! [`Recorder`]: obs::Recorder
 //! [`MetricsRegistry`]: obs::MetricsRegistry
+//! [`TimeSeriesRing`]: obs_ts::TimeSeriesRing
+//! [`Clock`]: obs_ts::Clock
+//! [`Profile`]: profile::Profile
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -55,6 +64,8 @@ pub mod dissim;
 pub mod dominate;
 pub mod error;
 pub mod obs;
+pub mod obs_ts;
+pub mod profile;
 pub mod query;
 pub mod record;
 pub mod schema;
@@ -67,6 +78,8 @@ pub use dissim::{AttrDissim, DissimTable, FlatDissim};
 pub use dominate::{prunes, prunes_with_center_dists, query_center_dists};
 pub use error::{Error, Result};
 pub use obs::{JsonlSink, MemorySink, MetricsRegistry, ObsHandle, Recorder, RegistrySink, Span};
+pub use obs_ts::{Clock, ManualClock, SystemClock, TimeSeriesRing, WindowedRate};
+pub use profile::{PathStat, Profile};
 pub use query::{AttrSubset, Query};
 pub use record::{RecordId, RowBuf, ValueId};
 pub use schema::{AttrMeta, Schema};

@@ -184,6 +184,28 @@ pub mod names {
     /// Counter: whole subtrees the best-first TRS engine discarded by a
     /// group-level kill before descending into them.
     pub const BF_GROUP_KILLS: &str = "trs-bf.group.kills";
+    /// Histogram: wall time one telemetry sampling tick spent snapshotting
+    /// the registry into the time-series ring (µs). The sampler measures
+    /// itself so its own overhead is visible in the data it produces.
+    pub const OBS_SAMPLE_US: &str = "obs.sample_us";
+    /// Counter: sampling ticks the telemetry sampler has taken.
+    pub const OBS_TICKS: &str = "obs.ticks";
+    /// Gauge: distinct series the time-series ring has refused to track
+    /// because its fixed series table was full (cumulative).
+    pub const OBS_DROPPED_SERIES: &str = "obs.dropped_series";
+}
+
+/// Canonical names emitted by the SLO health evaluator
+/// (`rsky-server::health`), mirroring [`server_names`]. The health gauge is
+/// deliberately Prometheus-flavoured (`rsky_health`, no dots) so a scrape
+/// exposes it verbatim as the instance's alerting signal.
+pub mod health_names {
+    /// Gauge: overall instance health — 0 = ok, 1 = warn, 2 = critical.
+    pub const GAUGE_HEALTH: &str = "rsky_health";
+    /// Counter: health evaluations performed.
+    pub const CTR_EVALS: &str = "health.evals";
+    /// Counter: effective health-level transitions (post-hysteresis).
+    pub const CTR_TRANSITIONS: &str = "health.transitions";
 }
 
 // ---------------------------------------------------------------------------
@@ -818,6 +840,56 @@ impl HistogramSummary {
         }
     }
 
+    /// The observations accrued *since* `earlier` — the summary of what was
+    /// recorded between the two snapshots, assuming `earlier` is a prior
+    /// state of the same histogram. Bucket counts subtract saturating; if
+    /// the cumulative count regressed (the histogram was reset between the
+    /// snapshots) the whole of `self` is returned, post-reset data being
+    /// the only thing the window can still describe. `min`/`max` of the
+    /// delta are approximated from the boundaries of the surviving delta
+    /// buckets (exact per-window extremes are not retained), clamped into
+    /// the cumulative `[min, max]`.
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        if self.count < earlier.count {
+            return self.clone();
+        }
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut count = 0u64;
+        let mut lo_bucket = None;
+        let mut hi_bucket = None;
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            let d = self.buckets[i].saturating_sub(earlier.buckets[i]);
+            *slot = d;
+            count += d;
+            if d > 0 {
+                lo_bucket.get_or_insert(i);
+                hi_bucket = Some(i);
+            }
+        }
+        let bucket_lo = |i: usize| if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+        let bucket_hi =
+            |i: usize| if i == 0 { 0u64 } else { bucket_lo(i).wrapping_mul(2).wrapping_sub(1) };
+        let min = lo_bucket.map_or(0, |i| bucket_lo(i).clamp(self.min, self.max));
+        let max = hi_bucket.map_or(0, |i| bucket_hi(i).clamp(self.min, self.max));
+        Self { count, sum: self.sum.saturating_sub(earlier.sum), min, max, buckets }
+    }
+
+    /// The raw log2 bucket counts (bucket `i` counts observations of bit
+    /// length `i`; see [`HIST_BUCKETS`]). Exposed read-only for exporters.
+    pub fn bucket_counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The inclusive upper bound of bucket `i` (`0` for bucket 0, else
+    /// `2^i - 1`; bucket 64's bound wraps to exactly `u64::MAX`).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << (i - 1)).wrapping_mul(2).wrapping_sub(1)
+        }
+    }
+
     /// Estimated `q`-quantile (`q` in `[0, 1]`; 0 when empty). `q = 0.5`
     /// is the median, `q = 1.0` the (exact) maximum.
     pub fn quantile(&self, q: f64) -> u64 {
@@ -995,8 +1067,20 @@ impl MetricsRegistry {
     /// counters and gauges as single samples, histograms as summaries with
     /// `{quantile="…"}` samples plus `_sum` / `_count`. Metric names are
     /// sanitized (every character outside `[a-zA-Z0-9_:]` becomes `_`, so
-    /// `server.queue.wait_us` scrapes as `server_queue_wait_us`).
+    /// `server.queue.wait_us` scrapes as `server_queue_wait_us`). Each
+    /// family is preceded by a `# HELP` line drawn from the canonical
+    /// metric-name vocabulary (see [`help_for`]).
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_opts(false)
+    }
+
+    /// [`to_prometheus`](Self::to_prometheus) with an exposition choice for
+    /// histograms: with `buckets` set, each histogram is exported as a
+    /// native Prometheus histogram — cumulative `_bucket{le="…"}` samples at
+    /// the log2 bucket upper bounds plus `_sum`/`_count` — instead of a
+    /// quantile summary. Buckets aggregate correctly across replicas
+    /// (`sum by (le)`), which precomputed quantiles cannot.
+    pub fn to_prometheus_opts(&self, buckets: bool) -> String {
         fn prom_name(name: &str, out: &mut String) {
             for (i, c) in name.chars().enumerate() {
                 let ok = (c.is_ascii_alphanumeric() && !(i == 0 && c.is_ascii_digit()))
@@ -1016,17 +1100,22 @@ impl MetricsRegistry {
                 let _ = write!(out, "{value}");
             }
         }
+        fn help_line(s: &mut String, n: &str, raw: &str) {
+            let _ = writeln!(s, "# HELP {n} {}", help_for(raw));
+        }
         let mut s = String::new();
         let mut n = String::new();
         for (k, v) in self.counters() {
             n.clear();
             prom_name(&k, &mut n);
+            help_line(&mut s, &n, &k);
             let _ = writeln!(s, "# TYPE {n} counter");
             let _ = writeln!(s, "{n} {v}");
         }
         for (k, v) in self.gauges() {
             n.clear();
             prom_name(&k, &mut n);
+            help_line(&mut s, &n, &k);
             let _ = writeln!(s, "# TYPE {n} gauge");
             let _ = write!(s, "{n} ");
             prom_f64(v, &mut s);
@@ -1035,15 +1124,87 @@ impl MetricsRegistry {
         for (k, h) in self.histograms() {
             n.clear();
             prom_name(&k, &mut n);
-            let _ = writeln!(s, "# TYPE {n} summary");
-            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
-                let _ = writeln!(s, "{n}{{quantile=\"{label}\"}} {}", h.quantile(q));
+            help_line(&mut s, &n, &k);
+            if buckets {
+                let _ = writeln!(s, "# TYPE {n} histogram");
+                let mut cumulative = 0u64;
+                for (i, &c) in h.bucket_counts().iter().enumerate() {
+                    cumulative += c;
+                    // Only boundaries that carry data (plus the first) keep
+                    // the exposition small; cumulative counts stay correct
+                    // because skipped empty buckets change nothing.
+                    if c == 0 && i != 0 {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        s,
+                        "{n}_bucket{{le=\"{}\"}} {cumulative}",
+                        HistogramSummary::bucket_upper_bound(i)
+                    );
+                }
+                let _ = writeln!(s, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            } else {
+                let _ = writeln!(s, "# TYPE {n} summary");
+                for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
+                    let _ = writeln!(s, "{n}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                }
             }
             let _ = writeln!(s, "{n}_sum {}", h.sum);
             let _ = writeln!(s, "{n}_count {}", h.count);
         }
         s
     }
+}
+
+/// One-line HELP text for a canonical metric name, used by the Prometheus
+/// exposition. Unknown names fall back to the longest matching canonical
+/// *prefix* (the registry sink derives `{span}.{field}` series at runtime),
+/// and finally to a generic line — `# HELP` is mandatory commentary, not a
+/// contract, so a fallback is always acceptable.
+pub fn help_for(name: &str) -> &'static str {
+    const HELP: &[(&str, &str)] = &[
+        ("server.accepted", "Connections accepted by the TCP listener."),
+        ("server.served", "Requests answered successfully."),
+        ("server.shed", "Requests shed because the admission queue was full."),
+        ("server.timeout", "Requests that hit their deadline mid-run."),
+        ("server.bad_request", "Malformed or invalid requests."),
+        ("server.cache.hit", "Query results answered from the result cache."),
+        ("server.cache.miss", "Query results computed by an engine run."),
+        ("server.queue.wait_us", "Time a request waited in the admission queue (microseconds)."),
+        ("server.queue.depth", "Admission-queue depth sampled at enqueue."),
+        ("server.request", "Per-request serving-layer series derived from request spans."),
+        ("server.conn", "Per-connection serving-layer series derived from connection spans."),
+        ("server.drain", "Shutdown-drain series derived from drain spans."),
+        ("shard.exchange.pruners", "Pruners in the merged band broadcast by one exchange round."),
+        ("shard.phase2.candidates.pre", "Phase-2 candidates entering an exchange round."),
+        ("shard.phase2.candidates.post", "Phase-2 candidates surviving the exchange kill pass."),
+        ("shard", "Sharded scatter-gather executor series derived from shard spans."),
+        ("view.delta.add", "Ids added to materialized views by incremental deltas."),
+        ("view.delta.remove", "Ids evicted from materialized views by incremental deltas."),
+        ("view.fallback", "View mutations answered by a full rebuild instead of a delta."),
+        ("view.cache.hit", "Requests answered from a live materialized view."),
+        ("view.frames", "Delta/resync frames pushed to subscribers."),
+        ("view.live", "Materialized views currently live."),
+        ("view", "View-maintenance series derived from view spans."),
+        ("qcache.build_checks", "Attribute-level distance evaluations spent building query-distance caches."),
+        ("par.batch.wait_us", "Time TRS-P workers waited on the shared tree loader (microseconds)."),
+        ("trs-bf.heap.pushes", "Nodes the best-first engine pushed onto its priority queue."),
+        ("trs-bf.group.kills", "Subtrees discarded by best-first group-level kills."),
+        ("obs.sample_us", "Wall time one telemetry sampling tick took (microseconds)."),
+        ("obs.ticks", "Telemetry sampling ticks taken."),
+        ("obs.dropped_series", "Series the telemetry ring refused because its table was full."),
+        ("rsky_health", "Instance health: 0 ok, 1 warn, 2 critical."),
+        ("health.evals", "SLO health evaluations performed."),
+        ("health.transitions", "Effective health-level transitions (post-hysteresis)."),
+    ];
+    let mut best: Option<(&str, &str)> = None;
+    for &(key, text) in HELP {
+        let matches = name == key || name.starts_with(key) && name.as_bytes().get(key.len()) == Some(&b'.');
+        if matches && best.is_none_or(|(b, _)| key.len() > b.len()) {
+            best = Some((key, text));
+        }
+    }
+    best.map_or("Series emitted by rsky (no canonical help text).", |(_, text)| text)
 }
 
 /// A recorder that folds events into a [`MetricsRegistry`]: span fields
@@ -1452,7 +1613,10 @@ mod tests {
         let text = reg.to_prometheus();
         for line in text.lines() {
             if line.starts_with('#') {
-                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                assert!(
+                    line.starts_with("# TYPE ") || line.starts_with("# HELP "),
+                    "bad comment: {line}"
+                );
                 continue;
             }
             let (name_part, value) = line.rsplit_once(' ').expect(line);
@@ -1477,6 +1641,70 @@ mod tests {
         assert!(text.contains("server_queue_wait_us{quantile=\"0.99\"}"), "{text}");
         assert!(text.contains("server_queue_wait_us_sum 100"), "{text}");
         assert!(text.contains("server_queue_wait_us_count 4"), "{text}");
+        // Every family carries a HELP line, drawn from the vocabulary.
+        assert!(
+            text.contains("# HELP server_served Requests answered successfully."),
+            "{text}"
+        );
+        assert!(text.contains("# HELP server_queue_wait_us Time a request waited"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_bucket_exposition_is_cumulative() {
+        let reg = MetricsRegistry::new();
+        // Values 10 and 20 share bucket 5 (le=31); 100 lands in bucket 7
+        // (le=127).
+        for v in [10u64, 20, 100] {
+            reg.histogram_record("server.queue.wait_us", v);
+        }
+        let text = reg.to_prometheus_opts(true);
+        assert!(text.contains("# TYPE server_queue_wait_us histogram"), "{text}");
+        assert!(text.contains("server_queue_wait_us_bucket{le=\"31\"} 2"), "{text}");
+        assert!(text.contains("server_queue_wait_us_bucket{le=\"127\"} 3"), "{text}");
+        assert!(text.contains("server_queue_wait_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("server_queue_wait_us_sum 130"), "{text}");
+        assert!(text.contains("server_queue_wait_us_count 3"), "{text}");
+        assert!(!text.contains("quantile"), "bucket mode replaces the summary: {text}");
+        // Bucket counts never decrease along increasing le bounds.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= last, "non-cumulative buckets: {text}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn help_text_prefers_the_longest_canonical_prefix() {
+        assert_eq!(help_for("server.served"), "Requests answered successfully.");
+        // Runtime-derived series fall back to their span's prefix…
+        assert!(help_for("server.request.wall_us").contains("request spans"));
+        assert!(help_for("server.cache.hit.weird").contains("result cache"));
+        // …and unknown names to the generic line (never a panic).
+        assert!(help_for("bench.something").contains("no canonical help"));
+        assert_eq!(help_for("rsky_health"), "Instance health: 0 ok, 1 warn, 2 critical.");
+    }
+
+    #[test]
+    fn histogram_delta_since_isolates_the_window() {
+        let mut h = HistogramSummary::default();
+        for v in [10u64, 12] {
+            h.record(v);
+        }
+        let earlier = h.clone();
+        for v in [1000u64, 1100, 1200] {
+            h.record(v);
+        }
+        let d = h.delta_since(&earlier);
+        assert_eq!((d.count, d.sum), (3, 3300));
+        assert!(d.min >= 512 && d.max <= 2047, "delta extremes from bucket bounds: {d:?}");
+        assert!(d.quantile(0.5) >= 512, "median reflects only the window");
+        // A reset (count regression) falls back to the cumulative state.
+        let reset = earlier.delta_since(&h);
+        assert_eq!(reset, earlier);
+        // Delta against self is empty.
+        let empty = h.delta_since(&h);
+        assert_eq!((empty.count, empty.sum), (0, 0));
     }
 
     #[test]

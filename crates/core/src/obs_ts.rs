@@ -1,0 +1,594 @@
+//! Continuous telemetry: periodic metric time-series over a fixed ring.
+//!
+//! [`crate::obs::MetricsRegistry`] is a *point-in-time* aggregate — exact,
+//! but history-free. This module adds the trajectory: a [`TimeSeriesRing`]
+//! periodically snapshots every counter, gauge and histogram of a registry
+//! into a fixed-capacity ring of [`Sample`]s, from which callers derive
+//! windowed counter rates ([`TimeSeriesRing::rate`]), per-window histogram
+//! quantiles ([`TimeSeriesRing::hist_window`]) and raw point lists for
+//! dashboards.
+//!
+//! Everything is **allocation-bounded**: the ring capacity and the series
+//! (name) table are fixed at startup — a registry growing past
+//! `max_series` distinct names has the overflow *counted*
+//! ([`TimeSeriesRing::dropped_series`]) rather than stored, so a
+//! misbehaving caller cannot turn the sampler into a leak.
+//!
+//! Time comes from an injected [`Clock`], so tests drive sampling with a
+//! [`ManualClock`] and get bit-deterministic windows; production uses
+//! [`SystemClock`]. Counter resets (a cleared registry, a process handover)
+//! are handled two ways: explicitly via
+//! [`TimeSeriesRing::bump_generation`], and defensively — a counter that
+//! *decreases* between samples of one generation is treated as freshly
+//! reset, so `rate()` never goes negative and never spikes from a wrap.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::obs::{HistogramSummary, MetricsRegistry};
+
+// ---------------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------------
+
+/// A monotonic microsecond clock. Injected into the sampler so tests can
+/// advance time deterministically.
+pub trait Clock: Send + Sync {
+    /// Microseconds since an arbitrary (per-clock) origin. Must never go
+    /// backwards.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock time relative to process startup (monotonic, from
+/// [`Instant`]).
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A hand-cranked clock for tests: starts at 0 (or a chosen origin) and
+/// only moves when told to.
+#[derive(Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock reading `start_us`.
+    pub fn new(start_us: u64) -> Self {
+        Self { now: AtomicU64::new(start_us) }
+    }
+
+    /// A shared handle, ready to hand to a sampler.
+    pub fn shared(start_us: u64) -> Arc<Self> {
+        Arc::new(Self::new(start_us))
+    }
+
+    /// Moves the clock forward by `delta_us`.
+    pub fn advance(&self, delta_us: u64) {
+        self.now.fetch_add(delta_us, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Samples and series
+// ---------------------------------------------------------------------------
+
+/// What a series holds; decides which derivations apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeriesKind {
+    /// Monotonic counter — `rate()` applies.
+    Counter,
+    /// Last-write-wins gauge.
+    Gauge,
+    /// Log2-bucketed histogram — `hist_window()` applies.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// The wire name of the kind (`counter` / `gauge` / `histogram`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sampling tick: a timestamp plus the value of every known series at
+/// that instant. Series are referenced by their interned index (see
+/// [`TimeSeriesRing::series`]).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Clock reading when the sample was taken (µs).
+    pub t_us: u64,
+    /// Reset generation the sample belongs to (see
+    /// [`TimeSeriesRing::bump_generation`]).
+    pub generation: u64,
+    counters: Vec<(u32, u64)>,
+    gauges: Vec<(u32, f64)>,
+    hists: Vec<(u32, HistogramSummary)>,
+}
+
+impl Sample {
+    /// The sampled value of counter series `idx`, if present.
+    fn counter(&self, idx: u32) -> Option<u64> {
+        self.counters.iter().find(|(i, _)| *i == idx).map(|&(_, v)| v)
+    }
+
+    fn gauge(&self, idx: u32) -> Option<f64> {
+        self.gauges.iter().find(|(i, _)| *i == idx).map(|&(_, v)| v)
+    }
+
+    fn hist(&self, idx: u32) -> Option<&HistogramSummary> {
+        self.hists.iter().find(|(i, _)| *i == idx).map(|(_, h)| h)
+    }
+}
+
+/// A windowed counter derivative: the increase observed across the window
+/// and its per-second rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowedRate {
+    /// Sum of positive increments across consecutive same-generation
+    /// samples inside the window (counter resets contribute their
+    /// post-reset value, not a negative delta).
+    pub delta: u64,
+    /// Time between the first and last sample considered (µs).
+    pub dt_us: u64,
+    /// Samples that fell inside the window.
+    pub samples: usize,
+    /// `delta` per second (`0.0` when fewer than two samples landed).
+    pub per_sec: f64,
+}
+
+/// One entry of the interned series table.
+#[derive(Debug, Clone)]
+pub struct SeriesInfo {
+    /// Metric name as emitted into the registry.
+    pub name: String,
+    /// Counter / gauge / histogram.
+    pub kind: SeriesKind,
+}
+
+struct RingInner {
+    /// Fixed-capacity sample storage, oldest first.
+    samples: std::collections::VecDeque<Sample>,
+    /// Interned series table: index = the u32 stored in samples.
+    series: Vec<SeriesInfo>,
+    index: HashMap<(String, SeriesKind), u32>,
+    dropped_series: u64,
+    ticks: u64,
+}
+
+/// A fixed-capacity ring of registry snapshots with windowed derivations.
+/// Thread-safe: the sampler thread pushes while protocol handlers read.
+pub struct TimeSeriesRing {
+    inner: Mutex<RingInner>,
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    max_series: usize,
+    generation: AtomicU64,
+}
+
+/// Default cap on distinct series the ring will track.
+pub const DEFAULT_MAX_SERIES: usize = 1024;
+
+impl TimeSeriesRing {
+    /// A ring retaining the newest `capacity` samples over at most
+    /// `max_series` distinct metric names, timestamped by `clock`. Both
+    /// bounds are fixed for the ring's lifetime.
+    pub fn new(capacity: usize, max_series: usize, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            inner: Mutex::new(RingInner {
+                samples: std::collections::VecDeque::with_capacity(capacity.max(1)),
+                series: Vec::new(),
+                index: HashMap::new(),
+                dropped_series: 0,
+                ticks: 0,
+            }),
+            clock,
+            capacity: capacity.max(1),
+            max_series,
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring's fixed sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring poisoned").samples.len()
+    }
+
+    /// Whether no sample has been taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total sampling ticks taken over the ring's lifetime (≥ `len()`).
+    pub fn ticks(&self) -> u64 {
+        self.inner.lock().expect("ring poisoned").ticks
+    }
+
+    /// Series the ring refused to track because `max_series` was reached.
+    pub fn dropped_series(&self) -> u64 {
+        self.inner.lock().expect("ring poisoned").dropped_series
+    }
+
+    /// The clock's current reading (µs).
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// Declares that counters may restart from zero (registry cleared,
+    /// dataset handover). `rate()` never bridges samples from different
+    /// generations with a subtraction.
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the interned series table.
+    pub fn series(&self) -> Vec<SeriesInfo> {
+        self.inner.lock().expect("ring poisoned").series.clone()
+    }
+
+    /// Takes one sample of `registry` at the clock's current time. Returns
+    /// the number of series captured in this sample.
+    pub fn sample(&self, registry: &MetricsRegistry) -> usize {
+        let t_us = self.clock.now_us();
+        let generation = self.generation.load(Ordering::SeqCst);
+        let counters = registry.counters();
+        let gauges = registry.gauges();
+        let hists = registry.histograms();
+        let mut inner = self.inner.lock().expect("ring poisoned");
+        let mut sample = Sample {
+            t_us,
+            generation,
+            counters: Vec::with_capacity(counters.len()),
+            gauges: Vec::with_capacity(gauges.len()),
+            hists: Vec::with_capacity(hists.len()),
+        };
+        for (name, v) in counters {
+            if let Some(idx) = intern(&mut inner, name, SeriesKind::Counter, self.max_series) {
+                sample.counters.push((idx, v));
+            }
+        }
+        for (name, v) in gauges {
+            if let Some(idx) = intern(&mut inner, name, SeriesKind::Gauge, self.max_series) {
+                sample.gauges.push((idx, v));
+            }
+        }
+        for (name, h) in hists {
+            if let Some(idx) = intern(&mut inner, name, SeriesKind::Histogram, self.max_series) {
+                sample.hists.push((idx, h));
+            }
+        }
+        let captured = sample.counters.len() + sample.gauges.len() + sample.hists.len();
+        if inner.samples.len() == self.capacity {
+            inner.samples.pop_front();
+        }
+        inner.samples.push_back(sample);
+        inner.ticks += 1;
+        captured
+    }
+
+    fn lookup(&self, inner: &RingInner, name: &str, kind: SeriesKind) -> Option<u32> {
+        inner.index.get(&(name.to_string(), kind)).copied()
+    }
+
+    /// The windowed rate of counter `name` over the trailing `window_us`
+    /// ending at `now_us`. `None` when the series is unknown; a present
+    /// series with fewer than two in-window samples reports `delta: 0`.
+    /// A sample taken before the counter's first touch reads as 0 —
+    /// registry counters are born at zero, so a series appearing
+    /// mid-window contributes its whole value to the window's delta.
+    pub fn rate(&self, name: &str, window_us: u64, now_us: u64) -> Option<WindowedRate> {
+        let inner = self.inner.lock().expect("ring poisoned");
+        let idx = self.lookup(&inner, name, SeriesKind::Counter)?;
+        let from = now_us.saturating_sub(window_us);
+        let mut first_t = None;
+        let mut last_t = 0u64;
+        let mut prev: Option<(u64, u64)> = None; // (generation, value)
+        let mut delta = 0u64;
+        let mut samples = 0usize;
+        for s in inner.samples.iter().filter(|s| s.t_us >= from && s.t_us <= now_us) {
+            let v = s.counter(idx).unwrap_or(0);
+            samples += 1;
+            first_t.get_or_insert(s.t_us);
+            last_t = s.t_us;
+            match prev {
+                Some((gen, pv)) if gen == s.generation && v >= pv => delta += v - pv,
+                // Generation bump or in-place decrease: the counter was
+                // reset; everything it shows now accrued after the reset.
+                Some(_) => delta += v,
+                None => {}
+            }
+            prev = Some((s.generation, v));
+        }
+        let dt_us = last_t.saturating_sub(first_t.unwrap_or(last_t));
+        let per_sec = if dt_us > 0 { delta as f64 * 1e6 / dt_us as f64 } else { 0.0 };
+        Some(WindowedRate { delta, dt_us, samples, per_sec })
+    }
+
+    /// The histogram delta accrued inside the trailing window: observations
+    /// recorded between the first and last in-window sample. With a single
+    /// in-window sample the cumulative summary is returned (the best
+    /// available estimate). `None` when the series is unknown or no sample
+    /// landed in the window.
+    pub fn hist_window(&self, name: &str, window_us: u64, now_us: u64) -> Option<HistogramSummary> {
+        let inner = self.inner.lock().expect("ring poisoned");
+        let idx = self.lookup(&inner, name, SeriesKind::Histogram)?;
+        let from = now_us.saturating_sub(window_us);
+        let mut first: Option<(&Sample, &HistogramSummary)> = None;
+        let mut last: Option<(&Sample, &HistogramSummary)> = None;
+        for s in inner.samples.iter().filter(|s| s.t_us >= from && s.t_us <= now_us) {
+            let Some(h) = s.hist(idx) else { continue };
+            if first.is_none() {
+                first = Some((s, h));
+            }
+            last = Some((s, h));
+        }
+        let (first_s, first_h) = first?;
+        let (last_s, last_h) = last?;
+        if std::ptr::eq(first_h, last_h) || first_s.generation != last_s.generation {
+            return Some(last_h.clone());
+        }
+        Some(last_h.delta_since(first_h))
+    }
+
+    /// The most recent sampled value of `name` (any kind), as f64 — the
+    /// histogram kinds report their cumulative count.
+    pub fn last_value(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().expect("ring poisoned");
+        let newest = inner.samples.back()?;
+        if let Some(idx) = self.lookup(&inner, name, SeriesKind::Counter) {
+            if let Some(v) = newest.counter(idx) {
+                return Some(v as f64);
+            }
+        }
+        if let Some(idx) = self.lookup(&inner, name, SeriesKind::Gauge) {
+            if let Some(v) = newest.gauge(idx) {
+                return Some(v);
+            }
+        }
+        if let Some(idx) = self.lookup(&inner, name, SeriesKind::Histogram) {
+            if let Some(h) = newest.hist(idx) {
+                return Some(h.count as f64);
+            }
+        }
+        None
+    }
+
+    /// In-window `(t_us, value)` points of a counter or gauge series,
+    /// oldest first, capped to the newest `limit` points (0 = no cap).
+    pub fn points(&self, name: &str, window_us: u64, now_us: u64, limit: usize) -> Vec<(u64, f64)> {
+        let inner = self.inner.lock().expect("ring poisoned");
+        let counter_idx = self.lookup(&inner, name, SeriesKind::Counter);
+        let gauge_idx = self.lookup(&inner, name, SeriesKind::Gauge);
+        let from = now_us.saturating_sub(window_us);
+        let mut out: Vec<(u64, f64)> = Vec::new();
+        for s in inner.samples.iter().filter(|s| s.t_us >= from && s.t_us <= now_us) {
+            if let Some(v) = counter_idx.and_then(|i| s.counter(i)) {
+                out.push((s.t_us, v as f64));
+            } else if let Some(v) = gauge_idx.and_then(|i| s.gauge(i)) {
+                out.push((s.t_us, v));
+            }
+        }
+        if limit > 0 && out.len() > limit {
+            out.drain(..out.len() - limit);
+        }
+        out
+    }
+}
+
+/// Interns `name` into the series table, refusing (and counting) new names
+/// past `max_series`.
+fn intern(inner: &mut RingInner, name: String, kind: SeriesKind, max_series: usize) -> Option<u32> {
+    if let Some(&idx) = inner.index.get(&(name.clone(), kind)) {
+        return Some(idx);
+    }
+    if inner.series.len() >= max_series {
+        inner.dropped_series += 1;
+        return None;
+    }
+    let idx = inner.series.len() as u32;
+    inner.series.push(SeriesInfo { name: name.clone(), kind });
+    inner.index.insert((name, kind), idx);
+    Some(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with_clock(cap: usize) -> (TimeSeriesRing, Arc<ManualClock>) {
+        let clock = ManualClock::shared(0);
+        (TimeSeriesRing::new(cap, 64, clock.clone()), clock)
+    }
+
+    #[test]
+    fn manual_clock_advances_deterministically() {
+        let c = ManualClock::new(5);
+        assert_eq!(c.now_us(), 5);
+        c.advance(10);
+        assert_eq!(c.now_us(), 15);
+        assert!(SystemClock::new().now_us() < 1_000_000, "fresh origin");
+    }
+
+    #[test]
+    fn sampling_snapshots_all_three_kinds() {
+        let (ring, clock) = ring_with_clock(8);
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 3);
+        reg.gauge_set("g", 1.5);
+        reg.histogram_record("h", 7);
+        clock.advance(1_000_000);
+        assert_eq!(ring.sample(&reg), 3);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.ticks(), 1);
+        assert_eq!(ring.last_value("c"), Some(3.0));
+        assert_eq!(ring.last_value("g"), Some(1.5));
+        assert_eq!(ring.last_value("h"), Some(1.0), "histogram reports its count");
+        assert_eq!(ring.last_value("missing"), None);
+        let kinds: Vec<SeriesKind> = ring.series().iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![SeriesKind::Counter, SeriesKind::Gauge, SeriesKind::Histogram]);
+    }
+
+    #[test]
+    fn ring_wraps_at_fixed_capacity() {
+        let (ring, clock) = ring_with_clock(3);
+        let reg = MetricsRegistry::new();
+        for i in 0..10u64 {
+            reg.counter_add("c", 1);
+            clock.advance(1_000_000);
+            ring.sample(&reg);
+            assert_eq!(ring.len(), (i as usize + 1).min(3), "capacity never exceeded");
+        }
+        assert_eq!(ring.ticks(), 10);
+        assert_eq!(ring.capacity(), 3);
+        // Only the newest three samples remain: t = 8s, 9s, 10s with
+        // counter values 8, 9, 10.
+        let pts = ring.points("c", u64::MAX, clock.now_us(), 0);
+        assert_eq!(pts, vec![(8_000_000, 8.0), (9_000_000, 9.0), (10_000_000, 10.0)]);
+    }
+
+    #[test]
+    fn rate_reconciles_with_counter_deltas() {
+        let (ring, clock) = ring_with_clock(16);
+        let reg = MetricsRegistry::new();
+        // t=1s: 5, t=2s: 9, t=3s: 9, t=4s: 21.
+        for (add, _t) in [(5u64, 1), (4, 2), (0, 3), (12, 4)] {
+            reg.counter_add("c", add);
+            clock.advance(1_000_000);
+            ring.sample(&reg);
+        }
+        let now = clock.now_us();
+        let r = ring.rate("c", 10_000_000, now).unwrap();
+        assert_eq!(r.delta, 16, "delta across the full window = 21 - 5");
+        assert_eq!(r.dt_us, 3_000_000);
+        assert_eq!(r.samples, 4);
+        assert!((r.per_sec - 16.0 / 3.0).abs() < 1e-9);
+        // A 1.5s window sees only the last two samples: 21 - 9.
+        let r = ring.rate("c", 1_500_000, now).unwrap();
+        assert_eq!((r.delta, r.samples), (12, 2));
+        // A window with a single sample has no derivative.
+        let r = ring.rate("c", 1, now).unwrap();
+        assert_eq!((r.delta, r.per_sec), (0, 0.0));
+        assert_eq!(ring.rate("missing", 1_000_000, now), None);
+    }
+
+    #[test]
+    fn rate_survives_counter_resets_via_generation_bump() {
+        let (ring, clock) = ring_with_clock(16);
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 100);
+        clock.advance(1_000_000);
+        ring.sample(&reg);
+        // The registry restarts from zero (e.g. cleared on handover).
+        reg.clear();
+        reg.counter_add("c", 7);
+        ring.bump_generation();
+        clock.advance(1_000_000);
+        ring.sample(&reg);
+        let r = ring.rate("c", 10_000_000, clock.now_us()).unwrap();
+        assert_eq!(r.delta, 7, "post-reset counts, not 7 - 100 underflow");
+        // Defensive path: an in-place decrease without a bump is treated as
+        // a reset too.
+        reg.clear();
+        reg.counter_add("c", 2);
+        clock.advance(1_000_000);
+        ring.sample(&reg);
+        let r = ring.rate("c", 10_000_000, clock.now_us()).unwrap();
+        assert_eq!(r.delta, 9, "7 post-bump + 2 post-silent-reset");
+    }
+
+    #[test]
+    fn hist_window_returns_the_windowed_delta() {
+        let (ring, clock) = ring_with_clock(16);
+        let reg = MetricsRegistry::new();
+        for v in [10u64, 12] {
+            reg.histogram_record("h", v);
+        }
+        clock.advance(1_000_000);
+        ring.sample(&reg);
+        for v in [1000u64, 1100, 1200] {
+            reg.histogram_record("h", v);
+        }
+        clock.advance(1_000_000);
+        ring.sample(&reg);
+        // The full-window delta spans both samples: only the 3 large
+        // observations landed between them.
+        let h = ring.hist_window("h", 10_000_000, clock.now_us()).unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 3300);
+        assert!(h.quantile(0.5) >= 512, "window quantile reflects the new regime");
+        // A window catching only the last sample falls back to cumulative.
+        let h = ring.hist_window("h", 500_000, clock.now_us()).unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(ring.hist_window("missing", 1, clock.now_us()), None);
+    }
+
+    #[test]
+    fn series_table_is_bounded_and_overflow_is_counted() {
+        let clock = ManualClock::shared(0);
+        let ring = TimeSeriesRing::new(4, 2, clock.clone());
+        let reg = MetricsRegistry::new();
+        reg.counter_add("a", 1);
+        reg.counter_add("b", 1);
+        reg.counter_add("c", 1);
+        reg.counter_add("d", 1);
+        clock.advance(1);
+        assert_eq!(ring.sample(&reg), 2, "only max_series series captured");
+        assert_eq!(ring.dropped_series(), 2);
+        // The same overflow names are counted again next tick, never stored.
+        clock.advance(1);
+        ring.sample(&reg);
+        assert_eq!(ring.dropped_series(), 4);
+        assert_eq!(ring.series().len(), 2);
+    }
+
+    #[test]
+    fn points_are_capped_to_the_newest() {
+        let (ring, clock) = ring_with_clock(8);
+        let reg = MetricsRegistry::new();
+        for _ in 0..5 {
+            reg.counter_add("c", 1);
+            clock.advance(1_000_000);
+            ring.sample(&reg);
+        }
+        let pts = ring.points("c", u64::MAX, clock.now_us(), 2);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].1, 5.0, "newest point kept");
+        assert_eq!(pts[0].1, 4.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Span-derived self-time profiles.
+//!
+//! A trace tree says *what happened*; a profile says *where the time went*.
+//! This module folds any stream of closed spans ([`SpanEvent`]s — from a
+//! live [`crate::obs::MemorySink`] tee or a replayed `--trace-out` JSONL
+//! file) into a table keyed by **span-name call path**: every span is
+//! charged its *self time* (wall clock minus the wall clocks of its direct
+//! children), so for a sequential trace the self times sum exactly to the
+//! root span's wall time — the invariant `tests/obs_contract.rs` pins.
+//!
+//! Paths aggregate across traces: two requests that both run
+//! `request > query.run > brs.phase1` merge into one row with `count: 2`.
+//! Spans whose parent was not captured (partial streams, sampling) are
+//! treated as roots of their own subtree rather than dropped.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+use crate::obs::SpanEvent;
+
+/// Separator between span names in a rendered call path.
+pub const PATH_SEP: &str = " > ";
+
+/// Aggregated timing of one span-name call path across all traces seen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStat {
+    /// Span names from the trace root down to this span.
+    pub path: Vec<String>,
+    /// Spans that landed on this path.
+    pub count: u64,
+    /// Summed wall time of those spans (µs) — inclusive of children.
+    pub total_us: u64,
+    /// Summed self time (µs): wall minus direct children's wall, floored
+    /// at zero per span (concurrent children can overlap their parent).
+    pub self_us: u64,
+    /// Largest single-span wall time seen on this path (µs).
+    pub max_us: u64,
+}
+
+impl PathStat {
+    /// The path's leaf span name (`""` for the impossible empty path).
+    pub fn name(&self) -> &str {
+        self.path.last().map_or("", |s| s.as_str())
+    }
+
+    /// Nesting depth: 0 for a trace root.
+    pub fn depth(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The path rendered `root > child > leaf`.
+    pub fn path_string(&self) -> String {
+        self.path.join(PATH_SEP)
+    }
+}
+
+/// A self-time/total-time profile aggregated from closed spans.
+#[derive(Debug, Default, Clone)]
+pub struct Profile {
+    /// Keyed by call path; `BTreeMap` over `Vec<String>` sorts
+    /// lexicographically element-wise, which is exactly depth-first tree
+    /// order — iteration renders the inclusive tree with no extra sort.
+    stats: BTreeMap<Vec<String>, PathStat>,
+    traces: u64,
+    spans: u64,
+    roots_wall_us: u64,
+}
+
+impl Profile {
+    /// Builds a profile from any collection of closed spans. Spans may mix
+    /// trace ids freely; each trace is reassembled by `span_id`/`parent_id`
+    /// and aggregated by call path.
+    pub fn from_spans(spans: &[SpanEvent]) -> Self {
+        let mut profile = Profile::default();
+        if spans.is_empty() {
+            return profile;
+        }
+        // Group spans per trace, preserving input order within a trace.
+        let mut traces: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+        for s in spans {
+            traces.entry(s.trace_id).or_default().push(s);
+        }
+        profile.traces = traces.len() as u64;
+        profile.spans = spans.len() as u64;
+        for trace in traces.values() {
+            let by_id: HashMap<u64, &SpanEvent> =
+                trace.iter().map(|s| (s.span_id, *s)).collect();
+            // Wall time of each span's direct children, for self-time.
+            let mut children_wall: HashMap<u64, u64> = HashMap::new();
+            for s in trace {
+                if let Some(p) = s.parent_id {
+                    if by_id.contains_key(&p) {
+                        *children_wall.entry(p).or_insert(0) += s.wall_us;
+                    }
+                }
+            }
+            // Call path per span, memoized along parent chains. An absent
+            // parent makes the span a root (partial captures stay useful).
+            let mut paths: HashMap<u64, Vec<String>> = HashMap::new();
+            fn path_of(
+                id: u64,
+                by_id: &HashMap<u64, &SpanEvent>,
+                paths: &mut HashMap<u64, Vec<String>>,
+            ) -> Vec<String> {
+                if let Some(p) = paths.get(&id) {
+                    return p.clone();
+                }
+                let span = by_id[&id];
+                let mut path = match span.parent_id.filter(|p| by_id.contains_key(p)) {
+                    Some(parent) => path_of(parent, by_id, paths),
+                    None => Vec::new(),
+                };
+                path.push(span.name.clone());
+                paths.insert(id, path.clone());
+                path
+            }
+            for s in trace {
+                let path = path_of(s.span_id, &by_id, &mut paths);
+                let is_root = path.len() == 1;
+                let self_us =
+                    s.wall_us.saturating_sub(children_wall.get(&s.span_id).copied().unwrap_or(0));
+                let stat = profile.stats.entry(path.clone()).or_insert_with(|| PathStat {
+                    path,
+                    count: 0,
+                    total_us: 0,
+                    self_us: 0,
+                    max_us: 0,
+                });
+                stat.count += 1;
+                stat.total_us += s.wall_us;
+                stat.self_us += self_us;
+                stat.max_us = stat.max_us.max(s.wall_us);
+                if is_root {
+                    profile.roots_wall_us += s.wall_us;
+                }
+            }
+        }
+        profile
+    }
+
+    /// Distinct traces folded in.
+    pub fn traces(&self) -> u64 {
+        self.traces
+    }
+
+    /// Spans folded in.
+    pub fn spans(&self) -> u64 {
+        self.spans
+    }
+
+    /// Summed wall time of all trace roots (µs). For sequential traces this
+    /// equals [`self_sum`](Self::self_sum) exactly.
+    pub fn roots_wall_us(&self) -> u64 {
+        self.roots_wall_us
+    }
+
+    /// Summed self time over every path (µs).
+    pub fn self_sum(&self) -> u64 {
+        self.stats.values().map(|s| s.self_us).sum()
+    }
+
+    /// All paths in depth-first tree order.
+    pub fn stats(&self) -> impl Iterator<Item = &PathStat> {
+        self.stats.values()
+    }
+
+    /// The `n` paths with the largest aggregate self time, descending
+    /// (ties broken by path for determinism; `n == 0` means all).
+    pub fn top_self(&self, n: usize) -> Vec<&PathStat> {
+        let mut v: Vec<&PathStat> = self.stats.values().collect();
+        v.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.path.cmp(&b.path)));
+        if n > 0 {
+            v.truncate(n);
+        }
+        v
+    }
+
+    /// The stat of one exact path, if present.
+    pub fn get(&self, path: &[String]) -> Option<&PathStat> {
+        self.stats.get(path)
+    }
+
+    /// Renders the flat top-N self-time table (the `rsky profile` default).
+    pub fn render_top(&self, n: usize) -> String {
+        let mut out = String::new();
+        let total = self.self_sum().max(1);
+        let _ = writeln!(
+            out,
+            "{} trace(s), {} span(s), {} path(s); root wall {} us",
+            self.traces,
+            self.spans,
+            self.stats.len(),
+            self.roots_wall_us
+        );
+        let _ = writeln!(out, "{:>12} {:>7} {:>9} {:>12}  path", "self_us", "self%", "count", "total_us");
+        for stat in self.top_self(n) {
+            let pct = stat.self_us as f64 * 100.0 / total as f64;
+            let _ = writeln!(
+                out,
+                "{:>12} {:>6.1}% {:>9} {:>12}  {}",
+                stat.self_us,
+                pct,
+                stat.count,
+                stat.total_us,
+                stat.path_string()
+            );
+        }
+        out
+    }
+
+    /// Renders the inclusive tree view: every path indented by depth with
+    /// total/self times, in depth-first order.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        for stat in self.stats.values() {
+            let _ = writeln!(
+                out,
+                "{}{}  count={} total={}us self={}us max={}us",
+                "  ".repeat(stat.depth()),
+                stat.name(),
+                stat.count,
+                stat.total_us,
+                stat.self_us,
+                stat.max_us
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        name: &str,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: Option<u64>,
+        wall_us: u64,
+    ) -> SpanEvent {
+        SpanEvent { name: name.to_string(), trace_id, span_id, parent_id, wall_us, fields: vec![] }
+    }
+
+    #[test]
+    fn self_times_sum_to_root_wall_for_a_sequential_trace() {
+        // request(100) -> run(80) -> {phase1(30), phase2(40)}
+        let spans = vec![
+            span("phase1", 1, 3, Some(2), 30),
+            span("phase2", 1, 4, Some(2), 40),
+            span("run", 1, 2, Some(1), 80),
+            span("request", 1, 1, None, 100),
+        ];
+        let p = Profile::from_spans(&spans);
+        assert_eq!(p.traces(), 1);
+        assert_eq!(p.spans(), 4);
+        assert_eq!(p.roots_wall_us(), 100);
+        assert_eq!(p.self_sum(), 100, "self times partition the root wall");
+        let root = p.get(&["request".to_string()]).unwrap();
+        assert_eq!((root.self_us, root.total_us), (20, 100));
+        let run = p.get(&["request".to_string(), "run".to_string()]).unwrap();
+        assert_eq!((run.self_us, run.total_us), (10, 80));
+    }
+
+    #[test]
+    fn paths_aggregate_across_traces() {
+        let mut spans = Vec::new();
+        for t in 1..=3u64 {
+            spans.push(span("request", t, t * 10, None, 50));
+            spans.push(span("run", t, t * 10 + 1, Some(t * 10), 30));
+        }
+        let p = Profile::from_spans(&spans);
+        let run = p.get(&["request".to_string(), "run".to_string()]).unwrap();
+        assert_eq!((run.count, run.total_us, run.self_us, run.max_us), (3, 90, 90, 30));
+        assert_eq!(p.roots_wall_us(), 150);
+        let top = p.top_self(1);
+        assert_eq!(top[0].name(), "run", "run dominates self time");
+    }
+
+    #[test]
+    fn orphan_spans_become_roots_and_overlap_floors_at_zero() {
+        let spans = vec![
+            // Parent 99 was never captured: the span roots its own subtree.
+            span("orphan", 1, 5, Some(99), 40),
+            // Concurrent children overlapping the parent: self floors at 0.
+            span("par", 2, 1, None, 10),
+            span("a", 2, 2, Some(1), 8),
+            span("b", 2, 3, Some(1), 8),
+        ];
+        let p = Profile::from_spans(&spans);
+        assert_eq!(p.get(&["orphan".to_string()]).unwrap().self_us, 40);
+        assert_eq!(p.get(&["par".to_string()]).unwrap().self_us, 0);
+        assert_eq!(p.roots_wall_us(), 50, "orphan counts as a root");
+    }
+
+    #[test]
+    fn renderings_are_ordered_and_labelled() {
+        let spans = vec![
+            span("request", 1, 1, None, 100),
+            span("run", 1, 2, Some(1), 80),
+            span("zeta", 1, 3, Some(2), 10),
+        ];
+        let p = Profile::from_spans(&spans);
+        let tree = p.render_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("request "), "DFS order starts at the root: {tree}");
+        assert!(lines[1].starts_with("  run "), "child indented under parent");
+        assert!(lines[2].starts_with("    zeta "));
+        let top = p.render_top(2);
+        assert!(top.contains("request > run"), "flat view shows full paths: {top}");
+        assert!(top.lines().count() == 4, "header + column line + 2 rows: {top}");
+    }
+
+    #[test]
+    fn empty_input_yields_an_empty_profile() {
+        let p = Profile::from_spans(&[]);
+        assert_eq!((p.traces(), p.spans(), p.self_sum()), (0, 0, 0));
+        assert!(p.top_self(5).is_empty());
+    }
+}

@@ -36,18 +36,22 @@
 
 pub mod cache;
 pub mod client;
+pub mod health;
 pub mod json;
 pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod slowlog;
 pub mod state;
+pub mod telemetry;
 pub mod views;
 
 pub use cache::{CacheKey, ResultCache};
 pub use client::Client;
+pub use health::{HealthEvaluator, HealthReport, Level, Rule, RuleKind};
 pub use proto::{ErrKind, Request};
 pub use server::{resolve_threads, Server, ServerConfig, ServerHandle};
-pub use slowlog::{SlowEntry, SlowLog};
+pub use slowlog::{ProfileLine, SlowEntry, SlowLog};
 pub use state::{DataState, ShardParts};
+pub use telemetry::Telemetry;
 pub use views::{SubscribeAck, ViewRegistry};

@@ -67,17 +67,42 @@ pub enum Request {
         /// Record id to remove.
         id: RecordId,
     },
-    /// Liveness + load probe: `{"op":"health"}`.
-    Health,
+    /// Liveness + load probe: `{"op":"health"}`, or
+    /// `{"op":"health","detail":true}` for the full SLO report (per-rule
+    /// levels, measured values, firing reasons).
+    Health {
+        /// Include the detailed SLO health report.
+        detail: bool,
+    },
+    /// Telemetry time-series: `{"op":"timeseries"}` summarizes the ring and
+    /// lists every series; `{"op":"timeseries","metric":"server.served"}`
+    /// returns that series' in-window points plus its derived view
+    /// (windowed rate for counters, windowed quantiles for histograms).
+    Timeseries {
+        /// The series to read (`None` = summary + series table).
+        metric: Option<String>,
+        /// Trailing window in ms (default 60 000).
+        window_ms: u64,
+        /// Cap on returned points, newest win (0 = all retained).
+        limit: usize,
+    },
     /// Metrics-registry snapshot: `{"op":"metrics"}`, or
-    /// `{"op":"metrics","format":"prometheus"}` for text exposition.
+    /// `{"op":"metrics","format":"prometheus"}` for text exposition
+    /// (optionally with `"buckets":true` for cumulative
+    /// `_bucket{le="…"}` histogram series instead of quantile summaries).
     Metrics {
         /// Render the registry in the Prometheus text format instead of
         /// JSON (`"format":"prometheus"`).
         prometheus: bool,
+        /// Prometheus only: export histograms as cumulative buckets.
+        buckets: bool,
     },
-    /// Dump of the slow-request ring buffer: `{"op":"slowlog"}`.
-    Slowlog,
+    /// Dump of the slow-request ring buffer: `{"op":"slowlog"}`, or
+    /// `{"op":"slowlog","clear":true}` to dump **and** empty it.
+    Slowlog {
+        /// Empty the ring after dumping it.
+        clear: bool,
+    },
     /// Graceful shutdown: stop accepting, drain in-flight, exit.
     Shutdown,
     /// Test-only: occupies a worker for `ms` (rejected unless the server
@@ -87,6 +112,11 @@ pub enum Request {
         /// How long to hold the worker.
         ms: u64,
     },
+    /// Test-only: forces one synchronous telemetry tick (sample + health
+    /// evaluation) instead of waiting for the sampler thread. Combined with
+    /// an injected manual clock this makes every window boundary
+    /// deterministic. Rejected unless `enable_test_ops`.
+    Tick,
 }
 
 impl Request {
@@ -124,17 +154,26 @@ impl Request {
             "expire" => Ok(Request::Expire {
                 id: req_u64(&v, "id")?.ok_or("expire needs \"id\"")? as RecordId,
             }),
-            "health" => Ok(Request::Health),
-            "metrics" => match v.get("format").and_then(JsonValue::as_str) {
-                None | Some("json") => Ok(Request::Metrics { prometheus: false }),
-                Some("prometheus") => Ok(Request::Metrics { prometheus: true }),
-                Some(other) => {
-                    Err(format!("unknown metrics format {other:?} (json | prometheus)"))
+            "health" => Ok(Request::Health { detail: req_bool(&v, "detail")? }),
+            "timeseries" => Ok(Request::Timeseries {
+                metric: v.get("metric").and_then(JsonValue::as_str).map(str::to_string),
+                window_ms: req_u64(&v, "window_ms")?.unwrap_or(60_000),
+                limit: req_u64(&v, "limit")?.unwrap_or(0) as usize,
+            }),
+            "metrics" => {
+                let buckets = req_bool(&v, "buckets")?;
+                match v.get("format").and_then(JsonValue::as_str) {
+                    None | Some("json") => Ok(Request::Metrics { prometheus: false, buckets }),
+                    Some("prometheus") => Ok(Request::Metrics { prometheus: true, buckets }),
+                    Some(other) => {
+                        Err(format!("unknown metrics format {other:?} (json | prometheus)"))
+                    }
                 }
-            },
-            "slowlog" => Ok(Request::Slowlog),
+            }
+            "slowlog" => Ok(Request::Slowlog { clear: req_bool(&v, "clear")? }),
             "shutdown" => Ok(Request::Shutdown),
             "sleep" => Ok(Request::Sleep { ms: req_u64(&v, "ms")?.unwrap_or(0) }),
+            "tick" => Ok(Request::Tick),
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -153,11 +192,13 @@ impl Request {
             Request::Influence { .. } => "influence",
             Request::Insert { .. } => "insert",
             Request::Expire { .. } => "expire",
-            Request::Health => "health",
+            Request::Health { .. } => "health",
+            Request::Timeseries { .. } => "timeseries",
             Request::Metrics { .. } => "metrics",
-            Request::Slowlog => "slowlog",
+            Request::Slowlog { .. } => "slowlog",
             Request::Shutdown => "shutdown",
             Request::Sleep { .. } => "sleep",
+            Request::Tick => "tick",
         }
     }
 }
@@ -194,6 +235,13 @@ fn req_u64(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn req_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(false),
+        Some(m) => m.as_bool().ok_or_else(|| format!("\"{key}\" must be a boolean")),
     }
 }
 
@@ -371,18 +419,40 @@ pub fn ok_influence(generation: u64, ranking: &[(usize, usize)], elapsed_us: u12
     out
 }
 
-/// Renders a health response.
+/// Renders a health response. `level` is the current SLO verdict
+/// (`ok | warn | critical`); `detail` is the full report object rendered by
+/// the health evaluator (`None` omits the member).
 pub fn ok_health(
     accepting: bool,
     generation: u64,
     records: usize,
     queue_depth: usize,
     workers: usize,
+    level: &str,
+    detail: Option<&str>,
 ) -> String {
-    format!(
+    let mut out = format!(
         "{{\"ok\":true,\"op\":\"health\",\"accepting\":{accepting},\"generation\":{generation},\
-         \"records\":{records},\"queue_depth\":{queue_depth},\"workers\":{workers}}}"
-    )
+         \"records\":{records},\"queue_depth\":{queue_depth},\"workers\":{workers},\
+         \"health\":\"{level}\""
+    );
+    if let Some(report) = detail {
+        let _ = write!(out, ",\"detail\":{report}");
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a timeseries response; `body` is the pre-rendered member list
+/// from the telemetry subsystem (starts with a comma).
+pub fn ok_timeseries(body: &str) -> String {
+    format!("{{\"ok\":true,\"op\":\"timeseries\"{body}}}")
+}
+
+/// Renders the tick acknowledgement (test-only op): the tick count and the
+/// health level the forced evaluation produced.
+pub fn ok_tick(ticks: u64, level: &str) -> String {
+    format!("{{\"ok\":true,\"op\":\"tick\",\"ticks\":{ticks},\"health\":\"{level}\"}}")
 }
 
 /// Renders a metrics response; `metrics_json` is the registry snapshot
@@ -401,9 +471,15 @@ pub fn ok_metrics_prometheus(exposition: &str) -> String {
 }
 
 /// Renders a slowlog response; `entries_json` is the ring-buffer dump
-/// (already a valid JSON array).
-pub fn ok_slowlog(entries_json: &str) -> String {
-    format!("{{\"ok\":true,\"op\":\"slowlog\",\"entries\":{entries_json}}}")
+/// (already a valid JSON array). `cleared` reports how many entries a
+/// `"clear":true` request dropped (`None` omits the member).
+pub fn ok_slowlog(entries_json: &str, cleared: Option<usize>) -> String {
+    match cleared {
+        Some(n) => {
+            format!("{{\"ok\":true,\"op\":\"slowlog\",\"cleared\":{n},\"entries\":{entries_json}}}")
+        }
+        None => format!("{{\"ok\":true,\"op\":\"slowlog\",\"entries\":{entries_json}}}"),
+    }
 }
 
 /// Renders the acknowledgement for a dataset mutation (`insert`/`expire`).
@@ -478,24 +554,61 @@ mod tests {
 
     #[test]
     fn parses_control_ops() {
-        assert_eq!(Request::parse(r#"{"op":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(
+            Request::parse(r#"{"op":"health"}"#).unwrap(),
+            Request::Health { detail: false }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"health","detail":true}"#).unwrap(),
+            Request::Health { detail: true }
+        );
+        assert!(Request::parse(r#"{"op":"health","detail":1}"#).is_err());
+        assert_eq!(
+            Request::parse(r#"{"op":"timeseries"}"#).unwrap(),
+            Request::Timeseries { metric: None, window_ms: 60_000, limit: 0 }
+        );
+        assert_eq!(
+            Request::parse(
+                r#"{"op":"timeseries","metric":"server.served","window_ms":5000,"limit":10}"#
+            )
+            .unwrap(),
+            Request::Timeseries {
+                metric: Some("server.served".into()),
+                window_ms: 5000,
+                limit: 10
+            }
+        );
+        assert!(!Request::Timeseries { metric: None, window_ms: 1, limit: 0 }.is_pooled());
         assert_eq!(
             Request::parse(r#"{"op":"metrics"}"#).unwrap(),
-            Request::Metrics { prometheus: false }
+            Request::Metrics { prometheus: false, buckets: false }
         );
         assert_eq!(
             Request::parse(r#"{"op":"metrics","format":"json"}"#).unwrap(),
-            Request::Metrics { prometheus: false }
+            Request::Metrics { prometheus: false, buckets: false }
         );
         assert_eq!(
             Request::parse(r#"{"op":"metrics","format":"prometheus"}"#).unwrap(),
-            Request::Metrics { prometheus: true }
+            Request::Metrics { prometheus: true, buckets: false }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","format":"prometheus","buckets":true}"#).unwrap(),
+            Request::Metrics { prometheus: true, buckets: true }
         );
         assert!(Request::parse(r#"{"op":"metrics","format":"xml"}"#).is_err());
-        assert_eq!(Request::parse(r#"{"op":"slowlog"}"#).unwrap(), Request::Slowlog);
-        assert!(!Request::Slowlog.is_pooled());
+        assert_eq!(
+            Request::parse(r#"{"op":"slowlog"}"#).unwrap(),
+            Request::Slowlog { clear: false }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"slowlog","clear":true}"#).unwrap(),
+            Request::Slowlog { clear: true }
+        );
+        assert!(!Request::Slowlog { clear: false }.is_pooled());
         assert_eq!(Request::parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
-        assert!(!Request::Health.is_pooled());
+        assert_eq!(Request::parse(r#"{"op":"tick"}"#).unwrap(), Request::Tick);
+        assert!(!Request::Tick.is_pooled());
+        assert!(!Request::Health { detail: false }.is_pooled());
         assert_eq!(
             Request::parse(r#"{"op":"insert","id":9,"values":[0,1]}"#).unwrap(),
             Request::Insert { id: 9, values: vec![0, 1] }
@@ -537,10 +650,14 @@ mod tests {
             delta_frame(1, 2, 1, &[9], &[3], None),
             delta_frame(1, 5, 2, &[], &[], Some(&[3, 6, 9])),
             ok_influence(1, &[(2, 9), (0, 4)], 999),
-            ok_health(true, 1, 14, 0, 4),
+            ok_health(true, 1, 14, 0, 4, "ok", None),
+            ok_health(true, 1, 14, 0, 4, "critical", Some(r#"{"level":"critical","firing":["shed_rate"],"rules":[]}"#)),
+            ok_timeseries(",\"now_us\":5,\"ticks\":2,\"samples\":2,\"capacity\":64,\"dropped_series\":0,\"series\":[]"),
+            ok_tick(3, "warn"),
             ok_metrics("{}"),
             ok_metrics_prometheus("# TYPE a counter\na 1\n"),
-            ok_slowlog("[]"),
+            ok_slowlog("[]", None),
+            ok_slowlog("[]", Some(4)),
             ok_mutation("insert", 42, 2, 15),
             ok_shutdown(),
             ok_sleep(5),
@@ -573,8 +690,11 @@ mod tests {
             r#"{"ok":true,"op":"delta","sub":1,"generation":5,"epoch":2,"resync":true,"ids":[3,6,9]}"#
         );
         assert_eq!(
-            lines[13],
+            lines[17],
             r#"{"ok":false,"error":"overloaded","detail":"queue full"}"#
         );
+        assert!(lines[6].ends_with(r#""health":"ok"}"#), "{}", lines[6]);
+        assert!(lines[7].contains(r#""detail":{"level":"critical""#), "{}", lines[7]);
+        assert!(lines[13].contains(r#""cleared":4"#), "{}", lines[13]);
     }
 }

@@ -32,6 +32,7 @@ use rsky_core::error::{Error, Result};
 use rsky_core::obs::{
     self, server_names as names, view_names, MemorySink, MetricsRegistry, ObsHandle, RegistrySink,
 };
+use rsky_core::obs_ts::{Clock, SystemClock, DEFAULT_MAX_SERIES};
 use rsky_core::query::Query;
 use rsky_core::record::RecordId;
 
@@ -39,17 +40,19 @@ use rsky_storage::{MutationEvent, ShardSpec};
 use rsky_view::ViewSpec;
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::health::HealthEvaluator;
 use crate::proto::{self, ErrKind, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::slowlog::{SlowEntry, SlowLog};
 use crate::state::{DataState, DatasetVersion, WorkerState};
+use crate::telemetry::Telemetry;
 use crate::views::ViewRegistry;
 
 /// How often an idle connection thread wakes up to notice a shutdown.
 const IDLE_POLL: Duration = Duration::from_millis(50);
 
 /// Serving-layer configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
@@ -91,6 +94,49 @@ pub struct ServerConfig {
     pub slow_request_us: u64,
     /// Capacity of the slow-request ring buffer (newest entries win).
     pub slowlog_cap: usize,
+    /// Telemetry sampling interval in ms: how often the sampler thread
+    /// snapshots the registry into the time-series ring and re-evaluates
+    /// the SLO health rules. 0 disables the background thread — ticks then
+    /// only happen via the test-only `tick` op.
+    pub sample_interval_ms: u64,
+    /// Capacity of the time-series ring, in samples. At the default 1 s
+    /// interval, 512 samples retain ~8.5 minutes of history in a fixed
+    /// allocation.
+    pub ts_capacity: usize,
+    /// Per-rule SLO threshold overrides for the health evaluator, as a
+    /// compact `name=warn:critical` comma-separated spec (see
+    /// `rsky_server::health`). `None` keeps the built-in defaults.
+    pub health_rules: Option<String>,
+    /// The clock stamping telemetry samples. `None` uses the system's
+    /// monotonic clock; tests inject a
+    /// [`ManualClock`](rsky_core::obs_ts::ManualClock) so window
+    /// boundaries are deterministic.
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("engine_threads", &self.engine_threads)
+            .field("queue_cap", &self.queue_cap)
+            .field("cache_cap", &self.cache_cap)
+            .field("default_deadline_ms", &self.default_deadline_ms)
+            .field("mem_pct", &self.mem_pct)
+            .field("page", &self.page)
+            .field("tiles", &self.tiles)
+            .field("enable_test_ops", &self.enable_test_ops)
+            .field("shard", &self.shard)
+            .field("pruner_budget", &self.pruner_budget)
+            .field("slow_request_us", &self.slow_request_us)
+            .field("slowlog_cap", &self.slowlog_cap)
+            .field("sample_interval_ms", &self.sample_interval_ms)
+            .field("ts_capacity", &self.ts_capacity)
+            .field("health_rules", &self.health_rules)
+            .field("clock", &self.clock.as_ref().map(|_| "injected"))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -110,6 +156,10 @@ impl Default for ServerConfig {
             pruner_budget: rsky_algos::shard::DEFAULT_PRUNER_BUDGET,
             slow_request_us: 0,
             slowlog_cap: 16,
+            sample_interval_ms: 1000,
+            ts_capacity: 512,
+            health_rules: None,
+            clock: None,
         }
     }
 }
@@ -140,6 +190,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     registry: Arc<MetricsRegistry>,
     obs: ObsHandle,
+    telemetry: Telemetry,
     slowlog: SlowLog,
     views: ViewRegistry,
     /// Serializes the mutation → view-maintenance path so the event feed
@@ -168,6 +219,17 @@ impl Server {
             Some(spec) => DataState::new_sharded(dataset, spec),
             None => DataState::new(dataset),
         };
+        let health = HealthEvaluator::with_overrides(config.health_rules.as_deref())
+            .map_err(Error::InvalidConfig)?;
+        let clock: Arc<dyn Clock> =
+            config.clock.clone().unwrap_or_else(|| Arc::new(SystemClock::new()));
+        let telemetry = Telemetry::new(
+            Arc::clone(&registry),
+            clock,
+            config.ts_capacity.max(1),
+            DEFAULT_MAX_SERIES,
+            health,
+        );
         let shared = Arc::new(Shared {
             local_addr,
             workers,
@@ -176,6 +238,7 @@ impl Server {
             queue: BoundedQueue::new(config.queue_cap),
             registry,
             obs,
+            telemetry,
             slowlog: SlowLog::new(if config.slow_request_us > 0 { config.slowlog_cap } else { 0 }),
             views: ViewRegistry::new(),
             mutation_order: Mutex::new(()),
@@ -184,7 +247,7 @@ impl Server {
             config,
         });
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        let mut worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let ws = WorkerState::new(
@@ -197,6 +260,10 @@ impl Server {
                 Ok(std::thread::spawn(move || worker_loop(&shared, ws)))
             })
             .collect::<Result<_>>()?;
+        if shared.config.sample_interval_ms > 0 {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(std::thread::spawn(move || sampler_loop(&shared)));
+        }
 
         let supervisor = {
             let shared = Arc::clone(&shared);
@@ -231,6 +298,12 @@ impl ServerHandle {
         self.shared.slowlog.entries()
     }
 
+    /// The server's telemetry subsystem (time-series ring + SLO health
+    /// evaluator) — the same data the `timeseries` and `health` ops serve.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
     /// Requests a graceful shutdown (idempotent): stop accepting, drain
     /// in-flight work, answer drained jobs, exit. Returns immediately; use
     /// [`join`](Self::join) to wait for the drain.
@@ -252,6 +325,25 @@ impl Drop for ServerHandle {
             trigger_shutdown(&self.shared, self.local_addr);
             let _ = h.join();
         }
+    }
+}
+
+/// The dedicated telemetry thread: tick every `sample_interval_ms`, exit
+/// promptly on shutdown. The sleep is chunked so a long interval never
+/// delays the drain by more than one [`IDLE_POLL`].
+fn sampler_loop(shared: &Shared) {
+    let interval = Duration::from_millis(shared.config.sample_interval_ms);
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < interval {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = IDLE_POLL.min(interval - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+        shared.telemetry.tick();
     }
 }
 
@@ -415,10 +507,13 @@ fn handle_line(
             return (proto::err_line(ErrKind::BadRequest, &detail), false);
         }
     };
-    if matches!(request, Request::Sleep { .. }) && !shared.config.enable_test_ops {
+    if matches!(request, Request::Sleep { .. } | Request::Tick) && !shared.config.enable_test_ops {
         shared.obs.counter_add(names::CTR_BAD_REQUEST, 1);
         return (
-            proto::err_line(ErrKind::BadRequest, "sleep is a test-only op (enable_test_ops)"),
+            proto::err_line(
+                ErrKind::BadRequest,
+                &format!("{} is a test-only op (enable_test_ops)", request.op()),
+            ),
             false,
         );
     }
@@ -426,8 +521,10 @@ fn handle_line(
         return (admit(shared, request, reply_tx, reply_rx), false);
     }
     match request {
-        Request::Health => {
+        Request::Health { detail } => {
             let version = shared.data.current();
+            let report = shared.telemetry.last_report();
+            let detail_json = detail.then(|| report.to_json());
             (
                 proto::ok_health(
                     shared.accepting.load(Ordering::SeqCst),
@@ -435,19 +532,40 @@ fn handle_line(
                     version.dataset.len(),
                     shared.queue.depth(),
                     shared.workers,
+                    report.level.as_str(),
+                    detail_json.as_deref(),
                 ),
                 false,
             )
         }
-        Request::Metrics { prometheus } => {
+        Request::Timeseries { metric, window_ms, limit } => (
+            proto::ok_timeseries(&shared.telemetry.timeseries_json(
+                metric.as_deref(),
+                window_ms,
+                limit,
+            )),
+            false,
+        ),
+        Request::Tick => {
+            let report = shared.telemetry.tick();
+            (
+                proto::ok_tick(shared.telemetry.ring().ticks(), report.level.as_str()),
+                false,
+            )
+        }
+        Request::Metrics { prometheus, buckets } => {
             let body = if prometheus {
-                proto::ok_metrics_prometheus(&shared.registry.to_prometheus())
+                proto::ok_metrics_prometheus(&shared.registry.to_prometheus_opts(buckets))
             } else {
                 proto::ok_metrics(&shared.registry.to_json())
             };
             (body, false)
         }
-        Request::Slowlog => (proto::ok_slowlog(&shared.slowlog.to_json()), false),
+        Request::Slowlog { clear } => {
+            let dump = shared.slowlog.to_json();
+            let cleared = clear.then(|| shared.slowlog.clear());
+            (proto::ok_slowlog(&dump, cleared), false)
+        }
         Request::Shutdown => (proto::ok_shutdown(), true),
         Request::Insert { id, values } => (mutate(shared, "insert", id, || {
             shared.data.insert(id, &values)
@@ -602,6 +720,8 @@ fn worker_loop(shared: &Arc<Shared>, mut ws: WorkerState) {
                     op: job.request.op().to_string(),
                     latency_us,
                     spans: sink.events(),
+                    // Computed by the ring on capture, from the spans.
+                    profile: Vec::new(),
                 });
             }
         }

@@ -1,6 +1,7 @@
 //! The *metric-name contract*: every metric emitted anywhere in the
 //! workspace uses a name from the canonical vocabulary in
-//! `rsky_core::obs::{names, server_names, shard_names, view_names}`.
+//! `rsky_core::obs::{names, server_names, shard_names, view_names,
+//! health_names}`.
 //!
 //! Two clauses, both enforced by reading the source tree (no macro or
 //! proc-macro machinery — the contract survives refactors because it checks
@@ -87,7 +88,7 @@ fn literal_first_args(src: &str) -> Vec<String> {
 fn canonical_name_constants_are_pairwise_distinct() {
     let obs = fs::read_to_string(workspace_root().join("crates/core/src/obs.rs")).unwrap();
     let mut all = Vec::new();
-    for module in ["names", "server_names", "shard_names", "view_names"] {
+    for module in ["names", "server_names", "shard_names", "view_names", "health_names"] {
         for (name, value) in extract_consts(&obs, module) {
             all.push((format!("{module}::{name}"), value));
         }
@@ -113,6 +114,15 @@ fn canonical_name_constants_are_pairwise_distinct() {
         "view.cache.hit",
         "view.frames",
         "view.live",
+        // The continuous-telemetry surface: the sampler's self-measurement
+        // and the SLO verdict gauge are what `rsky top` and the health op
+        // are built on — renaming one silently blinds both.
+        "obs.sample_us",
+        "obs.ticks",
+        "obs.dropped_series",
+        "rsky_health",
+        "health.evals",
+        "health.transitions",
     ] {
         assert!(
             all.iter().any(|(_, v)| v == required),
@@ -134,7 +144,7 @@ fn every_literal_metric_name_comes_from_the_canonical_vocabulary() {
     let root = workspace_root();
     let obs = fs::read_to_string(root.join("crates/core/src/obs.rs")).unwrap();
     let mut vocabulary: Vec<String> = Vec::new();
-    for module in ["names", "server_names", "shard_names", "view_names"] {
+    for module in ["names", "server_names", "shard_names", "view_names", "health_names"] {
         vocabulary.extend(extract_consts(&obs, module).into_iter().map(|(_, v)| v));
     }
 
@@ -171,7 +181,7 @@ fn every_literal_metric_name_comes_from_the_canonical_vocabulary() {
     }
     assert!(
         violations.is_empty(),
-        "metric names not in obs::names/server_names/shard_names/view_names:\n{}",
+        "metric names not in obs::names/server_names/shard_names/view_names/health_names:\n{}",
         violations.join("\n")
     );
 }

@@ -921,6 +921,165 @@ fn view_maintenance_traces_as_single_rooted_trees() {
     assert_eq!(deltas, 2, "each maintained mutation traces its view.delta span");
 }
 
+/// Continuous-telemetry contract, clause 1: the time-series ring is a
+/// bounded window — beyond `capacity` samples the oldest fall off, every
+/// surviving sample keeps its timestamp, and the tick counter keeps the
+/// full history count. With a deterministic clock the retained window is
+/// exactly predictable.
+#[test]
+fn timeseries_ring_wraps_deterministically() {
+    use rsky::core::obs::MetricsRegistry;
+    use rsky::core::obs_ts::{Clock, ManualClock, TimeSeriesRing};
+
+    let clock = ManualClock::shared(0);
+    let ring = TimeSeriesRing::new(4, 64, clock.clone());
+    let reg = MetricsRegistry::new();
+    for i in 1..=10u64 {
+        reg.counter_add("server.served", 1);
+        clock.advance(1_000_000);
+        ring.sample(&reg);
+        assert_eq!(ring.ticks(), i, "ticks count the full history");
+        assert_eq!(ring.len() as u64, i.min(4), "ring never exceeds capacity");
+    }
+    // Only the newest four samples (t = 7..10s) survive: a 10s window sees
+    // exactly the in-ring counter increments, not the evicted history.
+    let r = ring.rate("server.served", 10_000_000, clock.now_us()).unwrap();
+    assert_eq!(r.samples, 4, "evicted samples are gone");
+    assert_eq!(r.delta, 3, "delta spans the 4 retained samples");
+    assert_eq!(r.dt_us, 3_000_000);
+    assert!((r.per_sec - 1.0).abs() < 1e-9, "1 increment/s: {}", r.per_sec);
+}
+
+/// Clause 2: windowed counter rates reconcile exactly with registry deltas,
+/// and a counter reset (generation bump — registry cleared, dataset
+/// handover) is never bridged with a subtraction: the post-reset value
+/// counts as fresh increments instead of a huge negative (or wrapped) delta.
+#[test]
+fn windowed_rates_reconcile_across_counter_resets() {
+    use rsky::core::obs::MetricsRegistry;
+    use rsky::core::obs_ts::{Clock, ManualClock, TimeSeriesRing};
+
+    let clock = ManualClock::shared(0);
+    let ring = TimeSeriesRing::new(64, 64, clock.clone());
+    let reg = MetricsRegistry::new();
+
+    // Normal operation: the windowed delta is exactly the counted work.
+    let mut counted = 0u64;
+    for add in [5u64, 0, 12, 3] {
+        reg.counter_add("server.served", add);
+        counted += add;
+        clock.advance(1_000_000);
+        ring.sample(&reg);
+    }
+    let r = ring.rate("server.served", 60_000_000, clock.now_us()).unwrap();
+    assert_eq!(r.delta + 5, counted, "window delta ≡ Σ increments after the first sample");
+
+    // Reset: clear the registry, bump the generation, then count anew.
+    reg.clear();
+    ring.bump_generation();
+    reg.counter_add("server.served", 2);
+    clock.advance(1_000_000);
+    ring.sample(&reg);
+    let r = ring.rate("server.served", 60_000_000, clock.now_us()).unwrap();
+    // 5 (first→second) + 0 + 12 + 3 from the old generation, then the
+    // post-reset counter value 2 as fresh increments — never 2 - 20.
+    assert_eq!(r.delta, 15 + 2, "reset counted as fresh increments: {r:?}");
+}
+
+/// Clause 3: SLO health evaluation is hysteretic at the contract level —
+/// one breaching window never flips the effective level, two do, and
+/// recovery needs the window to slide clean plus two clean evaluations.
+/// Driven entirely on an injected clock: no sleeps, no flakes.
+#[test]
+fn health_hysteresis_contract_on_injected_clock() {
+    use rsky::core::obs::MetricsRegistry;
+    use rsky::core::obs_ts::{Clock, ManualClock, TimeSeriesRing};
+    use rsky::server::{HealthEvaluator, Level, Rule, RuleKind};
+
+    let clock = ManualClock::shared(0);
+    let ring = TimeSeriesRing::new(64, 64, clock.clone());
+    let reg = MetricsRegistry::new();
+    let eval = HealthEvaluator::new(vec![Rule {
+        name: "shed_rate".into(),
+        metric: "server.shed".into(),
+        kind: RuleKind::Rate,
+        window_us: 10_000_000,
+        warn: 0.5,
+        critical: 5.0,
+        raise_after: 2,
+        clear_after: 2,
+    }]);
+    let tick = |sheds: u64| {
+        reg.counter_add("server.shed", sheds);
+        clock.advance(1_000_000);
+        ring.sample(&reg);
+        eval.evaluate(&ring, clock.now_us())
+    };
+    assert_eq!(tick(0).level, Level::Ok);
+    // One noisy window: raw breaches, effective holds.
+    let r = tick(100);
+    assert_eq!((r.level, r.rules[0].raw), (Level::Ok, Level::Critical));
+    // A second breaching window raises, and the report names the rule.
+    let r = tick(100);
+    assert_eq!(r.level, Level::Critical);
+    assert_eq!(r.firing(), vec!["shed_rate"]);
+    // Shedding stops; the 10s window still sees the storm for a while.
+    let mut cleared_at = None;
+    for i in 0..16 {
+        if tick(0).level == Level::Ok {
+            cleared_at = Some(i);
+            break;
+        }
+    }
+    // 10 ticks for the window to slide clean, then the 2-evaluation clear
+    // streak — so the flip lands on the 11th clean tick at the earliest.
+    let cleared_at = cleared_at.expect("health never recovered");
+    assert!(cleared_at >= 10, "cleared after only {cleared_at} clean ticks");
+}
+
+/// Clause 4: span-derived profiles partition wall time. For any engine run
+/// (a sequential trace), the per-path self times of the profile built from
+/// the recorded span stream sum *exactly* to the root span's wall time,
+/// and every profiled path is rooted at the run span.
+#[test]
+fn profile_self_times_partition_engine_run_wall_time() {
+    use rsky::core::profile::Profile;
+
+    let mut rng = StdRng::seed_from_u64(1011);
+    let ds = rsky::data::synthetic::normal_dataset(3, 6, 160, &mut rng).unwrap();
+    let q = rsky::data::random_queries(&ds.schema, 1, &mut rng).unwrap().remove(0);
+    let mut disk = Disk::new_mem(128);
+    let raw = load_dataset(&mut disk, &ds).unwrap();
+    let budget = MemoryBudget::from_percent(ds.data_bytes(), 6.0, 128).unwrap();
+    let sorted = prepare_table(&mut disk, &ds.schema, &raw, Layout::MultiSort, &budget).unwrap();
+    let trs = Trs::for_schema(&ds.schema);
+
+    let sink = MemorySink::new();
+    obs::with_recorder(sink.handle(), || {
+        let mut ctx = EngineCtx { disk: &mut disk, schema: &ds.schema, dissim: &ds.dissim, budget };
+        trs.run(&mut ctx, &sorted.file, &q).unwrap()
+    });
+    let spans = sink.events();
+    let root = assert_single_trace_tree(&spans, true, "profile source");
+    let profile = Profile::from_spans(&spans);
+    assert_eq!(profile.traces(), 1);
+    assert_eq!(profile.spans(), spans.len() as u64);
+    assert_eq!(profile.roots_wall_us(), root.wall_us);
+    assert_eq!(
+        profile.self_sum(),
+        root.wall_us,
+        "self times must partition the sequential run's wall time exactly"
+    );
+    for stat in profile.stats() {
+        assert_eq!(stat.path[0], root.name, "path not rooted at the run span: {:?}", stat.path);
+        assert!(stat.total_us >= stat.self_us, "self exceeds total on {:?}", stat.path);
+    }
+    // The heaviest self-time path is where a flame graph would point; it
+    // must be a real path with non-zero accounting on a 160-record run.
+    let top = profile.top_self(1);
+    assert_eq!(top.len(), 1);
+}
+
 #[test]
 fn noop_recorder_records_nothing() {
     // Without an installed recorder a run must leave a fresh sink untouched —

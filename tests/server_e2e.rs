@@ -335,6 +335,200 @@ fn bad_requests_are_rejected_politely() {
     handle.join();
 }
 
+/// Continuous-telemetry acceptance, over real sockets on an injected clock
+/// (`sample_interval_ms: 0` + the test-gated `tick` op, so every window
+/// boundary is deterministic):
+///
+/// * `timeseries` rates reconcile exactly with the registry's counter
+///   deltas between ticks;
+/// * an induced shed storm flips health to `critical` with the firing rule
+///   named in the detailed report, and health recovers once the window
+///   slides clean;
+/// * every slowlog entry's span tree profiles to self times that sum
+///   exactly to its root span's wall time.
+#[test]
+fn telemetry_rates_health_storm_and_profiles_reconcile() {
+    use rsky::core::obs::SpanEvent;
+    use rsky::core::obs_ts::ManualClock;
+    use rsky::core::profile::Profile;
+
+    let ds = small_dataset(9006, 60);
+    let clock = ManualClock::shared(0);
+    let config = ServerConfig {
+        workers: 1,
+        queue_cap: 2,
+        enable_test_ops: true,
+        sample_interval_ms: 0, // no sampler thread: the tick op drives it
+        ts_capacity: 64,
+        // Tight thresholds so a ~30-request storm breaches `critical`
+        // decisively; also exercises the override parser end to end.
+        health_rules: Some("shed_rate=0.5:2".into()),
+        clock: Some(clock.clone()),
+        slow_request_us: 1,
+        slowlog_cap: 8,
+        ..test_config()
+    };
+    let handle = Server::start(config, ds).unwrap();
+    let addr = handle.local_addr();
+    let registry = handle.registry();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Duration::from_secs(60)).unwrap();
+    let tick = |client: &mut Client| {
+        clock.advance(1_000_000);
+        let reply = client.send(r#"{"op":"tick"}"#).unwrap();
+        assert!(is_ok(&reply), "{reply}");
+        reply
+    };
+
+    // --- Rate reconciliation -------------------------------------------
+    tick(&mut client);
+    let served_before = registry.counter("server.served");
+    for values in [[1, 1, 1], [2, 2, 2], [3, 3, 3]] {
+        let reply = client.send(&query_line("trs", &values)).unwrap();
+        assert!(is_ok(&reply), "{reply}");
+    }
+    tick(&mut client);
+    let served_delta = registry.counter("server.served") - served_before;
+    assert_eq!(served_delta, 3, "three pooled queries");
+    let reply = client
+        .send(r#"{"op":"timeseries","metric":"server.served","window_ms":60000}"#)
+        .unwrap();
+    let rate = parsed(&reply);
+    let rate = rate.get("rate").expect("counter view carries a rate");
+    assert_eq!(
+        rate.get("delta").and_then(JsonValue::as_u64),
+        Some(served_delta),
+        "windowed delta must reconcile with the registry counter: {reply}"
+    );
+    // The request histogram derives windowed quantiles over the wire.
+    let reply = client
+        .send(r#"{"op":"timeseries","metric":"server.request.wall_us","window_ms":60000}"#)
+        .unwrap();
+    let v = parsed(&reply);
+    let window = v.get("window").expect("histogram view carries a window");
+    assert!(window.get("p99").and_then(JsonValue::as_u64).is_some(), "{reply}");
+    assert_eq!(window.get("count").and_then(JsonValue::as_u64), Some(3), "{reply}");
+
+    // --- Shed storm → critical → recovery ------------------------------
+    assert!(parsed(&client.send(r#"{"op":"health"}"#).unwrap())
+        .get("health")
+        .is_some_and(|h| h.as_str() == Some("ok")));
+    std::thread::scope(|scope| {
+        let occupier = scope.spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.set_timeout(Duration::from_secs(60)).unwrap();
+            c.send(r#"{"op":"sleep","ms":600}"#).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(150)); // worker busy
+        let queued: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.set_timeout(Duration::from_secs(60)).unwrap();
+                    c.send(r#"{"op":"sleep","ms":10}"#).unwrap()
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(150)); // both queued
+        // The storm: every further pooled request is shed immediately.
+        for _ in 0..30 {
+            let reply = client.send(r#"{"op":"sleep","ms":10}"#).unwrap();
+            assert_eq!(error_kind(&reply), "overloaded", "{reply}");
+        }
+        assert!(is_ok(&occupier.join().unwrap()));
+        for h in queued {
+            assert!(is_ok(&h.join().unwrap()));
+        }
+    });
+    assert_eq!(registry.counter("server.shed"), 30);
+
+    // Hysteresis: the first breaching evaluation holds, the second raises.
+    let reply = tick(&mut client);
+    assert!(reply.contains(r#""health":"ok""#), "one breach must not flap: {reply}");
+    let reply = tick(&mut client);
+    assert!(reply.contains(r#""health":"critical""#), "{reply}");
+    let detail = client.send(r#"{"op":"health","detail":true}"#).unwrap();
+    let v = parsed(&detail);
+    assert_eq!(v.get("health").and_then(JsonValue::as_str), Some("critical"), "{detail}");
+    let firing = v
+        .get("detail")
+        .and_then(|d| d.get("firing"))
+        .and_then(JsonValue::as_arr)
+        .expect("detailed report lists firing rules");
+    assert!(
+        firing.iter().any(|r| r.as_str() == Some("shed_rate")),
+        "the breaching rule must be named: {detail}"
+    );
+    assert_eq!(registry.gauge("rsky_health"), Some(2.0), "critical exported as gauge");
+
+    // Recovery: no further sheds; the 10s window slides clean, then the
+    // clear streak flips health back to ok.
+    let mut recovered = false;
+    for _ in 0..20 {
+        if tick(&mut client).contains(r#""health":"ok""#) {
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "health never recovered after the storm passed");
+    assert_eq!(registry.gauge("rsky_health"), Some(0.0));
+
+    // --- Slowlog profiles ----------------------------------------------
+    // With a 1µs threshold every pooled request was slow. Each entry's
+    // span tree re-profiles to self times that sum exactly to its root
+    // wall time, and the precomputed profile lines agree with the spans.
+    let reply = client.send(r#"{"op":"slowlog"}"#).unwrap();
+    let v = parsed(&reply);
+    let entries = v.get("entries").and_then(JsonValue::as_arr).expect("entries");
+    assert!(!entries.is_empty(), "{reply}");
+    for e in entries {
+        let spans: Vec<SpanEvent> = e
+            .get("spans")
+            .and_then(JsonValue::as_arr)
+            .expect("spans")
+            .iter()
+            .map(|s| SpanEvent {
+                name: s.get("name").and_then(JsonValue::as_str).unwrap().to_string(),
+                trace_id: s.get("trace_id").and_then(JsonValue::as_u64).unwrap(),
+                span_id: s.get("span_id").and_then(JsonValue::as_u64).unwrap(),
+                parent_id: s.get("parent_id").and_then(JsonValue::as_u64),
+                wall_us: s.get("wall_us").and_then(JsonValue::as_u64).unwrap(),
+                fields: Vec::new(),
+            })
+            .collect();
+        let root_wall: u64 =
+            spans.iter().filter(|s| s.parent_id.is_none()).map(|s| s.wall_us).sum();
+        let profile = Profile::from_spans(&spans);
+        assert_eq!(profile.roots_wall_us(), root_wall);
+        assert_eq!(
+            profile.self_sum(),
+            root_wall,
+            "slowlog profile must partition the request's wall time"
+        );
+        let lines = e.get("profile").and_then(JsonValue::as_arr).expect("profile lines");
+        assert!(!lines.is_empty(), "capture computed no profile: {reply}");
+        for line in lines {
+            let path = line.get("path").and_then(JsonValue::as_str).unwrap();
+            let path: Vec<String> = path.split(" > ").map(str::to_string).collect();
+            let stat = profile.get(&path).expect("profile line path must exist in the spans");
+            assert_eq!(line.get("self_us").and_then(JsonValue::as_u64), Some(stat.self_us));
+        }
+    }
+    // clear=true empties the ring and reports how many entries it dropped.
+    let n = entries.len();
+    let reply = client.send(r#"{"op":"slowlog","clear":true}"#).unwrap();
+    assert_eq!(parsed(&reply).get("cleared").and_then(JsonValue::as_u64), Some(n as u64), "{reply}");
+    let reply = client.send(r#"{"op":"slowlog"}"#).unwrap();
+    assert_eq!(
+        parsed(&reply).get("entries").and_then(JsonValue::as_arr).map(<[JsonValue]>::len),
+        Some(0),
+        "{reply}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
 #[test]
 fn resolve_threads_auto_detects() {
     assert_eq!(resolve_threads(3), 3);
